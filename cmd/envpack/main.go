@@ -1,0 +1,116 @@
+// Command envpack resolves requirement specs against the built-in package
+// catalog and packs the resulting environment into a real relocatable
+// .tar.gz — the conda + conda-pack pipeline of the paper's §V-C.
+//
+// Usage:
+//
+//	envpack -o env.tar.gz "numpy>=1.18" scipy
+//	envpack -inspect env.tar.gz
+//	envpack -unpack env.tar.gz -dir ./env [-prefix /scratch/env]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfm"
+)
+
+func main() {
+	out := flag.String("o", "env.tar.gz", "output tarball path")
+	name := flag.String("name", "env", "environment name")
+	inspect := flag.String("inspect", "", "print the manifest of a packed environment and exit")
+	unpack := flag.String("unpack", "", "unpack this environment instead of packing")
+	dir := flag.String("dir", "env", "directory for -unpack")
+	prefix := flag.String("prefix", "", "relocation prefix applied after -unpack")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := runInspect(*inspect); err != nil {
+			fail(err)
+		}
+	case *unpack != "":
+		if err := runUnpack(*unpack, *dir, *prefix); err != nil {
+			fail(err)
+		}
+	default:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: envpack -o out.tar.gz SPEC [SPEC ...]")
+			os.Exit(2)
+		}
+		if err := runPack(*name, *out, flag.Args()); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "envpack: %v\n", err)
+	os.Exit(1)
+}
+
+func runPack(name, out string, specs []string) error {
+	ix := lfm.DefaultCatalog()
+	res, err := lfm.ResolveEnv(ix, specs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resolved %d packages (%d files, %.1f MB installed)\n",
+		res.Len(), res.TotalFiles(), float64(res.TotalInstalledBytes())/1e6)
+	for _, p := range res.Packages {
+		fmt.Printf("  %s\n", p.ID())
+	}
+	tb, err := lfm.Pack(name, res)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, tb.Data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("packed %s: %d entries, %.1f MB compressed -> %s\n",
+		name, tb.Entries, float64(tb.PackedBytes())/1e6, out)
+	return nil
+}
+
+func runInspect(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	man, err := lfm.ReadManifest(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("environment %q (prefix %s)\n", man.Name, man.Prefix)
+	fmt.Printf("%d packages, %d files, %.1f MB installed\n",
+		len(man.Packages), man.TotalFiles, float64(man.TotalBytes)/1e6)
+	for _, p := range man.Packages {
+		fmt.Printf("  %s==%s (%d files)\n", p.Name, p.Version, p.FileCount)
+	}
+	return nil
+}
+
+func runUnpack(path, dir, prefix string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man, err := lfm.Unpack(data, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unpacked %q into %s\n", man.Name, dir)
+	if prefix != "" {
+		old, err := lfm.Relocate(dir, prefix)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("relocated prefix %s -> %s\n", old, prefix)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command lfmbench regenerates the tables and figures of the LFM paper's
+// evaluation on the built-in cluster simulator.
+//
+// Usage:
+//
+//	lfmbench [-quick] [-seed N] [experiment ...]
+//
+// With no arguments every experiment runs in the paper's order. Experiment
+// IDs: fig4 fig5 table1 table2 table3 fig6 fig7 fig8 fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lfm"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(lfm.ExperimentIDs(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range lfm.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = lfm.ExperimentIDs()
+	}
+	opt := lfm.ExperimentOptions{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		start := time.Now()
+		if err := lfm.RenderExperiment(id, opt, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

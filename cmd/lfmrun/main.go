@@ -1,0 +1,66 @@
+// Command lfmrun executes a command under a real lightweight function
+// monitor: it polls /proc for the whole process tree's memory and CPU use,
+// enforces limits by killing the process group, and prints a resource
+// report — the paper's §VI-B1 mechanism for live Unix processes.
+//
+// Usage:
+//
+//	lfmrun [-mem MB] [-cpu SECONDS] [-wall SECONDS] [-poll MS] -- command [args...]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"lfm"
+)
+
+func main() {
+	memMB := flag.Int64("mem", 0, "memory limit in MB (0 = unlimited)")
+	cpuS := flag.Float64("cpu", 0, "CPU-time limit in seconds (0 = unlimited)")
+	wallS := flag.Float64("wall", 0, "wall-clock limit in seconds (0 = unlimited)")
+	pollMS := flag.Int("poll", 50, "poll interval in milliseconds")
+	quiet := flag.Bool("q", false, "suppress the report; exit status only")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lfmrun [-mem MB] [-cpu S] [-wall S] [-poll MS] -- command [args...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cmd := exec.Command(flag.Arg(0), flag.Args()[1:]...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+
+	limits := lfm.ProcessLimits{
+		RSSBytes: *memMB << 20,
+		CPUTime:  time.Duration(*cpuS * float64(time.Second)),
+		WallTime: time.Duration(*wallS * float64(time.Second)),
+	}
+	rep, err := lfm.RunMonitored(context.Background(), cmd, limits,
+		time.Duration(*pollMS)*time.Millisecond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfmrun: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "lfm: wall %v, cpu %v, peak rss %.1f MB, max procs %d, polls %d\n",
+			rep.WallTime.Round(time.Millisecond), rep.CPUTime.Round(time.Millisecond),
+			float64(rep.PeakRSSBytes)/(1<<20), rep.MaxProcs, rep.Polls)
+		if rep.Killed {
+			fmt.Fprintf(os.Stderr, "lfm: KILLED: %s limit exceeded\n", rep.Exhausted)
+		}
+	}
+	if rep.Killed {
+		os.Exit(125)
+	}
+	os.Exit(rep.ExitCode)
+}

@@ -1,0 +1,40 @@
+// FaaS: the paper's funcX integration (§VI-C4). A serverless function —
+// Keras ResNet image classification — is registered with a funcX-style
+// service and dispatched in batches to an endpoint whose workers execute
+// each invocation inside an LFM instead of a container. With automatic
+// labeling the endpoint packs several ~4 GB inference tasks per node; the
+// unmanaged baseline dedicates a node per invocation.
+//
+// Run with: go run ./examples/faas
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfm"
+)
+
+func main() {
+	const workers = 8
+	fmt.Printf("funcX ResNet classification on %d EC2 workers (16c/64GB)\n\n", workers)
+	fmt.Printf("%-6s  %-10s  %10s  %12s  %8s\n",
+		"tasks", "strategy", "batch", "mean latency", "retries")
+
+	for _, tasks := range []int{64, 256} {
+		for _, strategy := range lfm.StrategyNames() {
+			res, err := lfm.RunFaaSBatch(5, "ec2", workers, tasks, strategy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d  %-10s  %10s  %12s  %8d\n",
+				tasks, strategy, res.BatchTime.Duration(),
+				res.MeanLatency.Duration(), res.Retries)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Each invocation carries the serialized function and its dependency")
+	fmt.Println("list; the 1.3 GB model environment is staged once per worker and")
+	fmt.Println("cached, so steady-state latency is dominated by inference itself.")
+}

@@ -1,0 +1,45 @@
+// HEP: the paper's Coffea columnar-analysis workload (§VI-C1) on a
+// simulated ND-CRC cluster, comparing all four allocation strategies. This
+// reproduces the Figure 6 story: automatic labeling packs eight ~110 MB
+// analysis tasks onto each 8-core worker while whole-node execution wastes
+// almost the entire machine.
+//
+// Run with: go run ./examples/hep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfm"
+)
+
+func main() {
+	const tasks = 200
+	fmt.Printf("HEP columnar analysis: %d analysis tasks on 20 ND-CRC workers\n\n", tasks)
+	fmt.Printf("%-10s  %10s  %8s  %8s  %10s\n",
+		"strategy", "makespan", "retries", "failed", "GB moved")
+
+	for _, name := range lfm.StrategyNames() {
+		w := lfm.HEPWorkload(42, tasks)
+		s, err := lfm.StrategyFor(name, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := lfm.RunWorkload(w, lfm.RunConfig{
+			SiteName: "ndcrc",
+			Workers:  20,
+			Seed:     42,
+			Strategy: s,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %10s  %7.2f%%  %8d  %10.1f\n",
+			out.Strategy, out.Makespan.Duration(), out.RetryFraction*100,
+			out.Failed, float64(out.Stats.BytesIn+out.Stats.BytesOut)/1e9)
+	}
+
+	fmt.Println("\nNote: workers arrive through the batch queue (~45-75s), and the")
+	fmt.Println("240 MB Conda environment is transferred once per worker and cached.")
+}

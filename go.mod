@@ -1,0 +1,3 @@
+module lfm
+
+go 1.22

@@ -1,0 +1,291 @@
+// Package alloc implements the resource-allocation strategies the paper
+// evaluates in §VI-C: perfect knowledge (Oracle), dynamic automatic labeling
+// (Auto, the Work Queue first-allocation algorithm of Tovar et al. [21]),
+// user-provided imperfect knowledge (Guess), and whole-node allocation
+// (Unmanaged). A Strategy decides the resource label each task runs under
+// and learns from monitor reports.
+package alloc
+
+import (
+	"math"
+	"sort"
+
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+)
+
+// Decision is a strategy's answer for one task attempt.
+type Decision struct {
+	// Request is the resource label to run under.
+	Request monitor.Resources
+	// WholeNode requests an entire worker regardless of label.
+	WholeNode bool
+	// Monitorless indicates limits should not be enforced (Unmanaged runs
+	// without an LFM).
+	Monitorless bool
+}
+
+// Strategy labels tasks with resource requests and learns from outcomes.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Next returns the allocation for a fresh task of the given category.
+	Next(category string) Decision
+	// Retry returns the allocation after attempt failed attempts due to
+	// resource exhaustion.
+	Retry(category string, attempt int) Decision
+	// Observe feeds back a finished attempt's monitor report.
+	Observe(category string, rep monitor.Report)
+}
+
+// Oracle allocates the exact true peak (optionally padded). It exists only
+// as the reference upper bound; the paper stresses that real users cannot
+// construct it.
+type Oracle struct {
+	// Peaks maps task category to true peak usage.
+	Peaks map[string]monitor.Resources
+	// Pad is a fractional safety margin added to each dimension.
+	Pad float64
+}
+
+// Name implements Strategy.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// Next implements Strategy.
+func (o *Oracle) Next(category string) Decision {
+	p, ok := o.Peaks[category]
+	if !ok {
+		return Decision{WholeNode: true}
+	}
+	return Decision{Request: monitor.Resources{
+		Cores:    math.Ceil(p.Cores - 1e-9),
+		MemoryMB: p.MemoryMB * (1 + o.Pad),
+		DiskMB:   p.DiskMB * (1 + o.Pad),
+	}}
+}
+
+// Retry implements Strategy. With true peaks retries indicate the oracle's
+// knowledge was wrong (the paper observed exactly this for VEP); fall back
+// to a whole node.
+func (o *Oracle) Retry(category string, attempt int) Decision {
+	return Decision{WholeNode: true}
+}
+
+// Observe implements Strategy; the oracle learns nothing.
+func (o *Oracle) Observe(string, monitor.Report) {}
+
+// Guess allocates a fixed user-provided label for every task, the "imperfect
+// knowledge" configuration of existing frameworks.
+type Guess struct {
+	Fixed monitor.Resources
+}
+
+// Name implements Strategy.
+func (g *Guess) Name() string { return "Guess" }
+
+// Next implements Strategy.
+func (g *Guess) Next(string) Decision { return Decision{Request: g.Fixed} }
+
+// Retry implements Strategy: a user with a fixed guess can only escalate to
+// the whole node.
+func (g *Guess) Retry(string, int) Decision { return Decision{WholeNode: true} }
+
+// Observe implements Strategy; a fixed guess never adapts.
+func (g *Guess) Observe(string, monitor.Report) {}
+
+// Unmanaged allocates an entire worker to every task with no monitoring —
+// the coarse-grained status quo the paper argues against.
+type Unmanaged struct{}
+
+// Name implements Strategy.
+func (u *Unmanaged) Name() string { return "Unmanaged" }
+
+// Next implements Strategy.
+func (u *Unmanaged) Next(string) Decision {
+	return Decision{WholeNode: true, Monitorless: true}
+}
+
+// Retry implements Strategy.
+func (u *Unmanaged) Retry(string, int) Decision {
+	return Decision{WholeNode: true, Monitorless: true}
+}
+
+// Observe implements Strategy.
+func (u *Unmanaged) Observe(string, monitor.Report) {}
+
+// Auto implements the automatic first-allocation algorithm: run early tasks
+// of a category under a large allocation with monitoring enabled, then label
+// subsequent tasks with the allocation that minimizes expected resource
+// waste, retrying at full size on exhaustion. See §VI-B2 and [21].
+type Auto struct {
+	// MinSamples is how many completed observations a category needs before
+	// labels shrink below a whole node — the paper's "run a task under a
+	// large allocation" bootstrap. Default 1.
+	MinSamples int
+	// Pad is a fractional margin added to the chosen label's memory and
+	// disk. Cores are allocated as whole units (rounded up, unpadded), as
+	// Work Queue does.
+	Pad float64
+	// BootstrapBoost adds decaying early-sample headroom: with n
+	// observations, memory and disk labels are scaled by an extra
+	// BootstrapBoost/n. One observation says little about the tail; the
+	// boost buys packing immediately after the first completion without a
+	// burst of exhaustion retries while the model is cold.
+	BootstrapBoost float64
+	// SafetyStds adds headroom for the unseen tail: the label is inflated
+	// by this many standard deviations of the observations at or below the
+	// chosen allocation. Spread below the choice measures local noise
+	// without dragging a bimodal distribution's far mode into the label.
+	// Default 3.
+	SafetyStds float64
+	// MaxSamples bounds retained history per category (sliding window).
+	MaxSamples int
+
+	hist map[string]*history
+}
+
+type history struct {
+	peaks   []monitor.Resources
+	retries int
+}
+
+// NewAuto returns an Auto strategy with the defaults described above.
+func NewAuto() *Auto {
+	return &Auto{MinSamples: 1, Pad: 0.05, SafetyStds: 3, BootstrapBoost: 2, MaxSamples: 1000, hist: map[string]*history{}}
+}
+
+// Name implements Strategy.
+func (a *Auto) Name() string { return "Auto" }
+
+// Next implements Strategy.
+func (a *Auto) Next(category string) Decision {
+	h := a.hist[category]
+	if h == nil || len(h.peaks) < a.MinSamples {
+		// Bootstrap: large allocation, monitored.
+		return Decision{WholeNode: true}
+	}
+	return Decision{Request: a.label(h)}
+}
+
+// Retry implements Strategy: after an exhaustion failure rerun at full size,
+// "rerun the task using a full worker in case of resource exhaustion".
+func (a *Auto) Retry(category string, attempt int) Decision {
+	if h := a.hist[category]; h != nil {
+		h.retries++
+	}
+	return Decision{WholeNode: true}
+}
+
+// Observe implements Strategy. Only completed runs contribute peaks: a
+// killed run's measured peak is truncated at the limit and would bias labels
+// downward forever.
+func (a *Auto) Observe(category string, rep monitor.Report) {
+	if !rep.Completed {
+		return
+	}
+	h := a.hist[category]
+	if h == nil {
+		h = &history{}
+		a.hist[category] = h
+	}
+	h.peaks = append(h.peaks, rep.Peak)
+	if a.MaxSamples > 0 && len(h.peaks) > a.MaxSamples {
+		h.peaks = h.peaks[len(h.peaks)-a.MaxSamples:]
+	}
+}
+
+// Preload seeds a category with peaks observed in earlier runs, skipping
+// the whole-node bootstrap: "This initial measurement can be skipped ...
+// if statistics from previous tasks are available" (§VI-B2).
+func (a *Auto) Preload(category string, peaks []monitor.Resources) {
+	h := a.hist[category]
+	if h == nil {
+		h = &history{}
+		a.hist[category] = h
+	}
+	h.peaks = append(h.peaks, peaks...)
+	if a.MaxSamples > 0 && len(h.peaks) > a.MaxSamples {
+		h.peaks = h.peaks[len(h.peaks)-a.MaxSamples:]
+	}
+}
+
+// History exports a category's observed peaks, for persisting between runs
+// and preloading later sessions.
+func (a *Auto) History(category string) []monitor.Resources {
+	h := a.hist[category]
+	if h == nil {
+		return nil
+	}
+	out := make([]monitor.Resources, len(h.peaks))
+	copy(out, h.peaks)
+	return out
+}
+
+// Retries reports how many exhaustion retries a category has needed.
+func (a *Auto) Retries(category string) int {
+	if h := a.hist[category]; h != nil {
+		return h.retries
+	}
+	return 0
+}
+
+// Samples reports how many observations a category has accumulated.
+func (a *Auto) Samples(category string) int {
+	if h := a.hist[category]; h != nil {
+		return len(h.peaks)
+	}
+	return 0
+}
+
+// label picks, per resource dimension, the first allocation minimizing
+// expected waste: candidate values are observed peaks, and the cost of
+// candidate c is c (paid by every task) plus the overflow probability times
+// the retry's cost, with tail headroom added per SafetyStds.
+func (a *Auto) label(h *history) monitor.Resources {
+	scale := 1 + a.Pad + a.BootstrapBoost/float64(len(h.peaks))
+	return monitor.Resources{
+		Cores:    math.Ceil(a.chooseDim(h.peaks, func(r monitor.Resources) float64 { return r.Cores }) - 1e-9),
+		MemoryMB: a.chooseDim(h.peaks, func(r monitor.Resources) float64 { return r.MemoryMB }) * scale,
+		DiskMB:   a.chooseDim(h.peaks, func(r monitor.Resources) float64 { return r.DiskMB }) * scale,
+	}
+}
+
+func (a *Auto) chooseDim(peaks []monitor.Resources, dim func(monitor.Resources) float64) float64 {
+	vals := make([]float64, 0, len(peaks))
+	for _, p := range peaks {
+		vals = append(vals, dim(p))
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	max := vals[n-1]
+	best := max
+	bestCost := max * float64(n) // allocating the max never overflows
+	for i, c := range vals {
+		if i > 0 && c == vals[i-1] {
+			continue // duplicate candidate
+		}
+		// Peaks strictly above c overflow; equal peaks fit.
+		overflow := n - sort.SearchFloat64s(vals, c+1e-12)
+		// An overflowing task wastes its entire failed attempt (it held c
+		// for the full run before the kill) and then pays a full-size
+		// retry at max.
+		cost := c*float64(n) + float64(overflow)*(c+max)
+		if cost < bestCost {
+			best = c
+			bestCost = cost
+		}
+	}
+	// Tail headroom: the observed maximum of a noisy distribution
+	// underestimates its true upper bound, especially with few samples.
+	// Inflate by the spread of the observations at or below the choice.
+	if a.SafetyStds > 0 {
+		var s sim.Stats
+		for _, v := range vals {
+			if v <= best+1e-12 {
+				s.Add(v)
+			}
+		}
+		best += a.SafetyStds * s.Std()
+	}
+	return best
+}

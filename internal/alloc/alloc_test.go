@@ -1,0 +1,209 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lfm/internal/monitor"
+)
+
+func rep(mem float64, completed bool) monitor.Report {
+	return monitor.Report{
+		Peak:      monitor.Resources{Cores: 1, MemoryMB: mem, DiskMB: 10},
+		Completed: completed,
+		Killed:    !completed,
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := &Oracle{
+		Peaks: map[string]monitor.Resources{"a": {Cores: 1, MemoryMB: 110, DiskMB: 1000}},
+		Pad:   0.1,
+	}
+	d := o.Next("a")
+	if d.WholeNode {
+		t.Fatal("oracle with known peak should not request whole node")
+	}
+	if d.Request.MemoryMB < 110 || d.Request.MemoryMB > 125 {
+		t.Fatalf("request = %v", d.Request)
+	}
+	if !o.Next("unknown").WholeNode {
+		t.Fatal("oracle without knowledge should fall back to whole node")
+	}
+	if !o.Retry("a", 1).WholeNode {
+		t.Fatal("oracle retry should use whole node")
+	}
+}
+
+func TestGuessFixed(t *testing.T) {
+	g := &Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 1500, DiskMB: 2000}}
+	if d := g.Next("x"); d.Request.MemoryMB != 1500 || d.WholeNode {
+		t.Fatalf("decision = %+v", d)
+	}
+	g.Observe("x", rep(100, true)) // must not adapt
+	if d := g.Next("x"); d.Request.MemoryMB != 1500 {
+		t.Fatal("guess adapted to observations")
+	}
+	if !g.Retry("x", 1).WholeNode {
+		t.Fatal("guess retry should escalate to whole node")
+	}
+}
+
+func TestUnmanaged(t *testing.T) {
+	u := &Unmanaged{}
+	d := u.Next("x")
+	if !d.WholeNode || !d.Monitorless {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestAutoBootstrapsWithWholeNode(t *testing.T) {
+	a := NewAuto()
+	if d := a.Next("t"); !d.WholeNode || d.Monitorless {
+		t.Fatalf("first decision = %+v, want monitored whole node", d)
+	}
+}
+
+func TestAutoConvergesToObservedPeaks(t *testing.T) {
+	a := NewAuto()
+	for i := 0; i < 20; i++ {
+		a.Observe("t", rep(84, true))
+	}
+	d := a.Next("t")
+	if d.WholeNode {
+		t.Fatal("auto still using whole node after 20 samples")
+	}
+	// Label ~= 84MB plus pad and residual boost (2/20), the HEP result
+	// from §VI-C1 in miniature.
+	if d.Request.MemoryMB < 84 || d.Request.MemoryMB > 105 {
+		t.Fatalf("label = %v, want ~84MB + pad", d.Request)
+	}
+}
+
+func TestAutoIgnoresKilledRuns(t *testing.T) {
+	a := NewAuto()
+	a.Observe("t", rep(100, true))
+	for i := 0; i < 50; i++ {
+		a.Observe("t", rep(10, false)) // truncated measurements from kills
+	}
+	d := a.Next("t")
+	if d.Request.MemoryMB < 100 {
+		t.Fatalf("label = %v; killed runs biased the label down", d.Request)
+	}
+	if a.Samples("t") != 1 {
+		t.Fatalf("samples = %d, want 1", a.Samples("t"))
+	}
+}
+
+func TestAutoRetryEscalatesAndCounts(t *testing.T) {
+	a := NewAuto()
+	a.Observe("t", rep(100, true))
+	if d := a.Retry("t", 1); !d.WholeNode {
+		t.Fatal("retry should escalate to whole node")
+	}
+	if a.Retries("t") != 1 {
+		t.Fatalf("retries = %d", a.Retries("t"))
+	}
+}
+
+func TestAutoMixedPeaksBalancesWaste(t *testing.T) {
+	// 90% of tasks peak at 100MB, 10% at 1000MB. Allocating 1000 to all
+	// wastes 900MB on 90% of tasks; allocating 100 costs a retry for 10%.
+	// Expected-waste minimization should choose the small label.
+	a := NewAuto()
+	for i := 0; i < 90; i++ {
+		a.Observe("t", rep(100, true))
+	}
+	for i := 0; i < 10; i++ {
+		a.Observe("t", rep(1000, true))
+	}
+	d := a.Next("t")
+	if d.Request.MemoryMB > 200 {
+		t.Fatalf("label = %v, want small first allocation", d.Request)
+	}
+}
+
+func TestAutoHeavySkewPrefersMax(t *testing.T) {
+	// Half the tasks are big: retrying half the tasks costs more than
+	// padding everyone, so the label should be the max.
+	a := NewAuto()
+	for i := 0; i < 10; i++ {
+		a.Observe("t", rep(900, true))
+		a.Observe("t", rep(1000, true))
+	}
+	d := a.Next("t")
+	if d.Request.MemoryMB < 1000 {
+		t.Fatalf("label = %v, want max-peak allocation", d.Request)
+	}
+}
+
+func TestAutoPerCategoryIsolation(t *testing.T) {
+	a := NewAuto()
+	a.Observe("small", rep(50, true))
+	a.Observe("big", rep(5000, true))
+	ds, db := a.Next("small"), a.Next("big")
+	if ds.Request.MemoryMB >= db.Request.MemoryMB {
+		t.Fatalf("small=%v big=%v; categories must not mix", ds.Request, db.Request)
+	}
+}
+
+func TestAutoSlidingWindow(t *testing.T) {
+	a := NewAuto()
+	a.MaxSamples = 10
+	for i := 0; i < 100; i++ {
+		a.Observe("t", rep(float64(100+i), true))
+	}
+	if a.Samples("t") != 10 {
+		t.Fatalf("samples = %d, want capped at 10", a.Samples("t"))
+	}
+	// Only recent (larger) peaks retained: label reflects them.
+	if d := a.Next("t"); d.Request.MemoryMB < 190 {
+		t.Fatalf("label = %v, want from recent window", d.Request)
+	}
+}
+
+// Property: once past bootstrap, the chosen label never drops below the
+// smallest observed peak and never exceeds the padded max plus the safety
+// headroom (SafetyStds standard deviations of all observations).
+func TestAutoLabelBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) < 3 {
+			return true // need enough samples that the boost is bounded
+		}
+		a := NewAuto()
+		var s, min, max float64
+		var all []float64
+		min = 1e18
+		for _, r := range raw {
+			v := float64(r%5000) + 1
+			all = append(all, v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			s += v
+			a.Observe("t", rep(v, true))
+		}
+		mean := s / float64(len(all))
+		var m2 float64
+		for _, v := range all {
+			m2 += (v - mean) * (v - mean)
+		}
+		std := 0.0
+		if len(all) > 1 {
+			std = math.Sqrt(m2 / float64(len(all)-1))
+		}
+		d := a.Next("t")
+		if d.WholeNode {
+			return false // past MinSamples, must label
+		}
+		upper := (max + a.SafetyStds*std) * (1 + a.Pad + a.BootstrapBoost/3)
+		return d.Request.MemoryMB >= min && d.Request.MemoryMB <= upper+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

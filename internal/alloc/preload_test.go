@@ -1,0 +1,65 @@
+package alloc
+
+import (
+	"testing"
+
+	"lfm/internal/monitor"
+)
+
+func TestPreloadSkipsBootstrap(t *testing.T) {
+	a := NewAuto()
+	a.Preload("t", []monitor.Resources{
+		{Cores: 1, MemoryMB: 84, DiskMB: 880},
+		{Cores: 1, MemoryMB: 86, DiskMB: 860},
+		{Cores: 1, MemoryMB: 82, DiskMB: 900},
+	})
+	d := a.Next("t")
+	if d.WholeNode {
+		t.Fatal("preloaded category still bootstraps with a whole node")
+	}
+	if d.Request.MemoryMB < 84 || d.Request.MemoryMB > 200 {
+		t.Fatalf("label = %v", d.Request)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	a := NewAuto()
+	a.Observe("t", rep(100, true))
+	a.Observe("t", rep(120, true))
+	hist := a.History("t")
+	if len(hist) != 2 {
+		t.Fatalf("history = %v", hist)
+	}
+	// Mutating the export must not corrupt internal state.
+	hist[0].MemoryMB = 1e9
+	if a.History("t")[0].MemoryMB == 1e9 {
+		t.Fatal("History exposed internal storage")
+	}
+
+	// A new session preloaded from the export labels identically.
+	b := NewAuto()
+	b.Preload("t", a.History("t"))
+	if got, want := b.Next("t").Request, a.Next("t").Request; got != want {
+		t.Fatalf("preloaded label %v != original %v", got, want)
+	}
+}
+
+func TestHistoryEmptyCategory(t *testing.T) {
+	a := NewAuto()
+	if h := a.History("nothing"); h != nil {
+		t.Fatalf("history = %v", h)
+	}
+}
+
+func TestPreloadRespectsWindow(t *testing.T) {
+	a := NewAuto()
+	a.MaxSamples = 5
+	peaks := make([]monitor.Resources, 20)
+	for i := range peaks {
+		peaks[i] = monitor.Resources{Cores: 1, MemoryMB: float64(i + 1)}
+	}
+	a.Preload("t", peaks)
+	if a.Samples("t") != 5 {
+		t.Fatalf("samples = %d, want capped at 5", a.Samples("t"))
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster models the HPC sites of the paper's Table III: nodes with
+// cores/memory/disk, a shared filesystem, node-local storage, a batch
+// scheduler with queue latency, and pilot-job provisioning of workers.
+package cluster
+
+import (
+	"fmt"
+
+	"lfm/internal/sharedfs"
+	"lfm/internal/sim"
+)
+
+// Site describes one cluster's hardware and scheduling characteristics.
+type Site struct {
+	Name      string
+	Scheduler string // native batch system
+
+	Nodes           int
+	CoresPerNode    int
+	MemoryMBPerNode float64
+	DiskMBPerNode   float64
+
+	FS        sharedfs.Config
+	LocalDisk sharedfs.LocalDiskConfig
+
+	// BatchLatency is the mean queue wait before a submitted pilot job
+	// starts; Jitter spreads worker arrivals (uniform +/- Jitter).
+	BatchLatency sim.Time
+	Jitter       sim.Time
+
+	// WANBandwidth is shared outbound bandwidth for package downloads.
+	WANBandwidth float64
+}
+
+// Sites returns the evaluation systems of Table III, keyed by short name.
+// Hardware shapes follow the paper (§VI-C: ND-CRC HTCondor nodes; Theta KNL
+// with 64 cores; NSCC Aspire 2x12-core + 96 GB nodes) with filesystem
+// parameters chosen to reproduce the observed import-scaling behaviour.
+func Sites() map[string]Site {
+	lustre := sharedfs.DefaultConfig()
+	lustre.Name = "lustre"
+
+	gpfs := sharedfs.DefaultConfig()
+	gpfs.Name = "gpfs"
+	gpfs.MetaChannels = 6
+	gpfs.MetaOpTime = 120e-6
+
+	nfs := sharedfs.DefaultConfig()
+	nfs.Name = "nfs"
+	nfs.MetaChannels = 2
+	nfs.MetaOpTime = 300e-6
+	nfs.ReadBandwidth = 5e9
+	nfs.WriteBandwidth = 3e9
+
+	ebs := sharedfs.DefaultConfig()
+	ebs.Name = "efs"
+	ebs.MetaChannels = 8
+	ebs.MetaOpTime = 200e-6
+	ebs.ReadBandwidth = 10e9
+	ebs.WriteBandwidth = 10e9
+
+	local := sharedfs.DefaultLocalDisk()
+
+	return map[string]Site{
+		"ndcrc": {
+			Name: "ND-CRC", Scheduler: "HTCondor",
+			Nodes: 64, CoresPerNode: 8, MemoryMBPerNode: 8 * 1024, DiskMBPerNode: 16 * 1024,
+			FS: nfs, LocalDisk: local,
+			BatchLatency: 45 * sim.Second, Jitter: 30 * sim.Second,
+			WANBandwidth: 2e9,
+		},
+		"theta": {
+			Name: "Theta", Scheduler: "Cobalt",
+			Nodes: 4392, CoresPerNode: 64, MemoryMBPerNode: 192 * 1024, DiskMBPerNode: 128 * 1024,
+			FS: lustre, LocalDisk: local,
+			BatchLatency: 120 * sim.Second, Jitter: 60 * sim.Second,
+			WANBandwidth: 5e9,
+		},
+		"cori": {
+			Name: "Cori", Scheduler: "Slurm",
+			Nodes: 2388, CoresPerNode: 32, MemoryMBPerNode: 128 * 1024, DiskMBPerNode: 128 * 1024,
+			FS: gpfs, LocalDisk: local,
+			BatchLatency: 90 * sim.Second, Jitter: 45 * sim.Second,
+			WANBandwidth: 5e9,
+		},
+		"aspire": {
+			Name: "NSCC Aspire", Scheduler: "PBS Pro",
+			Nodes: 1000, CoresPerNode: 24, MemoryMBPerNode: 96 * 1024, DiskMBPerNode: 64 * 1024,
+			FS: lustre, LocalDisk: local,
+			BatchLatency: 75 * sim.Second, Jitter: 40 * sim.Second,
+			WANBandwidth: 3e9,
+		},
+		"ec2": {
+			Name: "AWS EC2", Scheduler: "on-demand",
+			Nodes: 256, CoresPerNode: 16, MemoryMBPerNode: 64 * 1024, DiskMBPerNode: 100 * 1024,
+			FS: ebs, LocalDisk: local,
+			BatchLatency: 40 * sim.Second, Jitter: 15 * sim.Second,
+			WANBandwidth: 10e9,
+		},
+	}
+}
+
+// Node is one provisioned cluster node.
+type Node struct {
+	ID       int
+	Site     *Site
+	Disk     *sharedfs.LocalDisk
+	Cores    float64
+	MemoryMB float64
+	DiskMB   float64
+}
+
+// Cluster is one site instantiated on a simulation engine.
+type Cluster struct {
+	Eng  *sim.Engine
+	Site Site
+	FS   *sharedfs.FS
+	// WAN is the site's shared outbound link for package downloads.
+	WAN *sim.FairShare
+
+	provisioned int
+	rng         *sim.RNG
+}
+
+// New instantiates a site on the engine.
+func New(eng *sim.Engine, site Site) *Cluster {
+	return &Cluster{
+		Eng:  eng,
+		Site: site,
+		FS:   sharedfs.New(eng, site.FS),
+		WAN:  sim.NewFairShare(eng, site.WANBandwidth),
+		rng:  eng.RNG().Fork(),
+	}
+}
+
+// Provisioned reports how many nodes have been handed out.
+func (c *Cluster) Provisioned() int { return c.provisioned }
+
+// Provision submits n pilot jobs to the batch system; each node is delivered
+// to ready after an independent jittered queue wait. Requests beyond the
+// site's node count fail immediately.
+func (c *Cluster) Provision(n int, ready func(*Node)) error {
+	if c.provisioned+n > c.Site.Nodes {
+		return fmt.Errorf("cluster: site %s has %d nodes, %d already provisioned, cannot add %d",
+			c.Site.Name, c.Site.Nodes, c.provisioned, n)
+	}
+	for i := 0; i < n; i++ {
+		id := c.provisioned
+		c.provisioned++
+		wait := c.Site.BatchLatency
+		if c.Site.Jitter > 0 {
+			wait += c.rng.UniformTime(0, c.Site.Jitter)
+		}
+		c.Eng.After(wait, func() {
+			node := &Node{
+				ID:       id,
+				Site:     &c.Site,
+				Disk:     sharedfs.NewLocalDisk(c.Eng, c.Site.LocalDisk),
+				Cores:    float64(c.Site.CoresPerNode),
+				MemoryMB: c.Site.MemoryMBPerNode,
+				DiskMB:   c.Site.DiskMBPerNode,
+			}
+			ready(node)
+		})
+	}
+	return nil
+}
+
+// NodeShape returns a node-sized resource description for a site, used by
+// the Unmanaged strategy and worker capacity accounting.
+func (s Site) NodeShape() (cores, memMB, diskMB float64) {
+	return float64(s.CoresPerNode), s.MemoryMBPerNode, s.DiskMBPerNode
+}

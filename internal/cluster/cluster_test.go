@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"lfm/internal/sim"
+)
+
+func TestSitesCatalog(t *testing.T) {
+	sites := Sites()
+	for _, key := range []string{"ndcrc", "theta", "cori", "aspire", "ec2"} {
+		s, ok := sites[key]
+		if !ok {
+			t.Fatalf("missing site %q", key)
+		}
+		if s.Nodes <= 0 || s.CoresPerNode <= 0 || s.MemoryMBPerNode <= 0 {
+			t.Fatalf("site %q malformed: %+v", key, s)
+		}
+		if s.FS.MetaChannels < 1 || s.WANBandwidth <= 0 {
+			t.Fatalf("site %q has invalid fs/wan: %+v", key, s)
+		}
+	}
+	// Table III shapes: Theta is the KNL system with 64 cores/node;
+	// Aspire nodes are 24-core/96GB.
+	if sites["theta"].CoresPerNode != 64 {
+		t.Fatalf("theta cores = %d", sites["theta"].CoresPerNode)
+	}
+	if sites["aspire"].CoresPerNode != 24 || sites["aspire"].MemoryMBPerNode != 96*1024 {
+		t.Fatalf("aspire shape = %+v", sites["aspire"])
+	}
+}
+
+func TestProvisionDeliversAfterBatchLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := Sites()["ndcrc"]
+	site.BatchLatency = 50
+	site.Jitter = 10
+	c := New(eng, site)
+	var arrivals []sim.Time
+	var nodes []*Node
+	eng.At(0, func() {
+		if err := c.Provision(4, func(n *Node) {
+			arrivals = append(arrivals, eng.Now())
+			nodes = append(nodes, n)
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if len(nodes) != 4 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	for _, at := range arrivals {
+		if at < 50 || at > 60 {
+			t.Fatalf("arrival at %v outside [50,60]", at)
+		}
+	}
+	ids := map[int]bool{}
+	for _, n := range nodes {
+		ids[n.ID] = true
+		if n.Cores != 8 || n.Disk == nil {
+			t.Fatalf("node = %+v", n)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatal("duplicate node IDs")
+	}
+	if c.Provisioned() != 4 {
+		t.Fatalf("provisioned = %d", c.Provisioned())
+	}
+}
+
+func TestProvisionBeyondCapacityFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := Sites()["ndcrc"] // 64 nodes
+	c := New(eng, site)
+	if err := c.Provision(60, func(*Node) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Provision(5, func(*Node) {}); err == nil {
+		t.Fatal("over-provisioning accepted")
+	}
+}
+
+func TestProvisionJitterDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		eng := sim.NewEngine(9)
+		site := Sites()["theta"]
+		c := New(eng, site)
+		var arrivals []sim.Time
+		eng.At(0, func() {
+			_ = c.Provision(8, func(*Node) { arrivals = append(arrivals, eng.Now()) })
+		})
+		eng.Run()
+		return arrivals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("provisioning not deterministic")
+		}
+	}
+}
+
+func TestNodeShape(t *testing.T) {
+	s := Sites()["theta"]
+	c, m, d := s.NodeShape()
+	if c != 64 || m != 192*1024 || d != 128*1024 {
+		t.Fatalf("shape = %v/%v/%v", c, m, d)
+	}
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lfm/internal/sharedfs"
+	"lfm/internal/sim"
+)
+
+// siteJSON is the on-disk site description. Fields use friendly units
+// (GB, seconds, GB/s) and map onto Site.
+type siteJSON struct {
+	Name         string  `json:"name"`
+	Scheduler    string  `json:"scheduler"`
+	Nodes        int     `json:"nodes"`
+	CoresPerNode int     `json:"cores_per_node"`
+	MemoryGB     float64 `json:"memory_gb_per_node"`
+	DiskGB       float64 `json:"disk_gb_per_node"`
+
+	BatchLatencySeconds float64 `json:"batch_latency_seconds"`
+	JitterSeconds       float64 `json:"jitter_seconds"`
+	WANGbps             float64 `json:"wan_gbps"`
+
+	FS struct {
+		Name          string  `json:"name"`
+		MetaChannels  int     `json:"meta_channels"`
+		MetaOpMicros  float64 `json:"meta_op_micros"`
+		ReadGBps      float64 `json:"read_gbps"`
+		WriteGBps     float64 `json:"write_gbps"`
+		PerClientGbps float64 `json:"per_client_gbps"`
+	} `json:"fs"`
+}
+
+// LoadSites reads user-defined site descriptions (a JSON object mapping
+// short names to site configs) so that experiments can target clusters
+// beyond the built-in Table III set.
+func LoadSites(r io.Reader) (map[string]Site, error) {
+	var raw map[string]siteJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("cluster: parsing sites: %w", err)
+	}
+	out := make(map[string]Site, len(raw))
+	for key, sj := range raw {
+		site, err := sj.toSite()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: site %q: %w", key, err)
+		}
+		out[key] = site
+	}
+	return out, nil
+}
+
+func (sj siteJSON) toSite() (Site, error) {
+	if sj.Nodes <= 0 || sj.CoresPerNode <= 0 {
+		return Site{}, fmt.Errorf("needs positive nodes and cores_per_node")
+	}
+	if sj.MemoryGB <= 0 || sj.DiskGB <= 0 {
+		return Site{}, fmt.Errorf("needs positive memory and disk")
+	}
+	fs := sharedfs.DefaultConfig()
+	if sj.FS.Name != "" {
+		fs.Name = sj.FS.Name
+	}
+	if sj.FS.MetaChannels > 0 {
+		fs.MetaChannels = sj.FS.MetaChannels
+	}
+	if sj.FS.MetaOpMicros > 0 {
+		fs.MetaOpTime = sim.Time(sj.FS.MetaOpMicros) * 1e-6
+	}
+	if sj.FS.ReadGBps > 0 {
+		fs.ReadBandwidth = sj.FS.ReadGBps * 1e9
+	}
+	if sj.FS.WriteGBps > 0 {
+		fs.WriteBandwidth = sj.FS.WriteGBps * 1e9
+	}
+	if sj.FS.PerClientGbps > 0 {
+		fs.PerClientBandwidth = sj.FS.PerClientGbps * 1e9 / 8
+	}
+	wan := 2e9
+	if sj.WANGbps > 0 {
+		wan = sj.WANGbps * 1e9 / 8
+	}
+	return Site{
+		Name:            sj.Name,
+		Scheduler:       sj.Scheduler,
+		Nodes:           sj.Nodes,
+		CoresPerNode:    sj.CoresPerNode,
+		MemoryMBPerNode: sj.MemoryGB * 1024,
+		DiskMBPerNode:   sj.DiskGB * 1024,
+		FS:              fs,
+		LocalDisk:       sharedfs.DefaultLocalDisk(),
+		BatchLatency:    sim.Time(sj.BatchLatencySeconds),
+		Jitter:          sim.Time(sj.JitterSeconds),
+		WANBandwidth:    wan,
+	}, nil
+}

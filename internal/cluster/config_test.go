@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"lfm/internal/sim"
+)
+
+const sitesJSON = `{
+  "mycluster": {
+    "name": "My Cluster",
+    "scheduler": "Slurm",
+    "nodes": 100,
+    "cores_per_node": 48,
+    "memory_gb_per_node": 256,
+    "disk_gb_per_node": 480,
+    "batch_latency_seconds": 30,
+    "jitter_seconds": 10,
+    "wan_gbps": 40,
+    "fs": {
+      "name": "beegfs",
+      "meta_channels": 8,
+      "meta_op_micros": 100,
+      "read_gbps": 200,
+      "write_gbps": 120,
+      "per_client_gbps": 25
+    }
+  }
+}`
+
+func TestLoadSites(t *testing.T) {
+	sites, err := LoadSites(strings.NewReader(sitesJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := sites["mycluster"]
+	if !ok {
+		t.Fatal("site missing")
+	}
+	if s.Name != "My Cluster" || s.Nodes != 100 || s.CoresPerNode != 48 {
+		t.Fatalf("site = %+v", s)
+	}
+	if s.MemoryMBPerNode != 256*1024 {
+		t.Fatalf("memory = %v", s.MemoryMBPerNode)
+	}
+	if s.FS.Name != "beegfs" || s.FS.MetaChannels != 8 {
+		t.Fatalf("fs = %+v", s.FS)
+	}
+	if d := s.FS.MetaOpTime - 100e-6; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("meta op time = %v", s.FS.MetaOpTime)
+	}
+	if s.BatchLatency != 30 || s.Jitter != 10 {
+		t.Fatalf("batch = %v/%v", s.BatchLatency, s.Jitter)
+	}
+	// 40 Gb/s -> 5e9 B/s
+	if s.WANBandwidth != 5e9 {
+		t.Fatalf("wan = %v", s.WANBandwidth)
+	}
+}
+
+func TestLoadSitesDefaults(t *testing.T) {
+	minimal := `{"tiny": {"nodes": 2, "cores_per_node": 4,
+		"memory_gb_per_node": 8, "disk_gb_per_node": 100}}`
+	sites, err := LoadSites(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sites["tiny"]
+	if s.FS.MetaChannels < 1 || s.FS.ReadBandwidth <= 0 {
+		t.Fatalf("defaults not applied: %+v", s.FS)
+	}
+	if s.WANBandwidth <= 0 {
+		t.Fatal("no default WAN bandwidth")
+	}
+}
+
+func TestLoadSitesErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"x": {"nodes": 0, "cores_per_node": 4, "memory_gb_per_node": 8, "disk_gb_per_node": 1}}`,
+		`{"x": {"nodes": 2, "cores_per_node": 4, "memory_gb_per_node": 0, "disk_gb_per_node": 1}}`,
+		`{"x": {"nodes": 2, "cores_per_node": 4, "memory_gb_per_node": 8, "disk_gb_per_node": 1, "bogus_field": 1}}`,
+	}
+	for _, in := range bad {
+		if _, err := LoadSites(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadSites(%q) succeeded", in)
+		}
+	}
+}
+
+func TestLoadedSiteIsUsable(t *testing.T) {
+	sites, err := LoadSites(strings.NewReader(sitesJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loaded site must provision like a built-in one.
+	s := sites["mycluster"]
+	s.BatchLatency = 0
+	s.Jitter = 0
+	eng := newTestEngine()
+	c := New(eng, s)
+	var nodes int
+	eng.At(0, func() {
+		if err := c.Provision(4, func(*Node) { nodes++ }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if nodes != 4 {
+		t.Fatalf("nodes = %d", nodes)
+	}
+}
+
+func newTestEngine() *sim.Engine { return sim.NewEngine(1) }

@@ -1,0 +1,383 @@
+// Package core is the LFM orchestrator: it composes the pieces the paper
+// integrates — static dependency analysis (deps), environment resolution and
+// packaging (pypkg/envpack), the Work Queue scheduler with per-task LFMs
+// (wq/monitor), allocation strategies (alloc), and cluster provisioning
+// (cluster) — into a single runner that executes a workload end to end on a
+// simulated site and reports the measurements the paper's figures plot.
+package core
+
+import (
+	"fmt"
+
+	"lfm/internal/alloc"
+	"lfm/internal/cluster"
+	"lfm/internal/deps"
+	"lfm/internal/envpack"
+	"lfm/internal/funcx"
+	"lfm/internal/pypkg"
+	"lfm/internal/sharedfs"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// RunConfig describes one end-to-end workload execution.
+type RunConfig struct {
+	// SiteName keys into cluster.Sites(); default "ndcrc".
+	SiteName string
+	// Workers is the number of nodes to provision.
+	Workers int
+	// WorkerCores/WorkerMemoryMB/WorkerDiskMB, if nonzero, shrink each
+	// provisioned node to this shape (the paper's Figure 6 sweeps 2/4/8
+	// core workers on ND-CRC).
+	WorkerCores    int
+	WorkerMemoryMB float64
+	WorkerDiskMB   float64
+	// Strategy is the allocation strategy; default Auto.
+	Strategy alloc.Strategy
+	// Seed makes the run reproducible.
+	Seed int64
+	// NoBatchLatency provisions workers instantly (for experiments
+	// measuring steady-state scheduling rather than queue waits).
+	NoBatchLatency bool
+	// Autoscale, when true, starts with one worker and lets an autoscaler
+	// grow the pool (up to Workers) as backlog accumulates, instead of
+	// provisioning the whole pool up front.
+	Autoscale bool
+	// WorkerChurnMTBF, when positive, kills a random connected worker on
+	// average every MTBF of simulated time and requests a replacement —
+	// pilot jobs hitting batch time limits. Running tasks are resubmitted.
+	WorkerChurnMTBF sim.Time
+	// Trace, when non-nil, records every scheduler event of the run.
+	Trace *wq.Trace
+}
+
+// Outcome summarizes one run.
+type Outcome struct {
+	Strategy  string
+	Workload  string
+	Workers   int
+	Makespan  sim.Time
+	Stats     wq.Stats
+	TaskCount int
+	Failed    int
+	// RetryFraction is retries / submitted.
+	RetryFraction float64
+	// Categories aggregates monitored behaviour per task category.
+	Categories []*wq.CategorySummary
+	// Utilization is allocated core-time over provisioned core-time.
+	Utilization float64
+	// EffectiveUtilization is measured-used core-time over provisioned
+	// core-time; the gap to Utilization is allocation waste.
+	EffectiveUtilization float64
+}
+
+// Run executes the workload on the configured site and strategy.
+func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
+	if cfg.SiteName == "" {
+		cfg.SiteName = "ndcrc"
+	}
+	site, ok := cluster.Sites()[cfg.SiteName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", cfg.SiteName)
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("core: need at least one worker")
+	}
+	if cfg.Workers > site.Nodes {
+		return nil, fmt.Errorf("core: site %s has only %d nodes", site.Name, site.Nodes)
+	}
+	if cfg.WorkerCores > 0 {
+		site.CoresPerNode = cfg.WorkerCores
+	}
+	if cfg.WorkerMemoryMB > 0 {
+		site.MemoryMBPerNode = cfg.WorkerMemoryMB
+	}
+	if cfg.WorkerDiskMB > 0 {
+		site.DiskMBPerNode = cfg.WorkerDiskMB
+	}
+	if cfg.NoBatchLatency {
+		site.BatchLatency = 0
+		site.Jitter = 0
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = alloc.NewAuto()
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	cl := cluster.New(eng, site)
+	mcfg := wq.DefaultConfig()
+	mcfg.Strategy = strategy
+	master := wq.NewMaster(eng, mcfg)
+	if cfg.Trace != nil {
+		master.SetTrace(cfg.Trace)
+	}
+
+	var workers []*wq.Worker
+	join := func(n *cluster.Node) { workers = append(workers, master.AddWorker(n)) }
+
+	var scaler *wq.Autoscaler
+	if cfg.Autoscale {
+		scaler = &wq.Autoscaler{
+			Master:     master,
+			Request:    func(n int) error { return cl.Provision(n, join) },
+			MinWorkers: 1,
+			MaxWorkers: cfg.Workers,
+			Interval:   20 * sim.Second,
+		}
+	} else if err := cl.Provision(cfg.Workers, join); err != nil {
+		return nil, err
+	}
+
+	if cfg.WorkerChurnMTBF > 0 {
+		churnRNG := eng.RNG().Fork()
+		var churn func()
+		churn = func() {
+			// Stop churning once the workload has drained.
+			st := master.Stats()
+			if st.Completed+st.Failed >= st.Submitted && st.Submitted > 0 {
+				return
+			}
+			if n := master.Workers(); n > 0 {
+				// Pick a live worker uniformly.
+				live := workers[:0:0]
+				for _, w := range workers {
+					if w.Alive() {
+						live = append(live, w)
+					}
+				}
+				if len(live) > 0 {
+					victim := live[churnRNG.Intn(len(live))]
+					master.RemoveWorker(victim)
+					// The site restarts the pilot job, capacity
+					// permitting; otherwise the run continues degraded.
+					_ = cl.Provision(1, join)
+				}
+			}
+			eng.After(sim.Time(churnRNG.Exponential(float64(cfg.WorkerChurnMTBF))), churn)
+		}
+		eng.After(sim.Time(churnRNG.Exponential(float64(cfg.WorkerChurnMTBF))), churn)
+	}
+
+	eng.At(0, func() {
+		if scaler != nil {
+			scaler.Start()
+		}
+		for _, t := range w.Tasks {
+			master.Submit(t)
+		}
+	})
+	makespan := eng.Run()
+	if scaler != nil && scaler.Err() != nil {
+		return nil, scaler.Err()
+	}
+
+	st := master.Stats()
+	out := &Outcome{
+		Strategy:             strategy.Name(),
+		Workload:             w.Name,
+		Workers:              cfg.Workers,
+		Makespan:             makespan,
+		Stats:                *st,
+		TaskCount:            len(w.Tasks),
+		Failed:               st.Failed,
+		Categories:           master.CategorySummaries(),
+		Utilization:          master.Utilization(),
+		EffectiveUtilization: master.EffectiveUtilization(),
+	}
+	if st.Submitted > 0 {
+		out.RetryFraction = float64(st.Retries) / float64(st.Submitted)
+	}
+	return out, nil
+}
+
+// StrategyFor builds the named strategy for a workload: "oracle", "auto",
+// "guess", or "unmanaged".
+func StrategyFor(name string, w *workloads.Workload) (alloc.Strategy, error) {
+	switch name {
+	case "oracle":
+		return &alloc.Oracle{Peaks: w.OraclePeaks, Pad: 0.05}, nil
+	case "auto":
+		return alloc.NewAuto(), nil
+	case "guess":
+		return &alloc.Guess{Fixed: w.Guess}, nil
+	case "unmanaged":
+		return &alloc.Unmanaged{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+// Strategies lists the four evaluation strategies in the paper's order.
+func Strategies() []string { return []string{"oracle", "auto", "guess", "unmanaged"} }
+
+// PrepareEnvironment runs the paper's full environment pipeline for a Parsl
+// app function: static analysis of the function source, minimal closure
+// resolution against the user's environment, and conda-pack packaging. It
+// returns the wq input file workers will receive (with transfer size and
+// unpack cost from the cost model) plus the analysis report and closure.
+func PrepareEnvironment(src, funcName string, ix *pypkg.Index, env *pypkg.Environment) (*wq.File, *deps.Report, *pypkg.Resolution, error) {
+	analyzer := deps.NewAnalyzer(ix, env)
+	rep, err := analyzer.AnalyzeFunction(src, funcName)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: analyze %s: %w", funcName, err)
+	}
+	if len(rep.Unknown) > 0 {
+		return nil, rep, nil, fmt.Errorf("core: function %s imports unknown modules %v", funcName, rep.Unknown)
+	}
+	res, err := analyzer.MinimalClosure(rep)
+	if err != nil {
+		return nil, rep, nil, fmt.Errorf("core: resolve %s: %w", funcName, err)
+	}
+	model := envpack.DefaultCostModel()
+	file := &wq.File{
+		Name:       fmt.Sprintf("env-%s.tar.gz", funcName),
+		SizeBytes:  model.PackedBytes(res),
+		Cacheable:  true,
+		UnpackTime: model.UnpackTime(res),
+	}
+	return file, rep, res, nil
+}
+
+// ImportScaling measures one concurrent-import experiment point: mean
+// per-client import latency when `clients` processes cold-import the given
+// closure from the shared filesystem at once (Figure 4's y-axis).
+func ImportScaling(siteName string, res *pypkg.Resolution, clients int, seed int64) (sim.Time, error) {
+	site, ok := cluster.Sites()[siteName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown site %q", siteName)
+	}
+	eng := sim.NewEngine(seed)
+	fs := sharedfs.New(eng, site.FS)
+	im := sharedfs.NewImporter(eng, fs, envpack.DefaultCostModel())
+	var total sim.Time
+	eng.At(0, func() {
+		for i := 0; i < clients; i++ {
+			im.ImportDirect(res, func(el sim.Time) { total += el })
+		}
+	})
+	eng.Run()
+	return total / sim.Time(clients), nil
+}
+
+// FaaSResult summarizes one funcX batch execution (§VI-C4).
+type FaaSResult struct {
+	// BatchTime is invocation of the batch to last completion.
+	BatchTime sim.Time
+	// MeanLatency is the mean per-invocation submit-to-result time.
+	MeanLatency sim.Time
+	Invocations int
+	Completions int
+	Retries     int
+}
+
+// RunFuncXBatch registers the ResNet classification function with a funcX
+// service, provisions an endpoint on the named site, and invokes the
+// function tasks times under the named strategy ("oracle", "auto", "guess",
+// or "unmanaged").
+func RunFuncXBatch(seed int64, siteName string, workers, tasks int, strategyName string) (*FaaSResult, error) {
+	w := workloads.FuncXResNet(sim.NewRNG(seed), tasks)
+	strategy, err := StrategyFor(strategyName, w)
+	if err != nil {
+		return nil, err
+	}
+	site, ok := cluster.Sites()[siteName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", siteName)
+	}
+	site.BatchLatency = 0
+	site.Jitter = 0
+
+	eng := sim.NewEngine(seed)
+	cl := cluster.New(eng, site)
+	mcfg := wq.DefaultConfig()
+	mcfg.Strategy = strategy
+	master := wq.NewMaster(eng, mcfg)
+	if err := cl.Provision(workers, func(n *cluster.Node) { master.AddWorker(n) }); err != nil {
+		return nil, err
+	}
+
+	svc := funcx.NewService(eng)
+	if err := svc.AddEndpoint(&funcx.Endpoint{Name: "ep", Master: master}); err != nil {
+		return nil, err
+	}
+	next := 0
+	fnID, err := svc.Register(&funcx.Function{
+		Name:     "classify",
+		Category: "resnet-infer",
+		Make: func(int) *wq.Task {
+			task := w.Tasks[next]
+			next++
+			return task
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var batchEnd sim.Time
+	var invokeErr error
+	eng.At(0, func() {
+		invokeErr = svc.InvokeBatch(fnID, "ep", tasks, func() { batchEnd = eng.Now() })
+	})
+	eng.Run()
+	if invokeErr != nil {
+		return nil, invokeErr
+	}
+	if svc.Completions != tasks {
+		return nil, fmt.Errorf("core: funcx completed %d/%d invocations", svc.Completions, tasks)
+	}
+	return &FaaSResult{
+		BatchTime:   batchEnd,
+		MeanLatency: sim.Time(svc.Latency.Mean()),
+		Invocations: svc.Invocations,
+		Completions: svc.Completions,
+		Retries:     master.Stats().Retries,
+	}, nil
+}
+
+// DistributionMethod identifies how environments reach workers in the
+// Figure 5 comparison.
+type DistributionMethod string
+
+// Figure 5's two contrasted methods.
+const (
+	DirectSharedFS DistributionMethod = "direct"
+	LocalUnpack    DistributionMethod = "local-unpack"
+)
+
+// CumulativeImport measures total (summed) import time across nodes*cores
+// concurrent cold starts using the given distribution method (Figure 5's
+// y-axis).
+func CumulativeImport(siteName string, res *pypkg.Resolution, nodes, coresPerNode int, method DistributionMethod, seed int64) (sim.Time, error) {
+	site, ok := cluster.Sites()[siteName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown site %q", siteName)
+	}
+	eng := sim.NewEngine(seed)
+	fs := sharedfs.New(eng, site.FS)
+	im := sharedfs.NewImporter(eng, fs, envpack.DefaultCostModel())
+	var cumulative sim.Time
+	eng.At(0, func() {
+		switch method {
+		case DirectSharedFS:
+			for i := 0; i < nodes*coresPerNode; i++ {
+				im.ImportDirect(res, func(el sim.Time) { cumulative += el })
+			}
+		case LocalUnpack:
+			for n := 0; n < nodes; n++ {
+				disk := sharedfs.NewLocalDisk(eng, site.LocalDisk)
+				im.StagePacked(res, disk, func(stage sim.Time) {
+					cumulative += stage
+					for c := 0; c < coresPerNode; c++ {
+						im.ImportLocal(res, disk, func(el sim.Time) { cumulative += el })
+					}
+				})
+			}
+		}
+	})
+	eng.Run()
+	if method != DirectSharedFS && method != LocalUnpack {
+		return 0, fmt.Errorf("core: unknown distribution method %q", method)
+	}
+	return cumulative, nil
+}

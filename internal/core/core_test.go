@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"lfm/internal/pypkg"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+)
+
+func runStrategy(t *testing.T, w *workloads.Workload, strategy string, cfg RunConfig) *Outcome {
+	t.Helper()
+	s, err := StrategyFor(strategy, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Strategy = s
+	out, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed > 0 {
+		t.Fatalf("%s run failed %d tasks", strategy, out.Failed)
+	}
+	return out
+}
+
+// The headline evaluation shape (Figures 6-9): Oracle <= Auto << Guess <<
+// Unmanaged, with Auto within a modest factor of Oracle and several-fold
+// better than Unmanaged.
+func TestStrategyOrderingHEP(t *testing.T) {
+	// 300 analysis tasks over 8 workers: enough steady-state work that the
+	// strategies separate the way Figure 6 shows (Auto's one-time
+	// bootstrap amortizes away).
+	cfg := RunConfig{SiteName: "ndcrc", Workers: 8, NoBatchLatency: true, Seed: 11}
+	mk := func() *workloads.Workload { return workloads.HEP(sim.NewRNG(42), 300) }
+
+	oracle := runStrategy(t, mk(), "oracle", cfg)
+	auto := runStrategy(t, mk(), "auto", cfg)
+	guess := runStrategy(t, mk(), "guess", cfg)
+	unmanaged := runStrategy(t, mk(), "unmanaged", cfg)
+
+	if oracle.Makespan > auto.Makespan {
+		// Oracle should be at least as good as Auto (modulo bootstrap).
+		if auto.Makespan < oracle.Makespan*95/100 {
+			t.Fatalf("auto (%v) much faster than oracle (%v)?", auto.Makespan, oracle.Makespan)
+		}
+	}
+	// Auto close to Oracle: within 1.5x.
+	if auto.Makespan > oracle.Makespan*3/2 {
+		t.Fatalf("auto %v not close to oracle %v", auto.Makespan, oracle.Makespan)
+	}
+	// Unmanaged is several-fold slower than Auto.
+	if unmanaged.Makespan < 2*auto.Makespan {
+		t.Fatalf("unmanaged %v vs auto %v: want several-fold gap",
+			unmanaged.Makespan, auto.Makespan)
+	}
+	// Guess sits between Auto and Unmanaged.
+	if guess.Makespan < auto.Makespan || guess.Makespan > unmanaged.Makespan {
+		t.Fatalf("guess %v outside [auto %v, unmanaged %v]",
+			guess.Makespan, auto.Makespan, unmanaged.Makespan)
+	}
+	// Auto's retry rate for the uniform HEP workload is under 1% (§VI-C1).
+	if auto.RetryFraction > 0.01 {
+		t.Fatalf("auto retry fraction = %v, want < 1%%", auto.RetryFraction)
+	}
+}
+
+func TestHEPWorkerSizeSweep(t *testing.T) {
+	// Figure 6 also varies worker sizes (2/4/8 cores, 1GB mem + 2GB disk
+	// per core): more cores per worker => shorter completion under Auto.
+	mk := func() *workloads.Workload { return workloads.HEP(sim.NewRNG(7), 60) }
+	makespans := map[int]sim.Time{}
+	for _, cores := range []int{2, 4, 8} {
+		cfg := RunConfig{
+			SiteName: "ndcrc", Workers: 5, NoBatchLatency: true, Seed: 5,
+			WorkerCores:    cores,
+			WorkerMemoryMB: float64(cores) * 1024,
+			WorkerDiskMB:   float64(cores) * 2048,
+		}
+		makespans[cores] = runStrategy(t, mk(), "auto", cfg).Makespan
+	}
+	if !(makespans[8] < makespans[4] && makespans[4] < makespans[2]) {
+		t.Fatalf("makespans by worker size = %v, want decreasing with cores", makespans)
+	}
+}
+
+func TestGenomicsAutoNearOracle(t *testing.T) {
+	cfg := RunConfig{SiteName: "aspire", Workers: 8, NoBatchLatency: true, Seed: 13}
+	mk := func() *workloads.Workload { return workloads.Genomics(sim.NewRNG(99), 16) }
+	oracle := runStrategy(t, mk(), "oracle", cfg)
+	auto := runStrategy(t, mk(), "auto", cfg)
+	unmanaged := runStrategy(t, mk(), "unmanaged", cfg)
+	if auto.Makespan > oracle.Makespan*2 {
+		t.Fatalf("auto %v too far from oracle %v", auto.Makespan, oracle.Makespan)
+	}
+	if unmanaged.Makespan <= auto.Makespan {
+		t.Fatalf("unmanaged %v should exceed auto %v", unmanaged.Makespan, auto.Makespan)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := workloads.HEP(sim.NewRNG(1), 5)
+	if _, err := Run(w, RunConfig{SiteName: "atlantis", Workers: 1}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := Run(w, RunConfig{Workers: 0}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := Run(w, RunConfig{SiteName: "ndcrc", Workers: 10000}); err == nil {
+		t.Fatal("oversubscribed site accepted")
+	}
+	if _, err := StrategyFor("psychic", w); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestPrepareEnvironment(t *testing.T) {
+	ix := pypkg.DefaultCatalog()
+	res, err := ix.Resolve(pypkg.AppSpecs()["hep"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := pypkg.NewEnvironment("user")
+	env.Install(res)
+
+	src := `
+@python_app
+def analyze(path):
+    import numpy
+    import coffea
+    return coffea.run(path)
+`
+	file, rep, closure, err := PrepareEnvironment(src, "analyze", ix, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Distributions) != 2 {
+		t.Fatalf("distributions = %v", rep.Distributions)
+	}
+	if _, ok := closure.Lookup("coffea"); !ok {
+		t.Fatal("closure missing coffea")
+	}
+	if file.SizeBytes <= 0 || file.UnpackTime <= 0 || !file.Cacheable {
+		t.Fatalf("file = %+v", file)
+	}
+	// The minimal environment is much smaller than the full user env with
+	// its TensorFlow-scale extras would be.
+	full, _ := ix.Resolve(pypkg.AppSpecs()["drugscreen"])
+	if file.SizeBytes >= full.TotalInstalledBytes() {
+		t.Fatal("minimal closure not smaller than a big environment")
+	}
+
+	if _, _, _, err := PrepareEnvironment("def f():\n    import nothere\n", "f", ix, env); err == nil {
+		t.Fatal("unknown import not reported")
+	}
+	if _, _, _, err := PrepareEnvironment(src, "missing", ix, env); err == nil {
+		t.Fatal("missing function not reported")
+	}
+}
+
+func TestImportScalingHelper(t *testing.T) {
+	ix := pypkg.DefaultCatalog()
+	tf, err := ix.Resolve([]pypkg.Spec{pypkg.Any("tensorflow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ImportScaling("theta", tf, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ImportScaling("theta", tf, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("tensorflow import latency %v @64 -> %v @2048, want growth", small, big)
+	}
+	if _, err := ImportScaling("atlantis", tf, 4, 1); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestCumulativeImportHelper(t *testing.T) {
+	ix := pypkg.DefaultCatalog()
+	tf, err := ix.Resolve([]pypkg.Spec{pypkg.Any("tensorflow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := CumulativeImport("theta", tf, 64, 8, DirectSharedFS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := CumulativeImport("theta", tf, 64, 8, LocalUnpack, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local >= direct {
+		t.Fatalf("local unpack %v should beat direct %v", local, direct)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"lfm/internal/pypkg"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+)
+
+// TestEndToEndPipeline exercises the full paper pipeline in one pass:
+// analyze a real Parsl script's app function, resolve its minimal closure
+// against the user's environment, derive the packed-environment input file,
+// attach it to every task of a workload, and run the workload under Auto on
+// a simulated cluster — the integration §III describes.
+func TestEndToEndPipeline(t *testing.T) {
+	ix := pypkg.DefaultCatalog()
+	full, err := ix.Resolve(pypkg.AppSpecs()["hep"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	userEnv := pypkg.NewEnvironment("user")
+	userEnv.Install(full)
+
+	src := `
+from parsl import python_app
+
+@python_app
+def analyze(path):
+    import numpy as np
+    import uproot
+    import awkward as ak
+    events = uproot.open(path)
+    return np.sum(ak.to_numpy(events))
+`
+	envFile, rep, closure, err := PrepareEnvironment(src, "analyze", ix, userEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Distributions) != 3 { // numpy, uproot, awkward
+		t.Fatalf("distributions = %v", rep.Distributions)
+	}
+	// The minimal closure excludes the rest of the HEP stack.
+	if _, ok := closure.Lookup("coffea"); ok {
+		t.Fatal("closure pulled in unimported coffea")
+	}
+	if _, ok := closure.Lookup("matplotlib"); ok {
+		t.Fatal("closure pulled in unimported matplotlib")
+	}
+
+	// Swap the derived environment file into the workload's tasks.
+	w := workloads.HEP(sim.NewRNG(31), 40)
+	for _, task := range w.Tasks {
+		for i, f := range task.Inputs {
+			if f == w.EnvFile {
+				task.Inputs[i] = envFile
+			}
+		}
+	}
+	w.EnvFile = envFile
+
+	s, err := StrategyFor("auto", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(w, RunConfig{
+		SiteName: "ndcrc", Workers: 6, Seed: 31, NoBatchLatency: true, Strategy: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Completed != w.TaskCount() {
+		t.Fatalf("completed %d/%d", out.Stats.Completed, w.TaskCount())
+	}
+	// The environment is transferred at most once per worker.
+	maxEnvBytes := int64(6) * envFile.SizeBytes
+	dataBytes := int64(w.TaskCount()) * 2e6 // generous bound on per-task data
+	if out.Stats.BytesIn > maxEnvBytes+dataBytes {
+		t.Fatalf("bytes in = %d, exceeds %d (env re-transferred?)",
+			out.Stats.BytesIn, maxEnvBytes+dataBytes)
+	}
+	// The derived minimal environment is far smaller than shipping the
+	// user's whole environment would be.
+	if envFile.SizeBytes >= full.TotalInstalledBytes()/2 {
+		t.Fatalf("minimal env %d bytes not clearly smaller than full env %d",
+			envFile.SizeBytes, full.TotalInstalledBytes())
+	}
+}

@@ -1,0 +1,274 @@
+// Package deps implements the LFM paper's static dependency analysis (§V-B):
+// it introspects a fragment of Python code — typically a single Parsl app
+// function — and determines the minimal set of distributions needed to
+// execute it, by scanning the AST for import statements (and variations
+// thereof) and pinning each imported package to the version installed in the
+// user's environment.
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfm/internal/pyast"
+	"lfm/internal/pypkg"
+)
+
+// DynamicImport records a runtime import call found during analysis, e.g.
+// __import__("json") or importlib.import_module("numpy"). Static analysis
+// resolves these when the argument is a string literal, and flags them as
+// warnings otherwise (the paper notes static analysis "is not foolproof in
+// the general case" precisely because of these forms).
+type DynamicImport struct {
+	Line int
+	// Module is the literal module name, or empty if non-literal.
+	Module string
+	// Call is the syntactic form: "__import__" or "importlib.import_module".
+	Call string
+}
+
+// Report is the result of analyzing one code fragment.
+type Report struct {
+	// Modules are the top-level module names imported, sorted, deduplicated.
+	Modules []string
+	// Stdlib are imported modules satisfied by the standard library.
+	Stdlib []string
+	// Distributions are the minimal pinned requirements to install, one per
+	// imported third-party module, using versions from the environment when
+	// available and otherwise the newest in the index.
+	Distributions []pypkg.Spec
+	// Unknown are imported modules that map to no known distribution; the
+	// caller should surface these to the user.
+	Unknown []string
+	// Dynamic lists runtime import calls that were detected.
+	Dynamic []DynamicImport
+	// RelativeImports counts relative (leading-dot) imports, which resolve
+	// within the user's own source tree rather than to a distribution.
+	RelativeImports int
+}
+
+// Analyzer resolves import names against a package index and, optionally,
+// the user's installed environment.
+type Analyzer struct {
+	// Index maps import names to distributions and provides versions.
+	Index *pypkg.Index
+	// Env, if non-nil, pins resolved distributions to installed versions,
+	// mirroring the paper's "query the user's current Python environment to
+	// identify the installed version of each imported package".
+	Env *pypkg.Environment
+}
+
+// NewAnalyzer returns an analyzer over the given index and environment.
+func NewAnalyzer(ix *pypkg.Index, env *pypkg.Environment) *Analyzer {
+	return &Analyzer{Index: ix, Env: env}
+}
+
+// AnalyzeSource analyzes a whole module: all imports at any nesting level.
+func (a *Analyzer) AnalyzeSource(src string) (*Report, error) {
+	mod, err := pyast.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return a.analyze(mod.Body), nil
+}
+
+// AnalyzeFunction analyzes one named function in isolation: only imports
+// within its body (at any depth) count. This is the paper's per-function
+// minimal dependency set: "Each function can be analyzed in isolation from
+// other functions and the rest of the program."
+func (a *Analyzer) AnalyzeFunction(src, name string) (*Report, error) {
+	mod, err := pyast.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := mod.Function(name)
+	if !ok {
+		return nil, fmt.Errorf("deps: function %q not found", name)
+	}
+	return a.analyze(fn.Body), nil
+}
+
+// AnalyzeAppFunctions analyzes every function in the module carrying one of
+// the given decorators (e.g. "python_app", "parsl.python_app"), returning a
+// report per function name. This is the integration surface the paper adds
+// to Parsl: "parse the requirements of any Parsl functions and emit a list
+// of requirements".
+func (a *Analyzer) AnalyzeAppFunctions(src string, decorators ...string) (map[string]*Report, error) {
+	mod, err := pyast.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(decorators))
+	for _, d := range decorators {
+		want[d] = true
+	}
+	out := make(map[string]*Report)
+	for _, fn := range mod.Functions() {
+		for _, d := range fn.Decorators {
+			if want[d] || want[lastComponent(d)] {
+				out[fn.Name] = a.analyze(fn.Body)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func lastComponent(dotted string) string {
+	if i := strings.LastIndexByte(dotted, '.'); i >= 0 {
+		return dotted[i+1:]
+	}
+	return dotted
+}
+
+// analyze walks statements collecting import facts and resolves them.
+func (a *Analyzer) analyze(body []pyast.Stmt) *Report {
+	rep := &Report{}
+	seen := make(map[string]bool)
+	addModule := func(dotted string) {
+		top := dotted
+		if i := strings.IndexByte(top, '.'); i >= 0 {
+			top = top[:i]
+		}
+		if top == "" || seen[top] {
+			return
+		}
+		seen[top] = true
+		rep.Modules = append(rep.Modules, top)
+	}
+
+	pyast.Walk(body, func(s pyast.Stmt) bool {
+		switch v := s.(type) {
+		case *pyast.Import:
+			for _, item := range v.Items {
+				addModule(item.Module)
+			}
+		case *pyast.FromImport:
+			if v.Level > 0 {
+				rep.RelativeImports++
+				return true
+			}
+			addModule(v.Module)
+		case *pyast.Simple:
+			for _, d := range scanDynamicImports(v) {
+				rep.Dynamic = append(rep.Dynamic, d)
+				if d.Module != "" {
+					addModule(d.Module)
+				}
+			}
+		}
+		return true
+	})
+
+	sort.Strings(rep.Modules)
+	a.resolve(rep)
+	return rep
+}
+
+// resolve classifies each imported module as stdlib, known distribution, or
+// unknown, and pins known distributions to installed versions.
+func (a *Analyzer) resolve(rep *Report) {
+	seenDist := make(map[string]bool)
+	for _, m := range rep.Modules {
+		if IsStdlib(m) {
+			rep.Stdlib = append(rep.Stdlib, m)
+			continue
+		}
+		dist, ok := a.lookupDistribution(m)
+		if !ok {
+			rep.Unknown = append(rep.Unknown, m)
+			continue
+		}
+		if seenDist[dist] {
+			continue
+		}
+		seenDist[dist] = true
+		rep.Distributions = append(rep.Distributions, a.pin(dist))
+	}
+	sort.Slice(rep.Distributions, func(i, j int) bool {
+		return rep.Distributions[i].Name < rep.Distributions[j].Name
+	})
+}
+
+func (a *Analyzer) lookupDistribution(module string) (string, bool) {
+	if a.Env != nil {
+		if p, ok := a.Env.DistributionForImport(module); ok {
+			return p.Name, true
+		}
+	}
+	if a.Index != nil {
+		if d, ok := a.Index.DistributionForImport(module); ok {
+			return d, true
+		}
+	}
+	return "", false
+}
+
+// pin produces an exact requirement from the environment, or an
+// unconstrained one if the package is known to the index but not installed.
+func (a *Analyzer) pin(dist string) pypkg.Spec {
+	if a.Env != nil {
+		if p, ok := a.Env.Lookup(dist); ok {
+			return pypkg.Req(p.Name, pypkg.OpEq, p.Version)
+		}
+	}
+	return pypkg.Any(dist)
+}
+
+// scanDynamicImports finds __import__("x") and importlib.import_module("x")
+// call shapes in a simple statement's token stream.
+func scanDynamicImports(s *pyast.Simple) []DynamicImport {
+	var out []DynamicImport
+	toks := s.Tokens
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != pyast.NAME {
+			continue
+		}
+		var call string
+		var argPos int
+		switch {
+		case t.Text == "__import__":
+			call = "__import__"
+			argPos = i + 1
+		case t.Text == "importlib" && i+2 < len(toks) &&
+			toks[i+1].Kind == pyast.OP && toks[i+1].Text == "." &&
+			toks[i+2].Kind == pyast.NAME && toks[i+2].Text == "import_module":
+			call = "importlib.import_module"
+			argPos = i + 3
+		case t.Text == "import_module":
+			// "from importlib import import_module" usage.
+			if i > 0 && toks[i-1].Kind == pyast.OP && toks[i-1].Text == "." {
+				continue // already handled as importlib.import_module
+			}
+			call = "importlib.import_module"
+			argPos = i + 1
+		default:
+			continue
+		}
+		if argPos >= len(toks) || toks[argPos].Kind != pyast.OP || toks[argPos].Text != "(" {
+			continue
+		}
+		di := DynamicImport{Line: t.Line, Call: call}
+		if argPos+1 < len(toks) && toks[argPos+1].Kind == pyast.STRING {
+			di.Module = toks[argPos+1].Text
+		}
+		out = append(out, di)
+	}
+	return out
+}
+
+// MinimalClosure resolves the report's distributions (plus the interpreter
+// itself) to a full installable closure using the index — the input to
+// environment packaging. Unknown modules do not block closure computation;
+// they are the caller's to handle.
+func (a *Analyzer) MinimalClosure(rep *Report) (*pypkg.Resolution, error) {
+	if a.Index == nil {
+		return nil, fmt.Errorf("deps: no index configured")
+	}
+	specs := make([]pypkg.Spec, 0, len(rep.Distributions)+1)
+	specs = append(specs, a.pin("python"))
+	specs = append(specs, rep.Distributions...)
+	return a.Index.Resolve(specs)
+}

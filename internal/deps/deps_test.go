@@ -1,0 +1,314 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"lfm/internal/pypkg"
+)
+
+func testAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	ix := pypkg.DefaultCatalog()
+	res, err := ix.Resolve(pypkg.AppSpecs()["hep"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := pypkg.NewEnvironment("user")
+	env.Install(res)
+	// A user environment typically also has big unrelated packages
+	// installed; minimal analysis must NOT pull these in.
+	tf, _ := ix.Latest("tensorflow")
+	env.InstallPackage(tf)
+	return NewAnalyzer(ix, env)
+}
+
+const hepFunc = `
+import os
+
+@python_app
+def analyze(path):
+    import os
+    import json
+    import numpy as np
+    from coffea import hist
+    import uproot
+    return np
+`
+
+func TestAnalyzeFunctionMinimalSet(t *testing.T) {
+	a := testAnalyzer(t)
+	rep, err := a.AnalyzeFunction(hepFunc, "analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMods := []string{"coffea", "json", "numpy", "os", "uproot"}
+	if strings.Join(rep.Modules, ",") != strings.Join(wantMods, ",") {
+		t.Fatalf("modules = %v, want %v", rep.Modules, wantMods)
+	}
+	if len(rep.Stdlib) != 2 { // os, json
+		t.Fatalf("stdlib = %v, want [json os]", rep.Stdlib)
+	}
+	var dists []string
+	for _, d := range rep.Distributions {
+		dists = append(dists, d.Name)
+	}
+	if strings.Join(dists, ",") != "coffea,numpy,uproot" {
+		t.Fatalf("distributions = %v", dists)
+	}
+	// Pins must be exact installed versions.
+	for _, d := range rep.Distributions {
+		if len(d.Constraints) != 1 || d.Constraints[0].Op != pypkg.OpEq {
+			t.Fatalf("distribution %v not pinned exactly", d)
+		}
+	}
+	// TensorFlow is installed in the environment but not imported: the
+	// minimal per-function set must exclude it (paper §V-B).
+	for _, d := range rep.Distributions {
+		if d.Name == "tensorflow" {
+			t.Fatal("unused environment package leaked into minimal set")
+		}
+	}
+	if len(rep.Unknown) != 0 {
+		t.Fatalf("unknown = %v", rep.Unknown)
+	}
+}
+
+func TestAnalyzeFunctionIgnoresModuleLevelImports(t *testing.T) {
+	a := testAnalyzer(t)
+	src := `
+import tensorflow
+
+def tiny():
+    import json
+    return json.dumps({})
+`
+	rep, err := a.AnalyzeFunction(src, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Distributions) != 0 {
+		t.Fatalf("distributions = %v, want none (tensorflow is module-level)", rep.Distributions)
+	}
+	if len(rep.Stdlib) != 1 || rep.Stdlib[0] != "json" {
+		t.Fatalf("stdlib = %v", rep.Stdlib)
+	}
+}
+
+func TestAnalyzeSourceSeesAllLevels(t *testing.T) {
+	a := testAnalyzer(t)
+	rep, err := a.AnalyzeSource(hepFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range rep.Modules {
+		if m == "numpy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("modules = %v, want numpy present", rep.Modules)
+	}
+}
+
+func TestAnalyzeImportNameMapping(t *testing.T) {
+	a := testAnalyzer(t)
+	src := `
+def classify(img):
+    import sklearn.cluster
+    from PIL import Image
+    return Image
+`
+	rep, err := a.AnalyzeFunction(src, "classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dists []string
+	for _, d := range rep.Distributions {
+		dists = append(dists, d.Name)
+	}
+	if strings.Join(dists, ",") != "pillow,scikit-learn" {
+		t.Fatalf("distributions = %v, want [pillow scikit-learn]", dists)
+	}
+}
+
+func TestAnalyzeUnknownModule(t *testing.T) {
+	a := testAnalyzer(t)
+	rep, err := a.AnalyzeSource("import somethingnobodyhas\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unknown) != 1 || rep.Unknown[0] != "somethingnobodyhas" {
+		t.Fatalf("unknown = %v", rep.Unknown)
+	}
+}
+
+func TestAnalyzeRelativeImports(t *testing.T) {
+	a := testAnalyzer(t)
+	rep, err := a.AnalyzeSource("from . import helpers\nfrom ..pkg import x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RelativeImports != 2 {
+		t.Fatalf("relative imports = %d, want 2", rep.RelativeImports)
+	}
+	if len(rep.Modules) != 0 {
+		t.Fatalf("modules = %v, want none", rep.Modules)
+	}
+}
+
+func TestAnalyzeDynamicImports(t *testing.T) {
+	a := testAnalyzer(t)
+	src := `
+def load(kind):
+    mod = __import__("json")
+    import importlib
+    np = importlib.import_module("numpy")
+    other = importlib.import_module(kind)
+    return mod, np, other
+`
+	rep, err := a.AnalyzeFunction(src, "load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dynamic) != 3 {
+		t.Fatalf("dynamic = %+v, want 3", rep.Dynamic)
+	}
+	var literal, nonLiteral int
+	for _, d := range rep.Dynamic {
+		if d.Module == "" {
+			nonLiteral++
+		} else {
+			literal++
+		}
+	}
+	if literal != 2 || nonLiteral != 1 {
+		t.Fatalf("literal=%d nonliteral=%d, want 2/1", literal, nonLiteral)
+	}
+	// Literal dynamic imports contribute to the module set.
+	var hasNumpy bool
+	for _, m := range rep.Modules {
+		if m == "numpy" {
+			hasNumpy = true
+		}
+	}
+	if !hasNumpy {
+		t.Fatalf("modules = %v, want numpy from import_module literal", rep.Modules)
+	}
+}
+
+func TestAnalyzeConditionalImports(t *testing.T) {
+	a := testAnalyzer(t)
+	src := `
+def f():
+    try:
+        import uproot
+    except ImportError:
+        uproot = None
+    if True:
+        from awkward import Array
+`
+	rep, err := a.AnalyzeFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dists []string
+	for _, d := range rep.Distributions {
+		dists = append(dists, d.Name)
+	}
+	if strings.Join(dists, ",") != "awkward,uproot" {
+		t.Fatalf("distributions = %v", dists)
+	}
+}
+
+func TestAnalyzeAppFunctions(t *testing.T) {
+	a := testAnalyzer(t)
+	src := `
+import parsl
+from parsl import python_app
+
+@python_app
+def one():
+    import numpy
+
+@parsl.python_app
+def two():
+    import pandas
+
+def helper():
+    import tensorflow
+`
+	reps, err := a.AnalyzeAppFunctions(src, "python_app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("app functions = %v, want one and two only", reps)
+	}
+	if _, ok := reps["helper"]; ok {
+		t.Fatal("undecorated helper treated as app")
+	}
+	if reps["one"].Distributions[0].Name != "numpy" {
+		t.Fatalf("one deps = %v", reps["one"].Distributions)
+	}
+	if reps["two"].Distributions[0].Name != "pandas" {
+		t.Fatalf("two deps = %v", reps["two"].Distributions)
+	}
+}
+
+func TestAnalyzeFunctionNotFound(t *testing.T) {
+	a := testAnalyzer(t)
+	if _, err := a.AnalyzeFunction("def f():\n    pass\n", "missing"); err == nil {
+		t.Fatal("missing function did not error")
+	}
+}
+
+func TestAnalyzeSyntaxError(t *testing.T) {
+	a := testAnalyzer(t)
+	if _, err := a.AnalyzeSource("def f(:\n"); err == nil {
+		t.Fatal("syntax error not propagated")
+	}
+}
+
+func TestMinimalClosure(t *testing.T) {
+	a := testAnalyzer(t)
+	rep, err := a.AnalyzeFunction(hepFunc, "analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.MinimalClosure(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closure includes python + numpy + transitive native deps.
+	if _, ok := res.Lookup("python"); !ok {
+		t.Fatal("closure missing python")
+	}
+	if _, ok := res.Lookup("libopenblas"); !ok {
+		t.Fatal("closure missing numpy's native BLAS dependency")
+	}
+	// Must still exclude tensorflow.
+	if _, ok := res.Lookup("tensorflow"); ok {
+		t.Fatal("closure includes unimported tensorflow")
+	}
+	// Versions pinned to the environment.
+	np, _ := res.Lookup("numpy")
+	envNp, _ := a.Env.Lookup("numpy")
+	if np.Version != envNp.Version {
+		t.Fatalf("closure numpy %v != env numpy %v", np.Version, envNp.Version)
+	}
+}
+
+func TestIsStdlib(t *testing.T) {
+	for _, m := range []string{"os", "sys", "json", "importlib", "concurrent"} {
+		if !IsStdlib(m) {
+			t.Errorf("IsStdlib(%q) = false", m)
+		}
+	}
+	for _, m := range []string{"numpy", "tensorflow", ""} {
+		if IsStdlib(m) {
+			t.Errorf("IsStdlib(%q) = true", m)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package deps
+
+// stdlibModules is the set of top-level standard-library module names for
+// CPython 3.8 (the interpreter generation the paper evaluates). Imports of
+// these are satisfied by the interpreter package itself and never map to a
+// distribution.
+var stdlibModules = map[string]bool{}
+
+func init() {
+	for _, m := range []string{
+		"__future__", "_thread", "abc", "aifc", "argparse", "array", "ast",
+		"asynchat", "asyncio", "asyncore", "atexit", "audioop", "base64",
+		"bdb", "binascii", "binhex", "bisect", "builtins", "bz2", "calendar",
+		"cgi", "cgitb", "chunk", "cmath", "cmd", "code", "codecs", "codeop",
+		"collections", "colorsys", "compileall", "concurrent", "configparser",
+		"contextlib", "contextvars", "copy", "copyreg", "cProfile", "crypt",
+		"csv", "ctypes", "curses", "dataclasses", "datetime", "dbm",
+		"decimal", "difflib", "dis", "distutils", "doctest", "email",
+		"encodings", "ensurepip", "enum", "errno", "faulthandler", "fcntl",
+		"filecmp", "fileinput", "fnmatch", "formatter", "fractions", "ftplib",
+		"functools", "gc", "getopt", "getpass", "gettext", "glob", "grp",
+		"gzip", "hashlib", "heapq", "hmac", "html", "http", "imaplib",
+		"imghdr", "imp", "importlib", "inspect", "io", "ipaddress",
+		"itertools", "json", "keyword", "lib2to3", "linecache", "locale",
+		"logging", "lzma", "mailbox", "mailcap", "marshal", "math",
+		"mimetypes", "mmap", "modulefinder", "msilib", "multiprocessing",
+		"netrc", "nis", "nntplib", "numbers", "operator", "optparse", "os",
+		"ossaudiodev", "parser", "pathlib", "pdb", "pickle", "pickletools",
+		"pipes", "pkgutil", "platform", "plistlib", "poplib", "posix",
+		"posixpath", "pprint", "profile", "pstats", "pty", "pwd", "py_compile",
+		"pyclbr", "pydoc", "queue", "quopri", "random", "re", "readline",
+		"reprlib", "resource", "rlcompleter", "runpy", "sched", "secrets",
+		"select", "selectors", "shelve", "shlex", "shutil", "signal", "site",
+		"smtpd", "smtplib", "sndhdr", "socket", "socketserver", "spwd",
+		"sqlite3", "ssl", "stat", "statistics", "string", "stringprep",
+		"struct", "subprocess", "sunau", "symbol", "symtable", "sys",
+		"sysconfig", "syslog", "tabnanny", "tarfile", "telnetlib", "tempfile",
+		"termios", "test", "textwrap", "threading", "time", "timeit",
+		"tkinter", "token", "tokenize", "trace", "traceback", "tracemalloc",
+		"tty", "turtle", "turtledemo", "types", "typing", "unicodedata",
+		"unittest", "urllib", "uu", "uuid", "venv", "warnings", "wave",
+		"weakref", "webbrowser", "wsgiref", "xdrlib", "xml", "xmlrpc",
+		"zipapp", "zipfile", "zipimport", "zlib",
+	} {
+		stdlibModules[m] = true
+	}
+}
+
+// IsStdlib reports whether the top-level module name is part of the Python
+// standard library.
+func IsStdlib(module string) bool { return stdlibModules[module] }

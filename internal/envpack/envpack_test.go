@@ -1,0 +1,231 @@
+package envpack
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lfm/internal/pypkg"
+)
+
+func numpyResolution(t *testing.T) *pypkg.Resolution {
+	t.Helper()
+	ix := pypkg.DefaultCatalog()
+	res, err := ix.Resolve([]pypkg.Spec{pypkg.Any("numpy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	res := numpyResolution(t)
+	tb, err := DefaultPacker().Pack("np-env", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.PackedBytes() == 0 {
+		t.Fatal("empty tarball")
+	}
+	if tb.Manifest.TotalFiles != res.TotalFiles() {
+		t.Fatalf("manifest files = %d, want %d", tb.Manifest.TotalFiles, res.TotalFiles())
+	}
+	if tb.Manifest.TotalBytes != res.TotalInstalledBytes() {
+		t.Fatalf("manifest bytes = %d, want %d", tb.Manifest.TotalBytes, res.TotalInstalledBytes())
+	}
+
+	man, err := ReadManifest(tb.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Name != "np-env" || len(man.Packages) != res.Len() {
+		t.Fatalf("manifest = %+v", man)
+	}
+
+	dir := t.TempDir()
+	man2, err := Unpack(tb.Data, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Name != "np-env" {
+		t.Fatalf("unpacked manifest = %+v", man2)
+	}
+	// The unpacked tree contains per-package info files.
+	np, _ := res.Lookup("numpy")
+	info := filepath.Join(dir, "pkgs", "numpy-"+np.Version.String(), "info.json")
+	if _, err := os.Stat(info); err != nil {
+		t.Fatalf("unpacked tree missing %s: %v", info, err)
+	}
+}
+
+func TestPackDeterministic(t *testing.T) {
+	res := numpyResolution(t)
+	a, err := DefaultPacker().Pack("e", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultPacker().Pack("e", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Fatal("packing is not deterministic")
+	}
+}
+
+func TestPackCapsFileEntries(t *testing.T) {
+	res := numpyResolution(t)
+	p := DefaultPacker()
+	p.MaxFilesPerPackage = 10
+	tb, err := p.Pack("e", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 meta entries + per package: info.json + <=10 files.
+	max := 2 + res.Len()*(1+10)
+	if tb.Entries > max {
+		t.Fatalf("entries = %d, want <= %d", tb.Entries, max)
+	}
+	// Manifest still records true counts.
+	if tb.Manifest.TotalFiles != res.TotalFiles() {
+		t.Fatal("manifest no longer records true file count")
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	res := numpyResolution(t)
+	tb, err := DefaultPacker().Pack("e", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Unpack(tb.Data, dir); err != nil {
+		t.Fatal(err)
+	}
+	old, err := Relocate(dir, "/scratch/worker3/envs/e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(old, "miniconda3") {
+		t.Fatalf("old prefix = %q", old)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "conda-meta", "prefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(got)) != "/scratch/worker3/envs/e" {
+		t.Fatalf("new prefix = %q", got)
+	}
+	if _, err := Relocate(t.TempDir(), "/x"); err == nil {
+		t.Fatal("relocating a non-environment directory should fail")
+	}
+}
+
+func TestUnpackRejectsTraversal(t *testing.T) {
+	// Hand-craft a malicious archive.
+	var buf bytes.Buffer
+	gzw, tw := newTarGz(&buf)
+	writeEntry(t, tw, "../evil", []byte("x"))
+	closeTarGz(t, gzw, tw)
+	if _, err := Unpack(buf.Bytes(), t.TempDir()); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	if _, err := ReadManifest([]byte("not a gzip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	gzw, tw := newTarGz(&buf)
+	writeEntry(t, tw, "random.txt", []byte("x"))
+	closeTarGz(t, gzw, tw)
+	if _, err := ReadManifest(buf.Bytes()); err == nil {
+		t.Fatal("archive without manifest accepted")
+	}
+}
+
+func TestCostModelOrdering(t *testing.T) {
+	ix := pypkg.DefaultCatalog()
+	c := DefaultCostModel()
+	get := func(name string) *pypkg.Resolution {
+		res, err := ix.Resolve([]pypkg.Spec{pypkg.Any(name)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	py, np, tf := get("python"), get("numpy"), get("tensorflow")
+	// Create cost ordering follows closure size (Table II shape).
+	if !(c.CreateTime(py) < c.CreateTime(np) && c.CreateTime(np) < c.CreateTime(tf)) {
+		t.Fatalf("create times not ordered: py=%v np=%v tf=%v",
+			c.CreateTime(py), c.CreateTime(np), c.CreateTime(tf))
+	}
+	// TensorFlow create is minutes, not milliseconds and not days.
+	if ct := c.CreateTime(tf); ct < 60 || ct > 3600 {
+		t.Fatalf("tensorflow create time = %v, want minutes-scale", ct.Duration())
+	}
+	// Unpacking a packed env is much cheaper than creating from scratch.
+	if c.UnpackTime(tf) >= c.CreateTime(tf)/2 {
+		t.Fatalf("unpack (%v) should be far cheaper than create (%v)",
+			c.UnpackTime(tf), c.CreateTime(tf))
+	}
+	if c.PackedBytes(tf) >= tf.TotalInstalledBytes() {
+		t.Fatal("packed size should compress below installed size")
+	}
+	if c.ImportMetaOps(tf) <= c.ImportMetaOps(np) {
+		t.Fatal("bigger closures must touch more metadata")
+	}
+}
+
+func TestContainerStartupVsConda(t *testing.T) {
+	// Table I shape: Conda activation is far faster than any container
+	// runtime on every system.
+	c := DefaultCostModel()
+	env := int64(500e6)
+	for _, rt := range ContainerRuntimes() {
+		if rt.Startup(env) < 5*c.ActivateTime {
+			t.Errorf("%s startup %v not clearly slower than conda %v",
+				rt.Name, rt.Startup(env), c.ActivateTime)
+		}
+	}
+}
+
+func TestPackerValidation(t *testing.T) {
+	res := numpyResolution(t)
+	p := &Packer{} // zero values are invalid
+	if _, err := p.Pack("e", res); err == nil {
+		t.Fatal("invalid packer accepted")
+	}
+}
+
+// --- helpers for crafting archives in tests ---
+
+func newTarGz(buf *bytes.Buffer) (*gzip.Writer, *tar.Writer) {
+	gzw := gzip.NewWriter(buf)
+	return gzw, tar.NewWriter(gzw)
+}
+
+func writeEntry(t *testing.T, tw *tar.Writer, name string, data []byte) {
+	t.Helper()
+	if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: int64(len(data))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func closeTarGz(t *testing.T, gzw *gzip.Writer, tw *tar.Writer) {
+	t.Helper()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gzw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

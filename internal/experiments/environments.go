@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lfm/internal/cluster"
+	"lfm/internal/core"
+	"lfm/internal/envpack"
+	"lfm/internal/pypkg"
+	"lfm/internal/sim"
+)
+
+// resolveOne resolves a single package's closure against the catalog.
+func resolveOne(ix *pypkg.Index, name string) (*pypkg.Resolution, error) {
+	return ix.Resolve([]pypkg.Spec{pypkg.Any(name)})
+}
+
+// Fig4 — "Time to import Python modules at scale on Theta": mean per-client
+// import latency for several modules as concurrency grows from 64 to 32,768
+// cores. Paper shape: near-constant for small modules, steep growth for
+// TensorFlow.
+func Fig4(opt Options) (*Table, error) {
+	ix := pypkg.DefaultCatalog()
+	modules := []string{"python", "numpy", "scipy", "matplotlib", "tensorflow"}
+	cores := []int{64, 256, 1024, 4096, 16384, 32768}
+	if opt.Quick {
+		cores = []int{64, 256, 1024}
+	}
+
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Import time vs scale (Theta, shared filesystem direct access)",
+		Columns: append([]string{"module"}, coresHeaders(cores)...),
+		Notes: []string{
+			"cells are mean per-client import latency",
+			"paper shape: flat for small modules; TensorFlow grows with scale",
+		},
+	}
+	for _, mod := range modules {
+		res, err := resolveOne(ix, mod)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{mod}
+		for _, c := range cores {
+			lat, err := core.ImportScaling("theta", res, c, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lat.Duration())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func coresHeaders(cores []int) []string {
+	out := make([]string, len(cores))
+	for i, c := range cores {
+		out[i] = fmt.Sprintf("%d cores", c)
+	}
+	return out
+}
+
+// Fig5 — "Cumulative time spent importing TensorFlow": direct shared-FS
+// access vs packed transfer + local unpack, across sites and node counts.
+// Paper shape: both grow with nodes; local unpack wins by a wide margin,
+// with cumulative hours at large scale for direct access.
+func Fig5(opt Options) (*Table, error) {
+	ix := pypkg.DefaultCatalog()
+	tf, err := resolveOne(ix, "tensorflow")
+	if err != nil {
+		return nil, err
+	}
+	sites := []string{"theta", "cori", "ndcrc"}
+	nodes := []int{8, 32, 128, 512}
+	if opt.Quick {
+		nodes = []int{8, 32}
+	}
+
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Cumulative TensorFlow import time: direct vs local unpack",
+		Columns: []string{"site", "nodes", "direct", "local-unpack", "speedup"},
+		Notes: []string{
+			"cores per node follow each site's hardware",
+			"paper shape: direct >> local-unpack at every site, gap widens with nodes",
+		},
+	}
+	for _, site := range sites {
+		cores := cluster.Sites()[site].CoresPerNode
+		for _, n := range nodes {
+			direct, err := core.CumulativeImport(site, tf, n, cores, core.DirectSharedFS, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			local, err := core.CumulativeImport(site, tf, n, cores, core.LocalUnpack, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(site, fmt.Sprintf("%d", n), direct.Duration(), local.Duration(),
+				fmt.Sprintf("%.1fx", float64(direct/local)))
+		}
+	}
+	return t, nil
+}
+
+// Table1 — "Time to run hello world in a standard Python 3 environment":
+// Conda activation vs container startup on three systems. Paper shape:
+// Conda is dramatically faster everywhere, because activation only changes
+// environment variables.
+func Table1(opt Options) (*Table, error) {
+	ix := pypkg.DefaultCatalog()
+	py, err := resolveOne(ix, "python")
+	if err != nil {
+		return nil, err
+	}
+	model := envpack.DefaultCostModel()
+	// Interpreter start: import compute of the stdlib subset touched at
+	// startup, a fixed fraction of the interpreter closure.
+	pyStart := model.ImportCompute(py) / 4
+
+	runtimes := envpack.ContainerRuntimes()
+	systems := []struct {
+		site string
+		rt   envpack.ContainerRuntime
+	}{
+		{"theta", runtimes[0]}, // Singularity
+		{"cori", runtimes[1]},  // Shifter
+		{"ec2", runtimes[2]},   // Docker
+	}
+
+	t := &Table{
+		ID:      "table1",
+		Title:   "Hello-world startup: Conda vs containers",
+		Columns: []string{"system", "runtime", "container", "conda", "ratio"},
+		Notes: []string{
+			"paper shape: Conda significantly faster than every container runtime",
+		},
+	}
+	envBytes := py.TotalInstalledBytes()
+	for _, sys := range systems {
+		container := sys.rt.Startup(envBytes) + pyStart
+		conda := model.ActivateTime + pyStart
+		t.AddRow(cluster.Sites()[sys.site].Name, sys.rt.Name,
+			container.Duration(), conda.Duration(),
+			fmt.Sprintf("%.1fx", float64(container/conda)))
+	}
+	return t, nil
+}
+
+// Table2 — "Packaging costs": analyze/create/run times, packed size, and
+// dependency count for the interpreter, NumPy, the five high-download
+// scientific packages, the ML stacks, and the three applications. Paper
+// shape: costs scale with dependency closure; TensorFlow/MXNet and the
+// applications dominate.
+func Table2(opt Options) (*Table, error) {
+	ix := pypkg.DefaultCatalog()
+	model := envpack.DefaultCostModel()
+	t := &Table{
+		ID:    "table2",
+		Title: "Per-package analyze/create/run cost, size, dependency count",
+		Columns: []string{"package", "analyze", "create", "run", "packed",
+			"files", "deps"},
+		Notes: []string{
+			"run = first import from a warm local environment",
+			"paper shape: ML stacks and applications dwarf the base packages",
+		},
+	}
+
+	appSpecs := pypkg.AppSpecs()
+	entries := []struct {
+		label string
+		specs []pypkg.Spec
+	}{
+		{"python", []pypkg.Spec{pypkg.Any("python")}},
+		{"numpy", []pypkg.Spec{pypkg.Any("numpy")}},
+		{"scipy", []pypkg.Spec{pypkg.Any("scipy")}},
+		{"pandas", []pypkg.Spec{pypkg.Any("pandas")}},
+		{"scikit-learn", []pypkg.Spec{pypkg.Any("scikit-learn")}},
+		{"matplotlib", []pypkg.Spec{pypkg.Any("matplotlib")}},
+		{"tensorflow", []pypkg.Spec{pypkg.Any("tensorflow")}},
+		{"mxnet", []pypkg.Spec{pypkg.Any("mxnet")}},
+		{"hep (coffea)", appSpecs["hep"]},
+		{"drug screening", appSpecs["drugscreen"]},
+		{"genomic analysis", appSpecs["genomics"]},
+	}
+	for _, e := range entries {
+		res, err := ix.Resolve(e.specs)
+		if err != nil {
+			return nil, fmt.Errorf("table2: %s: %w", e.label, err)
+		}
+		run := model.ImportCompute(res) +
+			sim.Time(float64(model.ImportMetaOps(res))*15e-6) // local metadata
+		t.AddRow(e.label,
+			model.AnalyzeTime(res).Duration(),
+			model.CreateTime(res).Duration(),
+			run.Duration(),
+			fmt.Sprintf("%dMB", model.PackedBytes(res)/1e6),
+			fmt.Sprintf("%d", res.TotalFiles()),
+			fmt.Sprintf("%d", res.Len()))
+	}
+	return t, nil
+}
+
+// Table3 — the evaluation systems. Reproduced from the cluster site
+// catalog; no simulation involved.
+func Table3(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "HPC systems used in the evaluation",
+		Columns: []string{"system", "scheduler", "nodes", "cores/node", "mem/node", "shared fs"},
+	}
+	for _, key := range []string{"ndcrc", "theta", "cori", "aspire", "ec2"} {
+		s := cluster.Sites()[key]
+		t.AddRow(s.Name, s.Scheduler,
+			fmt.Sprintf("%d", s.Nodes),
+			fmt.Sprintf("%d", s.CoresPerNode),
+			fmt.Sprintf("%.0fGB", s.MemoryMBPerNode/1024),
+			s.FS.Name)
+	}
+	return t, nil
+}

@@ -1,0 +1,125 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation. Each driver runs the relevant models and returns a
+// Table whose rows correspond to the series the paper plots; cmd/lfmbench
+// renders them and EXPERIMENTS.md records paper-vs-measured shape checks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated experiment result.
+type Table struct {
+	// ID is the experiment key ("fig4", "table1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are header labels.
+	Columns []string
+	// Rows hold pre-formatted cells.
+	Rows [][]string
+	// Notes records the paper's expected shape and how to read the table.
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks sweeps for fast benchmarking and CI; the full scale
+	// matches the paper's axes.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Driver runs one experiment.
+type Driver func(Options) (*Table, error)
+
+// Registry maps experiment IDs to drivers, covering every table and figure
+// in the paper's evaluation.
+func Registry() map[string]Driver {
+	return map[string]Driver{
+		"fig4":   Fig4,
+		"fig5":   Fig5,
+		"table1": Table1,
+		"table2": Table2,
+		"table3": Table3,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig8":   Fig8,
+		"fig9":   Fig9,
+		"util":   Utilization,
+	}
+}
+
+// IDs returns the registry keys in the paper's order.
+func IDs() []string {
+	ids := []string{"fig4", "fig5", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "util"}
+	reg := Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			panic("experiments: registry drifted from IDs()")
+		}
+	}
+	if len(ids) != len(reg) {
+		extra := make([]string, 0)
+		for k := range reg {
+			extra = append(extra, k)
+		}
+		sort.Strings(extra)
+		panic(fmt.Sprintf("experiments: IDs() lists %d, registry has %v", len(ids), extra))
+	}
+	return ids
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options { return Options{Quick: true, Seed: 7} }
+
+// parseDur converts a rendered duration cell back to seconds for shape
+// assertions.
+func parseDur(t *testing.T, cell string) float64 {
+	t.Helper()
+	mult := 1.0
+	for _, suf := range []struct {
+		s string
+		m float64
+	}{{"us", 1e-6}, {"ms", 1e-3}, {"m", 60}, {"h", 3600}, {"s", 1}} {
+		if strings.HasSuffix(cell, suf.s) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, suf.s), 64)
+			if err != nil {
+				t.Fatalf("cannot parse duration %q", cell)
+			}
+			return v * suf.m
+		}
+		mult = 1
+	}
+	_ = mult
+	t.Fatalf("unrecognized duration %q", cell)
+	return 0
+}
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig4", "fig5", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "util"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Registry()[id](quickOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row %v does not match columns %v", row, tab.Columns)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), strings.ToUpper(id)) {
+				t.Fatal("render missing header")
+			}
+		})
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab, err := Fig4(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(module string) []float64 {
+		for _, row := range tab.Rows {
+			if row[0] == module {
+				var out []float64
+				for _, c := range row[1:] {
+					out = append(out, parseDur(t, c))
+				}
+				return out
+			}
+		}
+		t.Fatalf("module %s missing", module)
+		return nil
+	}
+	np := get("numpy")
+	tf := get("tensorflow")
+	// numpy stays within 4x from the smallest to the largest scale.
+	if np[len(np)-1] > 4*np[0] {
+		t.Fatalf("numpy grew %v", np)
+	}
+	// tensorflow grows markedly.
+	if tf[len(tf)-1] < 3*tf[0] {
+		t.Fatalf("tensorflow flat: %v", tf)
+	}
+	// At every scale tensorflow is slower than numpy.
+	for i := range tf {
+		if tf[i] <= np[i] {
+			t.Fatalf("tensorflow (%v) not slower than numpy (%v) at col %d", tf, np, i)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab, err := Fig5(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		direct := parseDur(t, row[2])
+		local := parseDur(t, row[3])
+		if local >= direct {
+			t.Fatalf("row %v: local unpack not faster", row)
+		}
+	}
+	// Cumulative time grows with node count within each site.
+	bySite := map[string][]float64{}
+	for _, row := range tab.Rows {
+		bySite[row[0]] = append(bySite[row[0]], parseDur(t, row[2]))
+	}
+	for site, vals := range bySite {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				t.Fatalf("%s direct cumulative not growing: %v", site, vals)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		container := parseDur(t, row[2])
+		conda := parseDur(t, row[3])
+		if conda >= container {
+			t.Fatalf("row %v: conda not faster", row)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	deps := func(name string) int {
+		n, err := strconv.Atoi(byName[name][6])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if deps("tensorflow") <= deps("numpy") {
+		t.Fatal("tensorflow deps should exceed numpy")
+	}
+	if deps("drug screening") <= deps("pandas") {
+		t.Fatal("application deps should exceed base packages")
+	}
+	create := func(name string) float64 { return parseDur(t, byName[name][2]) }
+	if create("tensorflow") <= create("numpy") {
+		t.Fatal("tensorflow create should exceed numpy")
+	}
+}
+
+func TestTable3HasFiveSites(t *testing.T) {
+	tab, err := Table3(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// assertStrategyOrdering checks the core Figures 6-8 property on one row:
+// Oracle <= ~Auto, Auto < Unmanaged, Unmanaged worst or near-worst.
+func assertStrategyOrdering(t *testing.T, tab *Table, firstStratCol int, autoSlack float64) {
+	t.Helper()
+	for _, row := range tab.Rows {
+		oracle := parseDur(t, row[firstStratCol])
+		auto := parseDur(t, row[firstStratCol+1])
+		guess := parseDur(t, row[firstStratCol+2])
+		unmanaged := parseDur(t, row[firstStratCol+3])
+		if auto > oracle*autoSlack {
+			t.Errorf("row %v: auto %.0fs not within %.1fx of oracle %.0fs",
+				row[:firstStratCol], auto, autoSlack, oracle)
+		}
+		if unmanaged <= auto {
+			t.Errorf("row %v: unmanaged %.0fs not worse than auto %.0fs",
+				row[:firstStratCol], unmanaged, auto)
+		}
+		if unmanaged <= guess {
+			t.Errorf("row %v: unmanaged %.0fs not worse than guess %.0fs",
+				row[:firstStratCol], unmanaged, guess)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab, err := Fig6(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStrategyOrdering(t, tab, 2, 2.0)
+	// Auto retry rate < 1% for the uniform HEP workload.
+	for _, row := range tab.Rows {
+		pct := strings.TrimSuffix(row[len(row)-1], "%")
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 1.0 {
+			t.Errorf("row %v: auto retries %.2f%% > 1%%", row[:2], v)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab, err := Fig7(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStrategyOrdering(t, tab, 3, 2.5)
+	// Unmanaged should be several-fold slower on 64-core Theta nodes.
+	for _, row := range tab.Rows {
+		auto := parseDur(t, row[4])
+		unmanaged := parseDur(t, row[6])
+		if unmanaged < 2*auto {
+			t.Errorf("row %v: unmanaged %.0fs not >> auto %.0fs", row[:3], unmanaged, auto)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab, err := Fig8(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VEP's tail makes Oracle imperfect; allow Auto wider slack but keep
+	// Unmanaged clearly worst.
+	assertStrategyOrdering(t, tab, 3, 3.0)
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		oracle := parseDur(t, row[3])
+		auto := parseDur(t, row[4])
+		unmanaged := parseDur(t, row[6])
+		if auto > 2.5*oracle {
+			t.Errorf("row %v: auto %.0fs far from oracle %.0fs", row[:3], auto, oracle)
+		}
+		if unmanaged < 2*auto {
+			t.Errorf("row %v: unmanaged %.0fs not >> auto %.0fs", row[:3], unmanaged, auto)
+		}
+	}
+}
+
+func TestUtilizationShape(t *testing.T) {
+	tab, err := Utilization(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", cell)
+		}
+		return v
+	}
+	used := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		if used[row[0]] == nil {
+			used[row[0]] = map[string]float64{}
+		}
+		used[row[0]][row[1]] = pct(row[4])
+	}
+	for wl, vals := range used {
+		// The headline: whole-node execution wastes most of the machine.
+		if vals["Unmanaged"] >= vals["Oracle"] {
+			t.Errorf("%s: unmanaged used %.1f%% >= oracle %.1f%%",
+				wl, vals["Unmanaged"], vals["Oracle"])
+		}
+		if vals["Unmanaged"] >= vals["Auto"] {
+			t.Errorf("%s: unmanaged used %.1f%% >= auto %.1f%%",
+				wl, vals["Unmanaged"], vals["Auto"])
+		}
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"},
+		Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "note: n") {
+		t.Fatalf("output = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header, columns, separator, 2 rows, note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}

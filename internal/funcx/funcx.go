@@ -1,0 +1,130 @@
+// Package funcx models the funcX federated FaaS service of §VI-C4: users
+// register functions with the service and invoke them on named endpoints;
+// the service forwards each invocation (serialized function + dependency
+// list) to the endpoint, where execution uses LFMs in place of containers.
+package funcx
+
+import (
+	"fmt"
+
+	"lfm/internal/sim"
+	"lfm/internal/wq"
+)
+
+// Function is a registered serverless function. Make materializes one
+// invocation as a concrete task (ground-truth behaviour plus files).
+type Function struct {
+	Name     string
+	Category string
+	Make     func(invocation int) *wq.Task
+}
+
+// Endpoint executes invocations on a cluster through a Work Queue master
+// whose allocation strategy determines LFM behaviour (Auto/Guess for LFM
+// execution, Unmanaged for the container-per-worker baseline).
+type Endpoint struct {
+	Name   string
+	Master *wq.Master
+}
+
+// Service is the funcX registry and router.
+type Service struct {
+	eng *sim.Engine
+
+	// DispatchLatency models serialization and web-service routing per
+	// invocation.
+	DispatchLatency sim.Time
+
+	functions map[string]*Function
+	typed     map[string]*TypedFunction
+	endpoints map[string]*Endpoint
+	pending   map[*wq.Task]pendingInvocation
+	nextInv   int
+
+	// Invocations and Completions count lifecycle events.
+	Invocations int
+	Completions int
+	// Latency accumulates invoke-to-result times.
+	Latency sim.Stats
+}
+
+// NewService returns an empty service on the engine.
+func NewService(eng *sim.Engine) *Service {
+	return &Service{
+		eng:             eng,
+		DispatchLatency: 50 * sim.Millisecond,
+		functions:       make(map[string]*Function),
+		endpoints:       make(map[string]*Endpoint),
+		pending:         make(map[*wq.Task]pendingInvocation),
+	}
+}
+
+type pendingInvocation struct {
+	done      func(*wq.Task)
+	submitted sim.Time
+}
+
+// Register adds a function and returns its identifier.
+func (s *Service) Register(fn *Function) (string, error) {
+	if fn == nil || fn.Make == nil {
+		return "", fmt.Errorf("funcx: function must define Make")
+	}
+	id := fmt.Sprintf("fn-%03d-%s", len(s.functions), fn.Name)
+	s.functions[id] = fn
+	return id, nil
+}
+
+// AddEndpoint attaches an execution endpoint. The service installs itself
+// as the master's completion hook; callers must not replace it.
+func (s *Service) AddEndpoint(ep *Endpoint) error {
+	if ep == nil || ep.Master == nil {
+		return fmt.Errorf("funcx: endpoint must wrap a master")
+	}
+	if _, dup := s.endpoints[ep.Name]; dup {
+		return fmt.Errorf("funcx: endpoint %q already registered", ep.Name)
+	}
+	s.endpoints[ep.Name] = ep
+	ep.Master.OnTaskDone(func(t *wq.Task) { s.taskDone(t) })
+	return nil
+}
+
+func (s *Service) taskDone(t *wq.Task) {
+	inv, ok := s.pending[t]
+	if !ok {
+		return
+	}
+	delete(s.pending, t)
+	s.Completions++
+	s.Latency.Add(float64(s.eng.Now() - inv.submitted))
+	if inv.done != nil {
+		inv.done(t)
+	}
+}
+
+// Invoke routes one invocation of the function to the endpoint; done fires
+// with the finished task.
+func (s *Service) Invoke(fnID, endpoint string, done func(*wq.Task)) error {
+	fn, ok := s.functions[fnID]
+	if !ok {
+		return fmt.Errorf("funcx: unknown function %q", fnID)
+	}
+	return s.invokeInternal(fn, endpoint, nil, done)
+}
+
+// InvokeBatch issues n invocations of a function and calls allDone when
+// every one has completed.
+func (s *Service) InvokeBatch(fnID, endpoint string, n int, allDone func()) error {
+	remaining := n
+	for i := 0; i < n; i++ {
+		err := s.Invoke(fnID, endpoint, func(*wq.Task) {
+			remaining--
+			if remaining == 0 && allDone != nil {
+				allDone()
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

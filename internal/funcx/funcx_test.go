@@ -1,0 +1,146 @@
+package funcx
+
+import (
+	"fmt"
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/cluster"
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+	"lfm/internal/wq"
+)
+
+func newRig(t *testing.T, workers int, strategy alloc.Strategy) (*sim.Engine, *Service, *Endpoint) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	// EC2-class nodes (16 cores / 64 GB): several 4 GB inference tasks fit
+	// per node, as in the paper's funcX deployment.
+	site := cluster.Sites()["ec2"]
+	site.BatchLatency = 0
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	cfg := wq.DefaultConfig()
+	cfg.Strategy = strategy
+	cfg.Monitor.Overhead = 0
+	m := wq.NewMaster(eng, cfg)
+	if err := cl.Provision(workers, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(eng)
+	ep := &Endpoint{Name: "test-ep", Master: m}
+	if err := svc.AddEndpoint(ep); err != nil {
+		t.Fatal(err)
+	}
+	return eng, svc, ep
+}
+
+func inferFn() *Function {
+	return &Function{
+		Name:     "classify",
+		Category: "resnet-infer",
+		Make: func(inv int) *wq.Task {
+			return &wq.Task{
+				ID:   inv,
+				Spec: monitor.Proc(10, monitor.Resources{Cores: 2, MemoryMB: 3 * 1024, DiskMB: 1024}),
+				Inputs: []*wq.File{
+					{Name: fmt.Sprintf("batch-%d.tar", inv), SizeBytes: 1e6},
+				},
+				OutputBytes: 1e4,
+			}
+		},
+	}
+}
+
+func TestRegisterAndInvoke(t *testing.T) {
+	eng, svc, _ := newRig(t, 1, &alloc.Unmanaged{})
+	id, err := svc.Register(inferFn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result *wq.Task
+	eng.At(0, func() {
+		if err := svc.Invoke(id, "test-ep", func(tk *wq.Task) { result = tk }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if result == nil || result.State != wq.TaskDone {
+		t.Fatalf("result = %+v", result)
+	}
+	if svc.Invocations != 1 || svc.Completions != 1 {
+		t.Fatalf("counts = %d/%d", svc.Invocations, svc.Completions)
+	}
+	// Latency includes dispatch overhead and execution.
+	if svc.Latency.Mean() < 10 {
+		t.Fatalf("latency = %v", svc.Latency.Mean())
+	}
+}
+
+func TestInvokeUnknowns(t *testing.T) {
+	_, svc, _ := newRig(t, 1, &alloc.Unmanaged{})
+	if err := svc.Invoke("nope", "test-ep", nil); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	id, _ := svc.Register(inferFn())
+	if err := svc.Invoke(id, "nope", nil); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, svc, _ := newRig(t, 1, &alloc.Unmanaged{})
+	if _, err := svc.Register(&Function{Name: "x"}); err == nil {
+		t.Fatal("function without Make accepted")
+	}
+	if err := svc.AddEndpoint(&Endpoint{Name: "y"}); err == nil {
+		t.Fatal("endpoint without master accepted")
+	}
+}
+
+func TestDuplicateEndpointRejected(t *testing.T) {
+	eng, svc, ep := newRig(t, 1, &alloc.Unmanaged{})
+	_ = eng
+	if err := svc.AddEndpoint(ep); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestInvokeBatchCompletes(t *testing.T) {
+	eng, svc, _ := newRig(t, 2, alloc.NewAuto())
+	id, _ := svc.Register(inferFn())
+	var allDone sim.Time
+	eng.At(0, func() {
+		if err := svc.InvokeBatch(id, "test-ep", 12, func() { allDone = eng.Now() }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if svc.Completions != 12 {
+		t.Fatalf("completions = %d", svc.Completions)
+	}
+	if allDone == 0 {
+		t.Fatal("batch completion callback never fired")
+	}
+}
+
+// The §VI-C4 result in miniature: with LFMs (Auto) packing inference tasks
+// onto nodes, the batch finishes far sooner than container-per-node
+// (Unmanaged) execution.
+func TestLFMBeatsUnmanagedForFaaS(t *testing.T) {
+	run := func(s alloc.Strategy) sim.Time {
+		eng, svc, _ := newRig(t, 2, s)
+		id, _ := svc.Register(inferFn())
+		eng.At(0, func() {
+			if err := svc.InvokeBatch(id, "test-ep", 16, nil); err != nil {
+				t.Error(err)
+			}
+		})
+		return eng.Run()
+	}
+	lfm := run(alloc.NewAuto())
+	unmanaged := run(&alloc.Unmanaged{})
+	if lfm >= unmanaged/2 {
+		t.Fatalf("LFM batch %v should be at least 2x faster than unmanaged %v", lfm, unmanaged)
+	}
+}

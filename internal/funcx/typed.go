@@ -1,0 +1,115 @@
+package funcx
+
+import (
+	"fmt"
+
+	"lfm/internal/serde"
+	"lfm/internal/wq"
+)
+
+// TypedFunction extends Function with value-level semantics: invocation
+// arguments are serialized into the task's input payload (the paper's
+// "serialized function (and its list of dependencies)"), and Compute maps
+// the decoded arguments to the result the worker ships back.
+type TypedFunction struct {
+	Function
+	// Compute produces the invocation's result from its arguments. It runs
+	// when the task completes, standing in for the remote function body.
+	Compute func(args []any) (any, error)
+}
+
+// InvokeTyped serializes args, dispatches one invocation, and calls done
+// with the deserialized result (or remote error). The serialized argument
+// frame is attached to the task as an input file so transfer costs reflect
+// payload size; the result frame's size becomes the task's output bytes.
+func (s *Service) InvokeTyped(fnID, endpoint string, args []any, done func(any, error)) error {
+	fn, ok := s.functions[fnID]
+	if !ok {
+		return fmt.Errorf("funcx: unknown function %q", fnID)
+	}
+	tf, ok := s.typed[fnID]
+	if !ok {
+		return fmt.Errorf("funcx: function %q is not typed", fnID)
+	}
+	argFrame, err := serde.Encode(serde.KindArgs, args)
+	if err != nil {
+		return fmt.Errorf("funcx: arguments not serializable: %w", err)
+	}
+	if done == nil {
+		done = func(any, error) {}
+	}
+
+	inv := s.nextInv
+	return s.invokeInternal(fn, endpoint, func(t *wq.Task) {
+		// Attach the pickled arguments as a transferable input.
+		t.Inputs = append(t.Inputs, &wq.File{
+			Name:      fmt.Sprintf("args-%d.pkl", inv),
+			SizeBytes: int64(len(argFrame)),
+		})
+	}, func(t *wq.Task) {
+		if t.State != wq.TaskDone {
+			done(nil, fmt.Errorf("funcx: invocation failed after %d attempts", t.Attempts))
+			return
+		}
+		// Decode the arguments as the worker would, compute, and ship the
+		// result back through a result frame.
+		kind, decoded, err := serde.Decode(argFrame)
+		if err != nil || kind != serde.KindArgs {
+			done(nil, fmt.Errorf("funcx: argument frame corrupt: %v", err))
+			return
+		}
+		in, _ := decoded.([]any)
+		v, err := tf.Compute(in)
+		var frame []byte
+		if err != nil {
+			frame, err = serde.EncodeError(err.Error(), "")
+		} else {
+			frame, err = serde.Encode(serde.KindResult, v)
+		}
+		if err != nil {
+			done(nil, fmt.Errorf("funcx: result not serializable: %w", err))
+			return
+		}
+		t.OutputBytes += int64(len(frame))
+		done(serde.DecodeResult(frame))
+	})
+}
+
+// RegisterTyped adds a typed function and returns its identifier.
+func (s *Service) RegisterTyped(fn *TypedFunction) (string, error) {
+	if fn == nil || fn.Compute == nil {
+		return "", fmt.Errorf("funcx: typed function must define Compute")
+	}
+	id, err := s.Register(&fn.Function)
+	if err != nil {
+		return "", err
+	}
+	if s.typed == nil {
+		s.typed = make(map[string]*TypedFunction)
+	}
+	s.typed[id] = fn
+	return id, nil
+}
+
+// invokeInternal is the shared dispatch path: prepare materializes the task
+// (after Make), and done fires on completion.
+func (s *Service) invokeInternal(fn *Function, endpoint string, prepare func(*wq.Task), done func(*wq.Task)) error {
+	ep, ok := s.endpoints[endpoint]
+	if !ok {
+		return fmt.Errorf("funcx: unknown endpoint %q", endpoint)
+	}
+	inv := s.nextInv
+	s.nextInv++
+	s.Invocations++
+	submitted := s.eng.Now()
+	s.eng.After(s.DispatchLatency, func() {
+		task := fn.Make(inv)
+		task.Category = fn.Category
+		if prepare != nil {
+			prepare(task)
+		}
+		s.pending[task] = pendingInvocation{done: done, submitted: submitted}
+		ep.Master.Submit(task)
+	})
+	return nil
+}

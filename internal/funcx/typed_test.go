@@ -1,0 +1,160 @@
+package funcx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/monitor"
+	"lfm/internal/serde"
+	"lfm/internal/wq"
+)
+
+func typedFn() *TypedFunction {
+	return &TypedFunction{
+		Function: Function{
+			Name:     "sum",
+			Category: "resnet-infer",
+			Make: func(inv int) *wq.Task {
+				return &wq.Task{
+					ID:   inv,
+					Spec: monitor.Proc(5, monitor.Resources{Cores: 1, MemoryMB: 512, DiskMB: 64}),
+				}
+			},
+		},
+		Compute: func(args []any) (any, error) {
+			total := 0
+			for _, a := range args {
+				total += a.(int)
+			}
+			return total, nil
+		},
+	}
+}
+
+func TestInvokeTyped(t *testing.T) {
+	eng, svc, _ := newRig(t, 1, alloc.NewAuto())
+	id, err := svc.RegisterTyped(typedFn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	var gotErr error
+	eng.At(0, func() {
+		if err := svc.InvokeTyped(id, "test-ep", []any{1, 2, 39}, func(v any, err error) {
+			got, gotErr = v, err
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got.(int) != 42 {
+		t.Fatalf("result = %v", got)
+	}
+}
+
+func TestInvokeTypedRemoteError(t *testing.T) {
+	eng, svc, _ := newRig(t, 1, alloc.NewAuto())
+	fn := typedFn()
+	fn.Compute = func([]any) (any, error) { return nil, errors.New("model crashed") }
+	id, _ := svc.RegisterTyped(fn)
+	var gotErr error
+	eng.At(0, func() {
+		_ = svc.InvokeTyped(id, "test-ep", nil, func(_ any, err error) { gotErr = err })
+	})
+	eng.Run()
+	var re *serde.RemoteError
+	if !errors.As(gotErr, &re) {
+		t.Fatalf("err = %v (%T)", gotErr, gotErr)
+	}
+	if !strings.Contains(re.Message, "model crashed") {
+		t.Fatalf("message = %q", re.Message)
+	}
+}
+
+func TestInvokeTypedRejectsUnserializableArgs(t *testing.T) {
+	_, svc, _ := newRig(t, 1, alloc.NewAuto())
+	id, _ := svc.RegisterTyped(typedFn())
+	if err := svc.InvokeTyped(id, "test-ep", []any{make(chan int)}, nil); err == nil {
+		t.Fatal("channel argument accepted")
+	}
+}
+
+func TestInvokeTypedValidation(t *testing.T) {
+	_, svc, _ := newRig(t, 1, alloc.NewAuto())
+	if _, err := svc.RegisterTyped(&TypedFunction{}); err == nil {
+		t.Fatal("typed function without Compute accepted")
+	}
+	// A plain function is not typed.
+	plainID, _ := svc.Register(inferFn())
+	if err := svc.InvokeTyped(plainID, "test-ep", nil, nil); err == nil {
+		t.Fatal("untyped function accepted by InvokeTyped")
+	}
+	if err := svc.InvokeTyped("nope", "test-ep", nil, nil); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	id, _ := svc.RegisterTyped(typedFn())
+	if err := svc.InvokeTyped(id, "nope", nil, nil); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestInvokeTypedPayloadAffectsTransfer(t *testing.T) {
+	// A big argument payload must show up in the master's transfer stats.
+	run := func(payload []any) int64 {
+		eng, svc, ep := newRig(t, 1, alloc.NewAuto())
+		id, _ := svc.RegisterTyped(&TypedFunction{
+			Function: Function{
+				Name: "echo", Category: "resnet-infer",
+				Make: func(inv int) *wq.Task {
+					return &wq.Task{ID: inv,
+						Spec: monitor.Proc(1, monitor.Resources{Cores: 1, MemoryMB: 64, DiskMB: 16})}
+				},
+			},
+			Compute: func(args []any) (any, error) { return len(args), nil },
+		})
+		eng.At(0, func() {
+			_ = svc.InvokeTyped(id, "test-ep", payload, nil)
+		})
+		eng.Run()
+		return ep.Master.Stats().BytesIn
+	}
+	small := run([]any{1})
+	big := run([]any{strings.Repeat("x", 1<<20)})
+	if big < small+1<<19 {
+		t.Fatalf("bytes: small=%d big=%d; payload size not reflected", small, big)
+	}
+}
+
+func TestTypedBatchOfInvocations(t *testing.T) {
+	eng, svc, _ := newRig(t, 2, alloc.NewAuto())
+	id, _ := svc.RegisterTyped(typedFn())
+	results := map[int]int{}
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			i := i
+			if err := svc.InvokeTyped(id, "test-ep", []any{i, i}, func(v any, err error) {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = v.(int)
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	eng.Run()
+	if len(results) != 10 {
+		t.Fatalf("results = %v", results)
+	}
+	for i, v := range results {
+		if v != 2*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lfm/internal/sim"
+)
+
+func res(c, m, d float64) Resources { return Resources{Cores: c, MemoryMB: m, DiskMB: d} }
+
+func TestResourcesOps(t *testing.T) {
+	a, b := res(1, 100, 10), res(2, 50, 20)
+	if got := a.Add(b); got != res(3, 150, 30) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Max(b); got != res(2, 100, 20) {
+		t.Fatalf("Max = %v", got)
+	}
+	if !a.Fits(res(1, 100, 10)) || a.Fits(res(1, 99, 10)) {
+		t.Fatal("Fits wrong")
+	}
+	if got := a.Scale(2); got != res(2, 200, 20) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestExceeds(t *testing.T) {
+	limit := res(2, 100, 50)
+	cases := []struct {
+		u    Resources
+		want Kind
+	}{
+		{res(1, 50, 10), KindNone},
+		{res(1, 150, 10), KindMemory},
+		{res(1, 50, 99), KindDisk},
+		{res(3, 50, 10), KindCores},
+		{res(3, 150, 99), KindMemory}, // memory checked first
+	}
+	for _, c := range cases {
+		if got := Exceeds(c.u, limit); got != c.want {
+			t.Errorf("Exceeds(%v) = %q, want %q", c.u, got, c.want)
+		}
+	}
+	// Zero limits are unlimited.
+	if got := Exceeds(res(100, 1e6, 1e6), Resources{}); got != KindNone {
+		t.Fatalf("unlimited Exceeds = %q", got)
+	}
+}
+
+func TestProcSpecUsage(t *testing.T) {
+	spec := ProcSpec{
+		Phases: []Phase{
+			{Duration: 10, Usage: res(1, 100, 0)},
+			{Duration: 10, Usage: res(2, 300, 50)},
+		},
+		Children: []ChildSpec{
+			{StartOffset: 5, Spec: Proc(10, res(1, 200, 0))},
+		},
+	}
+	if got := spec.SelfDuration(); got != 20 {
+		t.Fatalf("SelfDuration = %v", got)
+	}
+	if got := spec.Duration(); got != 20 {
+		t.Fatalf("Duration = %v", got)
+	}
+	if got := spec.UsageAt(2); got != res(1, 100, 0) {
+		t.Fatalf("UsageAt(2) = %v", got)
+	}
+	if got := spec.UsageAt(7); got != res(2, 300, 0) {
+		t.Fatalf("UsageAt(7) = %v (parent phase1 + child)", got)
+	}
+	if got := spec.UsageAt(12); got != res(3, 500, 50) {
+		t.Fatalf("UsageAt(12) = %v (parent phase2 + child)", got)
+	}
+	if got := spec.UsageAt(25); got != (Resources{}) {
+		t.Fatalf("UsageAt(25) = %v, want zero", got)
+	}
+	peak := spec.TruePeak()
+	if peak != res(3, 500, 50) {
+		t.Fatalf("TruePeak = %v", peak)
+	}
+	if spec.countProcs() != 2 {
+		t.Fatalf("countProcs = %d", spec.countProcs())
+	}
+}
+
+func TestOrphanedChildExtendsDuration(t *testing.T) {
+	// Parent exits at 5 but its child runs until 20: the tree is alive
+	// until 20 (the reason the paper tracks fork/exit with LD_PRELOAD).
+	spec := ProcSpec{
+		Phases:   []Phase{{Duration: 5, Usage: res(1, 10, 0)}},
+		Children: []ChildSpec{{StartOffset: 2, Spec: Proc(18, res(1, 50, 0))}},
+	}
+	if got := spec.Duration(); got != 20 {
+		t.Fatalf("Duration = %v, want 20", got)
+	}
+}
+
+func runOne(t *testing.T, cfg Config, spec ProcSpec, limits Resources) Report {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := New(eng, cfg)
+	var rep Report
+	got := false
+	eng.At(0, func() { m.Run(spec, limits, func(r Report) { rep = r; got = true }) })
+	eng.Run()
+	if !got {
+		t.Fatal("monitor never reported")
+	}
+	return rep
+}
+
+func TestRunToCompletion(t *testing.T) {
+	cfg := DefaultConfig()
+	spec := Proc(10, res(1, 100, 10))
+	rep := runOne(t, cfg, spec, res(2, 200, 100))
+	if !rep.Completed || rep.Killed {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.WallTime != 10 {
+		t.Fatalf("WallTime = %v, want 10", rep.WallTime)
+	}
+	if rep.Peak != res(1, 100, 10) {
+		t.Fatalf("Peak = %v", rep.Peak)
+	}
+	if rep.Polls < 9 {
+		t.Fatalf("Polls = %d, want ~10 at 1s interval", rep.Polls)
+	}
+}
+
+func TestKillOnMemoryExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	spec := ProcSpec{Phases: []Phase{
+		{Duration: 5, Usage: res(1, 100, 0)},
+		{Duration: 5, Usage: res(1, 800, 0)}, // exceeds at t=5
+	}}
+	rep := runOne(t, cfg, spec, res(2, 500, 0))
+	if !rep.Killed || rep.Completed {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Exhausted != KindMemory {
+		t.Fatalf("Exhausted = %q", rep.Exhausted)
+	}
+	// Killed at the first poll after the violation: within one interval.
+	if rep.WallTime < 5 || rep.WallTime > 6+1e-9 {
+		t.Fatalf("WallTime = %v, want kill shortly after 5s", rep.WallTime)
+	}
+}
+
+func TestPollingMissesShortSpike(t *testing.T) {
+	// A 100ms spike between 1s polls is invisible without process events —
+	// the documented weakness of polling alone.
+	cfg := Config{PollInterval: sim.Second, TrackProcessEvents: false}
+	spec := ProcSpec{Phases: []Phase{
+		{Duration: 0.45, Usage: res(1, 100, 0)},
+		{Duration: 0.1, Usage: res(1, 900, 0)}, // spike
+		{Duration: 0.35, Usage: res(1, 100, 0)},
+	}}
+	rep := runOne(t, cfg, spec, Resources{})
+	if rep.Peak.MemoryMB >= 900 {
+		t.Fatalf("Peak = %v; coarse polling should miss the spike", rep.Peak)
+	}
+}
+
+func TestProcessEventsCatchForkedChild(t *testing.T) {
+	// A child forked and exited between polls is caught only via events.
+	spec := ProcSpec{
+		Phases: []Phase{{Duration: 2, Usage: res(1, 100, 0)}},
+		Children: []ChildSpec{
+			{StartOffset: 0.3, Spec: Proc(0.2, res(1, 700, 0))},
+		},
+	}
+	noEvents := runOne(t, Config{PollInterval: sim.Second, TrackProcessEvents: false}, spec, Resources{})
+	withEvents := runOne(t, Config{PollInterval: sim.Second, TrackProcessEvents: true}, spec, Resources{})
+	if noEvents.Peak.MemoryMB >= 800 {
+		t.Fatalf("polling-only peak = %v, should miss child", noEvents.Peak)
+	}
+	if withEvents.Peak.MemoryMB < 800 {
+		t.Fatalf("event-tracking peak = %v, should see child fork", withEvents.Peak)
+	}
+	if withEvents.ProcEvents < 2 {
+		t.Fatalf("ProcEvents = %d, want fork+exit", withEvents.ProcEvents)
+	}
+}
+
+func TestShortTaskMeasuredAtCompletion(t *testing.T) {
+	// Tasks shorter than the poll interval still get a final measurement.
+	cfg := Config{PollInterval: 10 * sim.Second, TrackProcessEvents: false}
+	rep := runOne(t, cfg, Proc(0.5, res(1, 250, 5)), Resources{})
+	if !rep.Completed {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Peak.MemoryMB != 250 {
+		t.Fatalf("Peak = %v, want final measurement to catch usage", rep.Peak)
+	}
+}
+
+func TestKillDoesNotReportTwice(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := New(eng, DefaultConfig())
+	spec := Proc(10, res(1, 999, 0))
+	count := 0
+	eng.At(0, func() { m.Run(spec, res(1, 100, 0), func(Report) { count++ }) })
+	eng.Run()
+	if count != 1 {
+		t.Fatalf("reported %d times, want 1", count)
+	}
+}
+
+func TestCallbackInvoked(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	var calls int
+	cfg.Callback = func(at sim.Time, cur Resources) { calls++ }
+	m := New(eng, cfg)
+	eng.At(0, func() { m.Run(Proc(5, res(1, 10, 0)), Resources{}, nil) })
+	eng.Run()
+	if calls < 4 {
+		t.Fatalf("callback calls = %d, want one per poll", calls)
+	}
+}
+
+func TestOverheadCharged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Overhead = 0.5
+	eng := sim.NewEngine(1)
+	m := New(eng, cfg)
+	var end sim.Time
+	eng.At(0, func() {
+		m.Run(Proc(1, res(1, 1, 0)), Resources{}, func(r Report) { end = eng.Now() })
+	})
+	eng.Run()
+	if end != 1.5 {
+		t.Fatalf("finished at %v, want 1.5 (0.5 overhead + 1 run)", end)
+	}
+}
+
+// Property: the measured peak never exceeds the true peak, and with event
+// tracking plus a final measurement a single-phase task is measured exactly.
+func TestMeasuredPeakProperty(t *testing.T) {
+	prop := func(durCs uint8, memRaw uint16, pollCs uint8) bool {
+		dur := sim.Time(durCs%100+1) / 10  // 0.1..10s
+		mem := float64(memRaw%4000) + 1    // 1..4000 MB
+		poll := sim.Time(pollCs%50+1) / 10 // 0.1..5s
+		spec := Proc(dur, res(1, mem, 0))
+		eng := sim.NewEngine(3)
+		m := New(eng, Config{PollInterval: poll, TrackProcessEvents: true})
+		var rep Report
+		eng.At(0, func() { m.Run(spec, Resources{}, func(r Report) { rep = r }) })
+		eng.Run()
+		truePeak := spec.TruePeak()
+		if rep.Peak.MemoryMB > truePeak.MemoryMB+1e-9 {
+			return false
+		}
+		return rep.Peak.MemoryMB == truePeak.MemoryMB
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordSeries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordSeries = true
+	spec := ProcSpec{
+		Phases: []Phase{{Duration: 3, Usage: res(1, 100, 0)}},
+		Children: []ChildSpec{
+			{StartOffset: 1, Spec: Proc(1, res(1, 50, 0))},
+		},
+	}
+	rep := runOne(t, cfg, spec, Resources{})
+	if len(rep.Series) < 4 {
+		t.Fatalf("series = %d samples", len(rep.Series))
+	}
+	var sawEvent, sawPoll, sawChildUsage bool
+	for i, s := range rep.Series {
+		if i > 0 && s.At < rep.Series[i-1].At {
+			t.Fatal("series not time-ordered")
+		}
+		if s.FromEvent {
+			sawEvent = true
+		} else {
+			sawPoll = true
+		}
+		if s.Usage.MemoryMB == 150 {
+			sawChildUsage = true
+		}
+	}
+	if !sawEvent || !sawPoll {
+		t.Fatalf("series kinds: event=%v poll=%v", sawEvent, sawPoll)
+	}
+	if !sawChildUsage {
+		t.Fatal("series never captured parent+child usage")
+	}
+}
+
+func TestSeriesOffByDefault(t *testing.T) {
+	rep := runOne(t, DefaultConfig(), Proc(3, res(1, 10, 0)), Resources{})
+	if rep.Series != nil {
+		t.Fatal("series recorded without RecordSeries")
+	}
+}

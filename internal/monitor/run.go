@@ -1,0 +1,222 @@
+package monitor
+
+import (
+	"lfm/internal/sim"
+)
+
+// Report is the outcome of one monitored task execution.
+type Report struct {
+	// Start and End are simulated timestamps of the run.
+	Start, End sim.Time
+	// WallTime is End - Start.
+	WallTime sim.Time
+	// Peak is the measured peak usage. With coarse polling and event
+	// tracking disabled this may underestimate the true peak.
+	Peak Resources
+	// Completed is true if the task ran to completion.
+	Completed bool
+	// Killed is true if the monitor terminated the task.
+	Killed bool
+	// Exhausted names the limit dimension that triggered the kill.
+	Exhausted Kind
+	// Polls counts polling measurements taken.
+	Polls int
+	// ProcEvents counts fork/exit events observed.
+	ProcEvents int
+	// Procs is the number of processes in the task's tree.
+	Procs int
+	// Series holds every measurement when Config.RecordSeries is set.
+	Series []Sample
+}
+
+// Sample is one recorded measurement.
+type Sample struct {
+	At    sim.Time
+	Usage Resources
+	// FromEvent marks fork/exit-triggered measurements (vs polls).
+	FromEvent bool
+}
+
+// Config parameterizes an LFM.
+type Config struct {
+	// PollInterval is the /proc polling period. The paper notes polling
+	// alone suffices "for tasks that run for more than a handful of
+	// seconds, and that do not fork themselves".
+	PollInterval sim.Time
+	// TrackProcessEvents enables the LD_PRELOAD-style fork/exit hooks that
+	// trigger an immediate measurement on every process creation and exit.
+	TrackProcessEvents bool
+	// Overhead is the fixed cost the LFM adds around a task (establishing
+	// the result queue, forking the task process, final reporting). Paper
+	// §VI: Python-specific techniques keep this low enough for per-call
+	// containment.
+	Overhead sim.Time
+	// Callback, if set, runs at the end of each polling interval with the
+	// current measurement — the decorator callback of §VI-B1.
+	Callback func(at sim.Time, current Resources)
+	// RecordSeries, when true, retains every measurement in the report's
+	// Series for post-hoc inspection (usage timelines).
+	RecordSeries bool
+}
+
+// DefaultConfig returns a 1-second poll with event tracking enabled.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:       sim.Second,
+		TrackProcessEvents: true,
+		Overhead:           20 * sim.Millisecond,
+	}
+}
+
+// LFM is a lightweight function monitor bound to a simulation engine.
+type LFM struct {
+	Eng *sim.Engine
+	Cfg Config
+}
+
+// New returns an LFM on the engine.
+func New(eng *sim.Engine, cfg Config) *LFM {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = sim.Second
+	}
+	return &LFM{Eng: eng, Cfg: cfg}
+}
+
+// run tracks one monitored execution in flight.
+type run struct {
+	m      *LFM
+	spec   ProcSpec
+	limits Resources
+	start  sim.Time
+	rep    Report
+	done   func(Report)
+
+	finished bool
+	pollEv   *sim.Event
+	endEv    *sim.Event
+	procEvs  []*sim.Event
+}
+
+// Execution is a handle to an in-flight monitored run. Aborting it (e.g.
+// because the hosting worker disappeared) cancels all monitoring events and
+// suppresses the completion report.
+type Execution struct {
+	r       *run
+	startEv *sim.Event
+}
+
+// Abort cancels the execution; the done callback will not fire.
+func (e *Execution) Abort() {
+	e.r.m.Eng.Cancel(e.startEv)
+	if e.r.finished {
+		return
+	}
+	e.r.done = nil
+	e.r.finish(false)
+}
+
+// Run executes spec under the given limits (zero dimensions unlimited) and
+// calls done with the report. The task is killed at the first measurement
+// that observes a limit violation; between measurements violations go
+// unseen, exactly as with a real polling monitor. The returned handle can
+// abort the execution.
+func (m *LFM) Run(spec ProcSpec, limits Resources, done func(Report)) *Execution {
+	r := &run{m: m, spec: spec, limits: limits, done: done}
+	ex := &Execution{r: r}
+	ex.startEv = m.Eng.After(m.Cfg.Overhead, func() {
+		r.start = m.Eng.Now()
+		r.rep.Start = r.start
+		r.rep.Procs = spec.countProcs()
+		// Initial measurement at task start.
+		r.measure(false)
+		if r.finished {
+			return
+		}
+		r.schedulePoll()
+		if m.Cfg.TrackProcessEvents {
+			r.scheduleProcEvents(spec, r.start)
+		}
+		r.endEv = m.Eng.After(spec.Duration(), func() { r.complete() })
+	})
+	return ex
+}
+
+// measure samples current usage, updates the peak, and enforces limits.
+func (r *run) measure(isProcEvent bool) {
+	if r.finished {
+		return
+	}
+	now := r.m.Eng.Now()
+	u := r.spec.UsageAt(now - r.start)
+	if isProcEvent {
+		r.rep.ProcEvents++
+	} else {
+		r.rep.Polls++
+		if cb := r.m.Cfg.Callback; cb != nil {
+			cb(now, u)
+		}
+	}
+	if r.m.Cfg.RecordSeries {
+		r.rep.Series = append(r.rep.Series, Sample{At: now, Usage: u, FromEvent: isProcEvent})
+	}
+	r.rep.Peak = r.rep.Peak.Max(u)
+	if kind := Exceeds(u, r.limits); kind != KindNone {
+		r.kill(kind)
+	}
+}
+
+func (r *run) schedulePoll() {
+	r.pollEv = r.m.Eng.After(r.m.Cfg.PollInterval, func() {
+		r.measure(false)
+		if !r.finished {
+			r.schedulePoll()
+		}
+	})
+}
+
+// scheduleProcEvents registers a measurement at every fork and exit in the
+// tree. A real LFM learns these from the preloaded library; the simulation
+// schedules them from the spec.
+func (r *run) scheduleProcEvents(spec ProcSpec, base sim.Time) {
+	for _, c := range spec.Children {
+		at := base + c.StartOffset
+		r.procEvs = append(r.procEvs, r.m.Eng.At(at, func() { r.measure(true) }))
+		exit := at + c.Spec.SelfDuration()
+		r.procEvs = append(r.procEvs, r.m.Eng.At(exit, func() { r.measure(true) }))
+		r.scheduleProcEvents(c.Spec, at)
+	}
+}
+
+func (r *run) kill(kind Kind) {
+	r.rep.Killed = true
+	r.rep.Exhausted = kind
+	r.finish(false)
+}
+
+func (r *run) complete() {
+	// Final measurement at completion so short tasks are never unmeasured.
+	r.measure(true)
+	if !r.finished {
+		r.finish(true)
+	}
+}
+
+func (r *run) finish(completed bool) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.rep.Completed = completed
+	r.rep.End = r.m.Eng.Now()
+	r.rep.WallTime = r.rep.End - r.rep.Start
+	eng := r.m.Eng
+	eng.Cancel(r.pollEv)
+	eng.Cancel(r.endEv)
+	for _, ev := range r.procEvs {
+		eng.Cancel(ev)
+	}
+	done := r.done
+	if done != nil {
+		done(r.rep)
+	}
+}

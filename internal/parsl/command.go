@@ -1,0 +1,74 @@
+package parsl
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"time"
+
+	"lfm/internal/procmon"
+)
+
+// CommandResult is what a monitored command app resolves to: the captured
+// output plus the LFM's resource report.
+type CommandResult struct {
+	Stdout string
+	Stderr string
+	Report *procmon.Report
+}
+
+// CommandError reports a monitored command that was killed or exited
+// nonzero; the partial result is attached.
+type CommandError struct {
+	Result *CommandResult
+}
+
+func (e *CommandError) Error() string {
+	r := e.Result.Report
+	if r.Killed {
+		return fmt.Sprintf("parsl: command killed: %s limit exceeded "+
+			"(peak rss %.1f MB, cpu %v)", r.Exhausted,
+			float64(r.PeakRSSBytes)/(1<<20), r.CPUTime)
+	}
+	return fmt.Sprintf("parsl: command exited %d", r.ExitCode)
+}
+
+// MonitoredCommand returns an AppFunc that runs program under a real
+// /proc-based LFM with the given limits — the bash_app analogue of the
+// paper's architecture, where each shell invocation executes inside a
+// function monitor. Submit-time arguments become program arguments (each
+// must be a string). The future resolves to *CommandResult.
+//
+// Linux only; on other platforms every invocation fails with
+// procmon.ErrUnsupported.
+func MonitoredCommand(program string, limits procmon.Limits, poll time.Duration) AppFunc {
+	return func(ctx context.Context, args []any) (any, error) {
+		argv := make([]string, len(args))
+		for i, a := range args {
+			s, ok := a.(string)
+			if !ok {
+				return nil, fmt.Errorf("parsl: command argument %d is %T, want string", i, a)
+			}
+			argv[i] = s
+		}
+		cmd := exec.Command(program, argv...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		mon := &procmon.Monitor{PollInterval: poll}
+		rep, err := mon.RunLimited(ctx, cmd, limits)
+		if err != nil {
+			return nil, err
+		}
+		res := &CommandResult{
+			Stdout: stdout.String(),
+			Stderr: stderr.String(),
+			Report: rep,
+		}
+		if rep.Killed || rep.ExitCode != 0 {
+			return res, &CommandError{Result: res}
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,97 @@
+package parsl
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"lfm/internal/procmon"
+)
+
+func requireLinux(t *testing.T) {
+	t.Helper()
+	if runtime.GOOS != "linux" {
+		t.Skip("monitored commands require linux /proc")
+	}
+}
+
+func TestMonitoredCommandSuccess(t *testing.T) {
+	requireLinux(t)
+	d := NewDFK(NewThreadPool(2))
+	defer d.Shutdown()
+	echo := d.NewApp("echo", MonitoredCommand("sh", procmon.Limits{}, 20*time.Millisecond))
+	v, err := echo.Submit("-c", "echo hello; sleep 0.15").Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.(*CommandResult)
+	if res.Stdout != "hello\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	if res.Report.Polls < 3 {
+		t.Fatalf("polls = %d", res.Report.Polls)
+	}
+}
+
+func TestMonitoredCommandKilledOnLimit(t *testing.T) {
+	requireLinux(t)
+	d := NewDFK(NewThreadPool(1))
+	defer d.Shutdown()
+	hog := d.NewApp("hog", MonitoredCommand("sh",
+		procmon.Limits{WallTime: 150 * time.Millisecond}, 10*time.Millisecond))
+	_, err := hog.Submit("-c", "sleep 5").Result()
+	if err == nil {
+		t.Fatal("limit violation not reported")
+	}
+	var ce *CommandError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v (%T)", err, err)
+	}
+	if !ce.Result.Report.Killed || ce.Result.Report.Exhausted != "wall" {
+		t.Fatalf("report = %+v", ce.Result.Report)
+	}
+}
+
+func TestMonitoredCommandNonzeroExit(t *testing.T) {
+	requireLinux(t)
+	d := NewDFK(NewThreadPool(1))
+	defer d.Shutdown()
+	failing := d.NewApp("fail", MonitoredCommand("sh", procmon.Limits{}, 20*time.Millisecond))
+	_, err := failing.Submit("-c", "echo oops >&2; exit 4").Result()
+	var ce *CommandError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v", err)
+	}
+	if ce.Result.Report.ExitCode != 4 {
+		t.Fatalf("exit = %d", ce.Result.Report.ExitCode)
+	}
+	if ce.Result.Stderr != "oops\n" {
+		t.Fatalf("stderr = %q", ce.Result.Stderr)
+	}
+}
+
+func TestMonitoredCommandBadArgType(t *testing.T) {
+	requireLinux(t)
+	d := NewDFK(NewThreadPool(1))
+	defer d.Shutdown()
+	app := d.NewApp("bad", MonitoredCommand("echo", procmon.Limits{}, 20*time.Millisecond))
+	if _, err := app.Submit(42).Result(); err == nil {
+		t.Fatal("non-string argument accepted")
+	}
+}
+
+func TestMonitoredCommandInDAG(t *testing.T) {
+	requireLinux(t)
+	d := NewDFK(NewThreadPool(2))
+	defer d.Shutdown()
+	produce := d.NewApp("produce", MonitoredCommand("sh", procmon.Limits{}, 20*time.Millisecond))
+	consume := d.NewApp("consume", func(_ context.Context, args []any) (any, error) {
+		return args[0].(*CommandResult).Stdout, nil
+	})
+	out := consume.Submit(produce.Submit("-c", "printf 42"))
+	if v := out.MustResult(); v.(string) != "42" {
+		t.Fatalf("v = %v", v)
+	}
+}

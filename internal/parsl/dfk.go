@@ -1,0 +1,137 @@
+package parsl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AppFunc is the body of an app: it receives its (dependency-resolved)
+// arguments and returns a value or error.
+type AppFunc func(ctx context.Context, args []any) (any, error)
+
+// App is a registered concurrent function — what the @python_app decorator
+// produces in Parsl.
+type App struct {
+	Name string
+	Fn   AppFunc
+	dfk  *DFK
+}
+
+// Task is one invocation of an app flowing through the DFK to an executor.
+type Task struct {
+	ID   int
+	App  *App
+	Args []any
+}
+
+// Executor runs ready tasks. Implementations decide concurrency, placement,
+// monitoring, and limits.
+type Executor interface {
+	// Execute runs the task and calls done exactly once with its result.
+	Execute(ctx context.Context, t *Task, done func(any, error))
+	// Shutdown releases executor resources; no Execute calls follow.
+	Shutdown()
+}
+
+// DFK is the dataflow kernel: it tracks futures, establishes the dependency
+// DAG from arguments, performs admission control, and dispatches ready tasks
+// to the executor.
+type DFK struct {
+	exec   Executor
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	nextID  atomic.Int64
+	pending sync.WaitGroup
+
+	mu        sync.Mutex
+	submitted int
+	completed int
+	failed    int
+}
+
+// NewDFK returns a kernel over the executor.
+func NewDFK(exec Executor) *DFK {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &DFK{exec: exec, ctx: ctx, cancel: cancel}
+}
+
+// NewApp registers a function as a concurrent app.
+func (d *DFK) NewApp(name string, fn AppFunc) *App {
+	if fn == nil {
+		panic("parsl: nil app function")
+	}
+	return &App{Name: name, Fn: fn, dfk: d}
+}
+
+// Submit invokes the app asynchronously and returns a future. Arguments
+// that are themselves futures are awaited first and replaced by their
+// results; an upstream error propagates without running this task (the
+// dependency failure model of Parsl's DAG).
+func (a *App) Submit(args ...any) *Future {
+	d := a.dfk
+	id := int(d.nextID.Add(1))
+	fut := newFuture(id)
+	task := &Task{ID: id, App: a, Args: args}
+	d.pending.Add(1)
+	d.mu.Lock()
+	d.submitted++
+	d.mu.Unlock()
+
+	go func() {
+		// Resolve dependencies: block on future arguments.
+		resolved := make([]any, len(args))
+		for i, arg := range args {
+			if f, ok := arg.(*Future); ok {
+				v, err := f.Result()
+				if err != nil {
+					d.finish(fut, nil, &AppError{App: a.Name, TaskID: id,
+						Err: fmt.Errorf("dependency task %d failed: %w", f.TaskID, err)})
+					return
+				}
+				resolved[i] = v
+				continue
+			}
+			resolved[i] = arg
+		}
+		task.Args = resolved
+		d.exec.Execute(d.ctx, task, func(v any, err error) {
+			if err != nil {
+				err = &AppError{App: a.Name, TaskID: id, Err: err}
+			}
+			d.finish(fut, v, err)
+		})
+	}()
+	return fut
+}
+
+func (d *DFK) finish(fut *Future, v any, err error) {
+	d.mu.Lock()
+	if err != nil {
+		d.failed++
+	} else {
+		d.completed++
+	}
+	d.mu.Unlock()
+	fut.resolve(v, err)
+	d.pending.Done()
+}
+
+// Wait blocks until every submitted task has resolved.
+func (d *DFK) Wait() { d.pending.Wait() }
+
+// Counts reports submitted/completed/failed task totals.
+func (d *DFK) Counts() (submitted, completed, failed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.submitted, d.completed, d.failed
+}
+
+// Shutdown waits for in-flight tasks and releases the executor.
+func (d *DFK) Shutdown() {
+	d.pending.Wait()
+	d.cancel()
+	d.exec.Shutdown()
+}

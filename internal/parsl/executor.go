@@ -1,0 +1,70 @@
+package parsl
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ThreadPoolExecutor runs tasks on a bounded pool of goroutines — the
+// analogue of Parsl's local thread executor, used for quick starts and for
+// head-node-only workloads.
+type ThreadPoolExecutor struct {
+	sem  chan struct{}
+	once sync.Once
+}
+
+// NewThreadPool returns an executor running at most n tasks concurrently
+// (defaulting to GOMAXPROCS if n <= 0).
+func NewThreadPool(n int) *ThreadPoolExecutor {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &ThreadPoolExecutor{sem: make(chan struct{}, n)}
+}
+
+// Execute implements Executor.
+func (e *ThreadPoolExecutor) Execute(ctx context.Context, t *Task, done func(any, error)) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		done(nil, ctx.Err())
+		return
+	}
+	go func() {
+		defer func() { <-e.sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				done(nil, fmt.Errorf("panic: %v", r))
+			}
+		}()
+		v, err := t.App.Fn(ctx, t.Args)
+		done(v, err)
+	}()
+}
+
+// Shutdown implements Executor.
+func (e *ThreadPoolExecutor) Shutdown() {}
+
+// SerialExecutor runs tasks one at a time on the calling goroutine's
+// schedule; useful for deterministic tests.
+type SerialExecutor struct {
+	mu sync.Mutex
+}
+
+// Execute implements Executor.
+func (e *SerialExecutor) Execute(ctx context.Context, t *Task, done func(any, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			done(nil, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	v, err := t.App.Fn(ctx, t.Args)
+	done(v, err)
+}
+
+// Shutdown implements Executor.
+func (e *SerialExecutor) Shutdown() {}

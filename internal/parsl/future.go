@@ -1,0 +1,84 @@
+// Package parsl implements the dataflow programming model of the Parsl
+// library the paper extends: functions are registered as "apps", invoking an
+// app returns a future immediately, futures passed as arguments establish a
+// dynamic dependency DAG, and a pluggable executor runs each task once its
+// dependencies resolve. This package runs real Go work with real
+// concurrency; the simulation experiments use the wq package directly.
+package parsl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Future is the eventual result of an app invocation. Evaluating a future
+// (Result) either yields the result or blocks until it is available,
+// matching Python's concurrent.futures semantics.
+type Future struct {
+	mu   sync.Mutex
+	done chan struct{}
+	val  any
+	err  error
+
+	// TaskID identifies the producing task within its DFK.
+	TaskID int
+}
+
+func newFuture(id int) *Future {
+	return &Future{done: make(chan struct{}), TaskID: id}
+}
+
+// resolve sets the result exactly once.
+func (f *Future) resolve(val any, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.done:
+		return // already resolved
+	default:
+	}
+	f.val = val
+	f.err = err
+	close(f.done)
+}
+
+// Done reports whether the result is available without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result blocks until the task finishes and returns its value or error.
+func (f *Future) Result() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// MustResult is Result for tests and examples where failure is fatal.
+func (f *Future) MustResult() any {
+	v, err := f.Result()
+	if err != nil {
+		panic(fmt.Sprintf("parsl: task %d failed: %v", f.TaskID, err))
+	}
+	return v
+}
+
+// AppError wraps an error raised inside an app with its task identity, the
+// analogue of the remote traceback Parsl ships home through the LFM's
+// result queue.
+type AppError struct {
+	App    string
+	TaskID int
+	Err    error
+}
+
+func (e *AppError) Error() string {
+	return fmt.Sprintf("parsl: app %q task %d: %v", e.App, e.TaskID, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *AppError) Unwrap() error { return e.Err }

@@ -1,0 +1,174 @@
+package parsl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndResult(t *testing.T) {
+	d := NewDFK(NewThreadPool(2))
+	defer d.Shutdown()
+	double := d.NewApp("double", func(_ context.Context, args []any) (any, error) {
+		return args[0].(int) * 2, nil
+	})
+	fut := double.Submit(21)
+	v, err := fut.Result()
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	if !fut.Done() {
+		t.Fatal("future not done after Result")
+	}
+}
+
+func TestFutureDependencyChain(t *testing.T) {
+	d := NewDFK(NewThreadPool(4))
+	defer d.Shutdown()
+	add := d.NewApp("add", func(_ context.Context, args []any) (any, error) {
+		return args[0].(int) + args[1].(int), nil
+	})
+	a := add.Submit(1, 2)
+	b := add.Submit(a, 10) // depends on a
+	c := add.Submit(a, b)  // depends on both
+	if v := c.MustResult(); v.(int) != 16 {
+		t.Fatalf("c = %v, want 16", v)
+	}
+}
+
+func TestErrorPropagatesThroughDAG(t *testing.T) {
+	d := NewDFK(NewThreadPool(2))
+	defer d.Shutdown()
+	boom := d.NewApp("boom", func(_ context.Context, _ []any) (any, error) {
+		return nil, errors.New("kaput")
+	})
+	use := d.NewApp("use", func(_ context.Context, args []any) (any, error) {
+		return args[0], nil
+	})
+	f := boom.Submit()
+	g := use.Submit(f)
+	_, err := g.Result()
+	if err == nil {
+		t.Fatal("downstream task ran despite failed dependency")
+	}
+	var ae *AppError
+	if !errors.As(err, &ae) || ae.App != "use" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	d := NewDFK(NewThreadPool(1))
+	defer d.Shutdown()
+	app := d.NewApp("p", func(_ context.Context, _ []any) (any, error) {
+		panic("oops")
+	})
+	_, err := app.Submit().Result()
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	d := NewDFK(NewThreadPool(2))
+	defer d.Shutdown()
+	var cur, peak atomic.Int64
+	app := d.NewApp("work", func(_ context.Context, _ []any) (any, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		cur.Add(-1)
+		return nil, nil
+	})
+	for i := 0; i < 8; i++ {
+		app.Submit()
+	}
+	d.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency = %d, want <= 2", p)
+	}
+	sub, comp, failed := d.Counts()
+	if sub != 8 || comp != 8 || failed != 0 {
+		t.Fatalf("counts = %d/%d/%d", sub, comp, failed)
+	}
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	d := NewDFK(NewThreadPool(8))
+	defer d.Shutdown()
+	sq := d.NewApp("sq", func(_ context.Context, args []any) (any, error) {
+		n := args[0].(int)
+		return n * n, nil
+	})
+	sum := d.NewApp("sum", func(_ context.Context, args []any) (any, error) {
+		total := 0
+		for _, a := range args {
+			total += a.(int)
+		}
+		return total, nil
+	})
+	futs := make([]any, 10)
+	for i := range futs {
+		futs[i] = sq.Submit(i)
+	}
+	v := sum.Submit(futs...).MustResult()
+	if v.(int) != 285 {
+		t.Fatalf("sum of squares = %v, want 285", v)
+	}
+}
+
+func TestSerialExecutorDeterministic(t *testing.T) {
+	d := NewDFK(&SerialExecutor{})
+	defer d.Shutdown()
+	var order []int
+	app := d.NewApp("a", func(_ context.Context, args []any) (any, error) {
+		order = append(order, args[0].(int))
+		return nil, nil
+	})
+	var futs []*Future
+	for i := 0; i < 5; i++ {
+		futs = append(futs, app.Submit(i))
+	}
+	for _, f := range futs {
+		f.MustResult()
+	}
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestWaitBlocksUntilAllDone(t *testing.T) {
+	d := NewDFK(NewThreadPool(4))
+	defer d.Shutdown()
+	var doneCount atomic.Int64
+	app := d.NewApp("w", func(_ context.Context, _ []any) (any, error) {
+		time.Sleep(20 * time.Millisecond)
+		doneCount.Add(1)
+		return nil, nil
+	})
+	for i := 0; i < 6; i++ {
+		app.Submit()
+	}
+	d.Wait()
+	if doneCount.Load() != 6 {
+		t.Fatalf("done = %d", doneCount.Load())
+	}
+}
+
+func TestNilAppPanics(t *testing.T) {
+	d := NewDFK(NewThreadPool(1))
+	defer d.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil app accepted")
+		}
+	}()
+	d.NewApp("bad", nil)
+}

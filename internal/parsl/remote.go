@@ -1,0 +1,82 @@
+package parsl
+
+import (
+	"context"
+	"fmt"
+
+	"lfm/internal/serde"
+)
+
+// SerializingExecutor wraps another executor and forces every task's
+// arguments and results through the serialization layer, exactly as remote
+// dispatch does: inputs are pickled into a transferable frame, the function
+// runs in its monitor process, and the result (or the error, standing in
+// for the remote traceback) is pickled back through the result queue.
+//
+// Running it over a local executor catches non-serializable arguments and
+// results at development time — before a workload ever reaches a cluster —
+// and measures the wire size of every call.
+type SerializingExecutor struct {
+	// Inner performs the actual execution.
+	Inner Executor
+
+	// BytesOut and BytesIn accumulate serialized argument/result sizes.
+	BytesOut int64
+	BytesIn  int64
+	// Calls counts round-trips.
+	Calls int
+}
+
+// NewSerializingExecutor wraps inner.
+func NewSerializingExecutor(inner Executor) *SerializingExecutor {
+	return &SerializingExecutor{Inner: inner}
+}
+
+// Execute implements Executor.
+func (e *SerializingExecutor) Execute(ctx context.Context, t *Task, done func(any, error)) {
+	// Outbound: pickle the arguments.
+	frame, err := serde.Encode(serde.KindArgs, t.Args)
+	if err != nil {
+		done(nil, fmt.Errorf("parsl: task %d arguments not serializable: %w", t.ID, err))
+		return
+	}
+	e.Calls++
+	e.BytesOut += int64(len(frame))
+
+	kind, decoded, err := serde.Decode(frame)
+	if err != nil || kind != serde.KindArgs {
+		done(nil, fmt.Errorf("parsl: argument frame corrupt: %w", err))
+		return
+	}
+	args, ok := decoded.([]any)
+	if !ok {
+		// A task with no arguments decodes as nil.
+		if decoded == nil {
+			args = nil
+		} else {
+			done(nil, fmt.Errorf("parsl: argument frame held %T", decoded))
+			return
+		}
+	}
+	remote := &Task{ID: t.ID, App: t.App, Args: args}
+
+	e.Inner.Execute(ctx, remote, func(v any, taskErr error) {
+		// Inbound: pickle the result or the error.
+		var resultFrame []byte
+		var encErr error
+		if taskErr != nil {
+			resultFrame, encErr = serde.EncodeError(taskErr.Error(), "")
+		} else {
+			resultFrame, encErr = serde.Encode(serde.KindResult, v)
+		}
+		if encErr != nil {
+			done(nil, fmt.Errorf("parsl: task %d result not serializable: %w", t.ID, encErr))
+			return
+		}
+		e.BytesIn += int64(len(resultFrame))
+		done(serde.DecodeResult(resultFrame))
+	})
+}
+
+// Shutdown implements Executor.
+func (e *SerializingExecutor) Shutdown() { e.Inner.Shutdown() }

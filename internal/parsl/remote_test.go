@@ -1,0 +1,85 @@
+package parsl
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"lfm/internal/serde"
+)
+
+func TestSerializingExecutorRoundTrip(t *testing.T) {
+	ex := NewSerializingExecutor(NewThreadPool(2))
+	d := NewDFK(ex)
+	defer d.Shutdown()
+	concat := d.NewApp("concat", func(_ context.Context, args []any) (any, error) {
+		var parts []string
+		for _, a := range args {
+			parts = append(parts, a.(string))
+		}
+		return strings.Join(parts, "-"), nil
+	})
+	v := concat.Submit("a", "b", "c").MustResult()
+	if v.(string) != "a-b-c" {
+		t.Fatalf("v = %v", v)
+	}
+	if ex.Calls != 1 || ex.BytesOut == 0 || ex.BytesIn == 0 {
+		t.Fatalf("accounting = %+v", ex)
+	}
+}
+
+func TestSerializingExecutorErrorBecomesRemoteError(t *testing.T) {
+	d := NewDFK(NewSerializingExecutor(NewThreadPool(1)))
+	defer d.Shutdown()
+	boom := d.NewApp("boom", func(_ context.Context, _ []any) (any, error) {
+		return nil, errors.New("exploded")
+	})
+	_, err := boom.Submit().Result()
+	var re *serde.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+	if !strings.Contains(re.Message, "exploded") {
+		t.Fatalf("message = %q", re.Message)
+	}
+}
+
+func TestSerializingExecutorRejectsUnserializableArgs(t *testing.T) {
+	d := NewDFK(NewSerializingExecutor(NewThreadPool(1)))
+	defer d.Shutdown()
+	app := d.NewApp("chan", func(_ context.Context, args []any) (any, error) {
+		return args[0], nil
+	})
+	// Channels cannot cross a wire; local threads would happily pass them.
+	_, err := app.Submit(make(chan int)).Result()
+	if err == nil {
+		t.Fatal("channel argument accepted")
+	}
+	if !strings.Contains(err.Error(), "not serializable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSerializingExecutorRejectsUnserializableResult(t *testing.T) {
+	d := NewDFK(NewSerializingExecutor(NewThreadPool(1)))
+	defer d.Shutdown()
+	app := d.NewApp("fn", func(_ context.Context, _ []any) (any, error) {
+		return func() {}, nil // functions cannot be pickled
+	})
+	_, err := app.Submit().Result()
+	if err == nil || !strings.Contains(err.Error(), "not serializable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSerializingExecutorNoArgs(t *testing.T) {
+	d := NewDFK(NewSerializingExecutor(NewThreadPool(1)))
+	defer d.Shutdown()
+	app := d.NewApp("zero", func(_ context.Context, args []any) (any, error) {
+		return len(args), nil
+	})
+	if v := app.Submit().MustResult(); v.(int) != 0 {
+		t.Fatalf("v = %v", v)
+	}
+}

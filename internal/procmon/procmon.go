@@ -1,0 +1,257 @@
+// Package procmon is a real lightweight function monitor for live Unix
+// processes: it polls /proc for the resource usage of a command's whole
+// process tree (discovering children the way the paper's LD_PRELOAD hooks
+// do, via the kernel's child lists), enforces memory/CPU/wall-clock limits
+// by killing the process group, and reports peak consumption.
+//
+// It is Linux-specific, mirroring the paper's use of /proc/PID/ and
+// getrusage; on other platforms Run returns an error.
+package procmon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Limits bounds a monitored run; zero fields are unlimited.
+type Limits struct {
+	// RSSBytes caps the tree's total resident set.
+	RSSBytes int64
+	// CPUTime caps cumulative user+system time across the tree.
+	CPUTime time.Duration
+	// WallTime caps elapsed real time.
+	WallTime time.Duration
+}
+
+// Sample is one polled measurement of the process tree.
+type Sample struct {
+	At       time.Time
+	RSSBytes int64
+	CPUTime  time.Duration
+	Procs    int
+}
+
+// Report is the outcome of a monitored run.
+type Report struct {
+	// PeakRSSBytes is the largest tree RSS observed at any poll.
+	PeakRSSBytes int64
+	// CPUTime is the last observed cumulative CPU time of the tree.
+	CPUTime time.Duration
+	// WallTime is the run's elapsed real time.
+	WallTime time.Duration
+	// MaxProcs is the largest process-tree size observed.
+	MaxProcs int
+	// Polls counts measurements taken.
+	Polls int
+	// Killed reports whether the monitor terminated the tree.
+	Killed bool
+	// Exhausted names the violated limit: "memory", "cpu", or "wall".
+	Exhausted string
+	// ExitCode is the command's exit code (-1 if killed by signal).
+	ExitCode int
+}
+
+// Monitor runs commands under resource monitoring.
+type Monitor struct {
+	// PollInterval between /proc sweeps. Default 50ms.
+	PollInterval time.Duration
+	// Callback, if set, receives every sample as it is taken.
+	Callback func(Sample)
+}
+
+// ErrUnsupported reports a non-Linux platform.
+var ErrUnsupported = errors.New("procmon: requires linux /proc")
+
+// Run starts cmd in its own process group, monitors its tree until exit or
+// limit violation, and returns the report. The command's Stdout/Stderr
+// should be set by the caller beforehand.
+func (m *Monitor) Run(ctx context.Context, cmd *exec.Cmd) (*Report, error) {
+	return m.RunLimited(ctx, cmd, Limits{})
+}
+
+// RunLimited is Run with resource limits enforced.
+func (m *Monitor) RunLimited(ctx context.Context, cmd *exec.Cmd, limits Limits) (*Report, error) {
+	if runtime.GOOS != "linux" {
+		return nil, ErrUnsupported
+	}
+	interval := m.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Setpgid = true
+
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("procmon: start: %w", err)
+	}
+	pid := cmd.Process.Pid
+
+	rep := &Report{}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	kill := func(reason string) {
+		rep.Killed = true
+		rep.Exhausted = reason
+		// Negative pid signals the process group.
+		_ = syscall.Kill(-pid, syscall.SIGKILL)
+	}
+
+	for {
+		select {
+		case err := <-done:
+			rep.WallTime = time.Since(start)
+			rep.ExitCode = exitCode(err)
+			// One final sweep can no longer see the exited tree; report
+			// what polling observed.
+			return rep, nil
+		case <-ctx.Done():
+			kill("context")
+			<-done
+			rep.WallTime = time.Since(start)
+			rep.ExitCode = -1
+			return rep, ctx.Err()
+		case now := <-ticker.C:
+			s := sampleTree(pid)
+			s.At = now
+			rep.Polls++
+			if s.RSSBytes > rep.PeakRSSBytes {
+				rep.PeakRSSBytes = s.RSSBytes
+			}
+			if s.CPUTime > rep.CPUTime {
+				rep.CPUTime = s.CPUTime
+			}
+			if s.Procs > rep.MaxProcs {
+				rep.MaxProcs = s.Procs
+			}
+			if m.Callback != nil {
+				m.Callback(s)
+			}
+			switch {
+			case limits.RSSBytes > 0 && s.RSSBytes > limits.RSSBytes:
+				kill("memory")
+			case limits.CPUTime > 0 && s.CPUTime > limits.CPUTime:
+				kill("cpu")
+			case limits.WallTime > 0 && time.Since(start) > limits.WallTime:
+				kill("wall")
+			}
+		}
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// sampleTree walks the process tree rooted at pid via /proc and sums usage.
+func sampleTree(root int) Sample {
+	var s Sample
+	for _, pid := range treePids(root) {
+		rss, cpu, ok := readProc(pid)
+		if !ok {
+			continue
+		}
+		s.Procs++
+		s.RSSBytes += rss
+		s.CPUTime += cpu
+	}
+	return s
+}
+
+// treePids returns the root and all descendants, discovered through
+// /proc/<pid>/task/<tid>/children.
+func treePids(root int) []int {
+	var out []int
+	stack := []int{root}
+	seen := map[int]bool{root: true}
+	for len(stack) > 0 {
+		pid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, pid)
+		taskDir := fmt.Sprintf("/proc/%d/task", pid)
+		tids, err := os.ReadDir(taskDir)
+		if err != nil {
+			continue
+		}
+		for _, tid := range tids {
+			data, err := os.ReadFile(filepath.Join(taskDir, tid.Name(), "children"))
+			if err != nil {
+				continue
+			}
+			for _, f := range strings.Fields(string(data)) {
+				child, err := strconv.Atoi(f)
+				if err != nil || seen[child] {
+					continue
+				}
+				seen[child] = true
+				stack = append(stack, child)
+			}
+		}
+	}
+	return out
+}
+
+var pageSize = int64(os.Getpagesize())
+
+// clockTicksPerSec is the kernel's USER_HZ; 100 on every mainstream Linux.
+const clockTicksPerSec = 100
+
+// readProc reads one process's RSS and cumulative CPU time.
+func readProc(pid int) (rss int64, cpu time.Duration, ok bool) {
+	statm, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", pid))
+	if err != nil {
+		return 0, 0, false
+	}
+	fields := strings.Fields(string(statm))
+	if len(fields) < 2 {
+		return 0, 0, false
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	rss = pages * pageSize
+
+	stat, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+	if err != nil {
+		return rss, 0, true // process may be racing to exit; RSS still valid
+	}
+	// comm can contain spaces; it is parenthesized, so split after ')'.
+	raw := string(stat)
+	i := strings.LastIndexByte(raw, ')')
+	if i < 0 || i+2 > len(raw) {
+		return rss, 0, true
+	}
+	rest := strings.Fields(raw[i+2:])
+	// rest[0] is state; utime and stime are fields 14 and 15 of the full
+	// stat line, i.e. rest[11] and rest[12].
+	if len(rest) < 13 {
+		return rss, 0, true
+	}
+	utime, _ := strconv.ParseInt(rest[11], 10, 64)
+	stime, _ := strconv.ParseInt(rest[12], 10, 64)
+	cpu = time.Duration(utime+stime) * time.Second / clockTicksPerSec
+	return rss, cpu, true
+}

@@ -1,0 +1,151 @@
+package procmon
+
+import (
+	"context"
+	"os/exec"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func requireLinux(t *testing.T) {
+	t.Helper()
+	if runtime.GOOS != "linux" {
+		t.Skip("procmon requires linux /proc")
+	}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 20 * time.Millisecond}
+	cmd := exec.Command("sh", "-c", "sleep 0.3")
+	rep, err := m.Run(context.Background(), cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Killed {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.ExitCode != 0 {
+		t.Fatalf("exit code = %d", rep.ExitCode)
+	}
+	if rep.WallTime < 250*time.Millisecond {
+		t.Fatalf("wall = %v", rep.WallTime)
+	}
+	if rep.Polls < 5 {
+		t.Fatalf("polls = %d, want >= 5", rep.Polls)
+	}
+	if rep.PeakRSSBytes <= 0 {
+		t.Fatalf("peak RSS = %d, want > 0", rep.PeakRSSBytes)
+	}
+}
+
+func TestExitCodePropagates(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 20 * time.Millisecond}
+	rep, err := m.Run(context.Background(), exec.Command("sh", "-c", "exit 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode != 3 {
+		t.Fatalf("exit code = %d, want 3", rep.ExitCode)
+	}
+}
+
+func TestWallLimitKills(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 20 * time.Millisecond}
+	cmd := exec.Command("sh", "-c", "sleep 10")
+	start := time.Now()
+	rep, err := m.RunLimited(context.Background(), cmd, Limits{WallTime: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Killed || rep.Exhausted != "wall" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("kill took too long")
+	}
+}
+
+func TestMemoryLimitKills(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 10 * time.Millisecond}
+	// Shell string doubling allocates quickly and unboundedly.
+	cmd := exec.Command("sh", "-c", `x=a; while true; do x="$x$x$x$x"; done`)
+	rep, err := m.RunLimited(context.Background(), cmd, Limits{RSSBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Killed || rep.Exhausted != "memory" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.PeakRSSBytes < 64<<20 {
+		t.Fatalf("peak = %d, want above the 64MB limit", rep.PeakRSSBytes)
+	}
+}
+
+func TestCPULimitKills(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 10 * time.Millisecond}
+	cmd := exec.Command("sh", "-c", "while true; do :; done")
+	rep, err := m.RunLimited(context.Background(), cmd, Limits{CPUTime: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Killed || rep.Exhausted != "cpu" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestTracksChildren(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 10 * time.Millisecond}
+	cmd := exec.Command("sh", "-c", "sleep 0.4 & sleep 0.4 & wait")
+	rep, err := m.Run(context.Background(), cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxProcs < 3 {
+		t.Fatalf("max procs = %d, want >= 3 (shell + 2 sleeps)", rep.MaxProcs)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{PollInterval: 10 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	cmd := exec.Command("sh", "-c", "sleep 10")
+	rep, err := m.RunLimited(ctx, cmd, Limits{})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !rep.Killed {
+		t.Fatalf("report = %+v, want killed", rep)
+	}
+}
+
+func TestCallbackSamples(t *testing.T) {
+	requireLinux(t)
+	var samples int
+	m := &Monitor{
+		PollInterval: 10 * time.Millisecond,
+		Callback:     func(Sample) { samples++ },
+	}
+	if _, err := m.Run(context.Background(), exec.Command("sleep", "0.2")); err != nil {
+		t.Fatal(err)
+	}
+	if samples < 5 {
+		t.Fatalf("samples = %d", samples)
+	}
+}
+
+func TestStartFailure(t *testing.T) {
+	requireLinux(t)
+	m := &Monitor{}
+	if _, err := m.Run(context.Background(), exec.Command("/does/not/exist")); err == nil {
+		t.Fatal("missing binary did not error")
+	}
+}

@@ -1,0 +1,143 @@
+package pyast
+
+// Module is a parsed Python source file: a sequence of statements, with
+// block structure (functions, classes, compound statements) preserved so
+// that dependency analysis can attribute imports to the function that
+// contains them.
+type Module struct {
+	Body []Stmt
+}
+
+// Stmt is one statement.
+type Stmt interface {
+	// Pos returns the 1-based source line the statement starts on.
+	Pos() int
+}
+
+// ImportItem is one "module [as alias]" clause of an import statement.
+type ImportItem struct {
+	// Module is the dotted module path, e.g. "os.path".
+	Module string
+	// Alias is the "as" name, or empty.
+	Alias string
+}
+
+// Import is "import a.b as c, d".
+type Import struct {
+	Line  int
+	Items []ImportItem
+}
+
+func (s *Import) Pos() int { return s.Line }
+
+// ImportName is one imported name in a from-import.
+type ImportName struct {
+	Name  string
+	Alias string
+}
+
+// FromImport is "from [.]*module import names" or "from module import *".
+type FromImport struct {
+	Line int
+	// Level counts leading dots (relative import level); 0 is absolute.
+	Level int
+	// Module is the dotted module path after the dots; may be empty for
+	// purely relative imports like "from . import x".
+	Module string
+	Names  []ImportName
+	Star   bool
+}
+
+func (s *FromImport) Pos() int { return s.Line }
+
+// FuncDef is a (possibly async, possibly decorated) function definition with
+// its body.
+type FuncDef struct {
+	Line int
+	// DecoratorLine is the line of the first decorator, or 0 if undecorated.
+	DecoratorLine int
+	// EndLine is the last source line of the function body.
+	EndLine    int
+	Name       string
+	Async      bool
+	Decorators []string // dotted decorator names, without arguments
+	Body       []Stmt
+}
+
+func (s *FuncDef) Pos() int { return s.Line }
+
+// ClassDef is a class definition with its body.
+type ClassDef struct {
+	Line int
+	// DecoratorLine is the line of the first decorator, or 0 if undecorated.
+	DecoratorLine int
+	// EndLine is the last source line of the class body.
+	EndLine    int
+	Name       string
+	Decorators []string
+	Body       []Stmt
+}
+
+func (s *ClassDef) Pos() int { return s.Line }
+
+// Block is any other compound statement (if/elif/else/for/while/with/try/
+// except/finally) with its body. Header expressions are discarded; only the
+// introducing keyword and body matter for import analysis.
+type Block struct {
+	Line    int
+	Keyword string
+	Body    []Stmt
+}
+
+func (s *Block) Pos() int { return s.Line }
+
+// Simple is any other logical line, with its raw tokens retained so that
+// analyses can scan for dynamic-import calls such as __import__("x") or
+// importlib.import_module("x").
+type Simple struct {
+	Line   int
+	Tokens []Token
+}
+
+func (s *Simple) Pos() int { return s.Line }
+
+// Walk calls fn for every statement in depth-first order, including nested
+// bodies. If fn returns false for a statement, its children are skipped.
+func Walk(stmts []Stmt, fn func(Stmt) bool) {
+	for _, s := range stmts {
+		if !fn(s) {
+			continue
+		}
+		switch v := s.(type) {
+		case *FuncDef:
+			Walk(v.Body, fn)
+		case *ClassDef:
+			Walk(v.Body, fn)
+		case *Block:
+			Walk(v.Body, fn)
+		}
+	}
+}
+
+// Functions returns every function definition in the module, including
+// methods and nested functions, in source order.
+func (m *Module) Functions() []*FuncDef {
+	var out []*FuncDef
+	Walk(m.Body, func(s Stmt) bool {
+		if f, ok := s.(*FuncDef); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// Function returns the named top-level-reachable function, if present.
+func (m *Module) Function(name string) (*FuncDef, bool) {
+	for _, f := range m.Functions() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,59 @@
+package pyast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExtractFunctionSource returns the source text of the named function —
+// decorators included — ready for serialization to a worker. The paper's
+// invocation model requires shipping "(at least) the code for the named
+// function" alongside its pickled arguments; this is that extraction.
+func ExtractFunctionSource(src, name string) (string, error) {
+	mod, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	fn, ok := mod.Function(name)
+	if !ok {
+		return "", fmt.Errorf("pyast: function %q not found", name)
+	}
+	start := fn.Line
+	if fn.DecoratorLine > 0 {
+		start = fn.DecoratorLine
+	}
+	return sliceLines(src, start, fn.EndLine)
+}
+
+// ExtractClassSource returns the source text of the named top-level class.
+func ExtractClassSource(src, name string) (string, error) {
+	mod, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	for _, s := range mod.Body {
+		cls, ok := s.(*ClassDef)
+		if !ok || cls.Name != name {
+			continue
+		}
+		start := cls.Line
+		if cls.DecoratorLine > 0 {
+			start = cls.DecoratorLine
+		}
+		return sliceLines(src, start, cls.EndLine)
+	}
+	return "", fmt.Errorf("pyast: class %q not found", name)
+}
+
+// sliceLines returns lines start..end (1-based, inclusive) of src with the
+// original line endings normalized to "\n".
+func sliceLines(src string, start, end int) (string, error) {
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	src = strings.ReplaceAll(src, "\r", "\n")
+	lines := strings.Split(src, "\n")
+	if start < 1 || end < start || end > len(lines) {
+		return "", fmt.Errorf("pyast: line range %d-%d outside source (%d lines)",
+			start, end, len(lines))
+	}
+	return strings.Join(lines[start-1:end], "\n") + "\n", nil
+}

@@ -1,0 +1,135 @@
+package pyast
+
+import (
+	"strings"
+	"testing"
+)
+
+const extractSrc = `import os
+
+@python_app
+def first(x):
+    import numpy
+    if x:
+        return numpy.ones(3)
+    return None
+
+def second():
+    pass
+
+
+class Thing:
+    def method(self):
+        return 1
+
+x = 1
+`
+
+func TestExtractFunctionSource(t *testing.T) {
+	got, err := ExtractFunctionSource(extractSrc, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `@python_app
+def first(x):
+    import numpy
+    if x:
+        return numpy.ones(3)
+    return None
+`
+	if got != want {
+		t.Fatalf("extracted:\n%q\nwant:\n%q", got, want)
+	}
+	// The extraction must itself re-parse cleanly.
+	if _, err := Parse(got); err != nil {
+		t.Fatalf("extracted source does not parse: %v", err)
+	}
+}
+
+func TestExtractUndecoratedFunction(t *testing.T) {
+	got, err := ExtractFunctionSource(extractSrc, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "def second():\n    pass\n" {
+		t.Fatalf("extracted %q", got)
+	}
+}
+
+func TestExtractMethodInsideClass(t *testing.T) {
+	got, err := ExtractFunctionSource(extractSrc, "method")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "def method(self):") || !strings.Contains(got, "return 1") {
+		t.Fatalf("extracted %q", got)
+	}
+}
+
+func TestExtractClassSource(t *testing.T) {
+	got, err := ExtractClassSource(extractSrc, "Thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got, "class Thing:") || !strings.Contains(got, "return 1") {
+		t.Fatalf("extracted %q", got)
+	}
+	if strings.Contains(got, "x = 1") {
+		t.Fatalf("extraction overshot the class: %q", got)
+	}
+}
+
+func TestExtractLastFunctionAtEOF(t *testing.T) {
+	src := "def last():\n    return 42"
+	got, err := ExtractFunctionSource(src, "last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "return 42") {
+		t.Fatalf("extracted %q", got)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := ExtractFunctionSource(extractSrc, "missing"); err == nil {
+		t.Fatal("missing function extracted")
+	}
+	if _, err := ExtractClassSource(extractSrc, "missing"); err == nil {
+		t.Fatal("missing class extracted")
+	}
+	if _, err := ExtractFunctionSource("def f(:\n", "f"); err == nil {
+		t.Fatal("syntax error not propagated")
+	}
+}
+
+func TestExtractedFunctionRoundTripsThroughAnalysis(t *testing.T) {
+	// Extraction -> re-parse -> same body structure.
+	got, err := ExtractFunctionSource(extractSrc, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := mod.Function("first")
+	if !ok {
+		t.Fatal("re-parsed extraction lost the function")
+	}
+	if len(fn.Decorators) != 1 || fn.Decorators[0] != "python_app" {
+		t.Fatalf("decorators = %v", fn.Decorators)
+	}
+	if len(fn.Body) != 3 {
+		t.Fatalf("body = %d statements", len(fn.Body))
+	}
+}
+
+func TestEndLineDoesNotSwallowFollowingCode(t *testing.T) {
+	got, err := ExtractFunctionSource(extractSrc, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "def second") {
+		t.Fatalf("extraction swallowed the next function:\n%s", got)
+	}
+}

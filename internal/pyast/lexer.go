@@ -1,0 +1,388 @@
+package pyast
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer tokenizes Python source. Construct with NewLexer and call Next until
+// EOF; or use Tokenize for the whole stream at once.
+type Lexer struct {
+	src  string
+	pos  int // byte offset
+	line int
+	col  int // 1-based column of pos
+
+	indents        []int // indentation stack, always starts [0]
+	parenDepth     int   // >0 inside (), [], {}: newlines are not logical
+	atLineStart    bool
+	pendingDedents int
+	needNewline    bool // content tokens emitted since the last NEWLINE
+	err            error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	// Normalize line endings so the scanner only sees '\n'.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	src = strings.ReplaceAll(src, "\r", "\n")
+	return &Lexer{src: src, line: 1, col: 1, indents: []int{0}, atLineStart: true}
+}
+
+// Tokenize returns the full token stream for src, ending with an EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	tok, err := lx.next()
+	if err == nil {
+		switch tok.Kind {
+		case NAME, NUMBER, STRING, OP:
+			lx.needNewline = true
+		case NEWLINE:
+			lx.needNewline = false
+		}
+	}
+	return tok, err
+}
+
+func (lx *Lexer) next() (Token, error) {
+	if lx.err != nil {
+		return Token{}, lx.err
+	}
+	if lx.pendingDedents > 0 {
+		lx.pendingDedents--
+		return Token{Kind: DEDENT, Line: lx.line, Col: lx.col}, nil
+	}
+
+	for {
+		if lx.atLineStart && lx.parenDepth == 0 {
+			tok, emitted, err := lx.handleIndentation()
+			if err != nil {
+				lx.err = err
+				return Token{}, err
+			}
+			if emitted {
+				return tok, nil
+			}
+			if lx.pos >= len(lx.src) {
+				return lx.eof()
+			}
+		}
+		if lx.pos >= len(lx.src) {
+			return lx.eof()
+		}
+
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t':
+			lx.advance(1)
+			continue
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance(1)
+			}
+			continue
+		case c == '\\' && lx.peekAt(1) == '\n':
+			lx.advance(2) // explicit line continuation
+			continue
+		case c == '\n':
+			line, col := lx.line, lx.col
+			lx.advance(1)
+			if lx.parenDepth > 0 {
+				continue // implicit continuation inside brackets
+			}
+			lx.atLineStart = true
+			return Token{Kind: NEWLINE, Text: "\n", Line: line, Col: col}, nil
+		}
+
+		// String literal (possibly prefixed).
+		if isQuote(c) {
+			return lx.scanString("")
+		}
+		if isNameStart(c) {
+			// Could be a string prefix like r'', b"", rb'', f''' etc.
+			if tok, ok, err := lx.tryPrefixedString(); ok || err != nil {
+				if err != nil {
+					lx.err = err
+					return Token{}, err
+				}
+				return tok, nil
+			}
+			return lx.scanName()
+		}
+		if c >= '0' && c <= '9' || (c == '.' && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9') {
+			return lx.scanNumber()
+		}
+		return lx.scanOp()
+	}
+}
+
+func (lx *Lexer) eof() (Token, error) {
+	// Close the final logical line if it has content, then unwind indents.
+	if lx.needNewline {
+		lx.needNewline = false
+		lx.atLineStart = true
+		return Token{Kind: NEWLINE, Text: "\n", Line: lx.line, Col: lx.col}, nil
+	}
+	if len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		return Token{Kind: DEDENT, Line: lx.line, Col: lx.col}, nil
+	}
+	return Token{Kind: EOF, Line: lx.line, Col: lx.col}, nil
+}
+
+// handleIndentation measures leading whitespace at a line start and emits
+// INDENT/DEDENT as needed. Blank and comment-only lines emit nothing.
+func (lx *Lexer) handleIndentation() (Token, bool, error) {
+	for {
+		width := 0
+		scan := lx.pos
+		for scan < len(lx.src) {
+			switch lx.src[scan] {
+			case ' ':
+				width++
+				scan++
+				continue
+			case '\t':
+				width += 8 - width%8
+				scan++
+				continue
+			}
+			break
+		}
+		// Blank or comment-only line: skip entirely.
+		if scan >= len(lx.src) {
+			lx.advance(scan - lx.pos)
+			lx.atLineStart = false
+			return Token{}, false, nil
+		}
+		if lx.src[scan] == '\n' {
+			lx.advance(scan - lx.pos + 1)
+			continue
+		}
+		if lx.src[scan] == '#' {
+			for scan < len(lx.src) && lx.src[scan] != '\n' {
+				scan++
+			}
+			if scan < len(lx.src) {
+				scan++ // consume the newline too
+			}
+			lx.advance(scan - lx.pos)
+			continue
+		}
+
+		lx.advance(scan - lx.pos)
+		lx.atLineStart = false
+		cur := lx.indents[len(lx.indents)-1]
+		switch {
+		case width > cur:
+			lx.indents = append(lx.indents, width)
+			return Token{Kind: INDENT, Line: lx.line, Col: lx.col}, true, nil
+		case width < cur:
+			n := 0
+			for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > width {
+				lx.indents = lx.indents[:len(lx.indents)-1]
+				n++
+			}
+			if lx.indents[len(lx.indents)-1] != width {
+				return Token{}, false, errAt(lx.line, lx.col,
+					"unindent does not match any outer indentation level")
+			}
+			lx.pendingDedents = n - 1
+			return Token{Kind: DEDENT, Line: lx.line, Col: lx.col}, true, nil
+		}
+		return Token{}, false, nil
+	}
+}
+
+func isQuote(c byte) bool { return c == '\'' || c == '"' }
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= utf8.RuneSelf
+}
+func isNameCont(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}
+
+// tryPrefixedString checks whether the upcoming name is a string prefix
+// (r, b, u, f, rb, br, fr, rf in any case) immediately followed by a quote.
+func (lx *Lexer) tryPrefixedString() (Token, bool, error) {
+	maxPrefix := 2
+	for n := maxPrefix; n >= 1; n-- {
+		ok := true
+		for i := 0; i < n; i++ {
+			c := lx.peekAt(i)
+			switch c {
+			case 'r', 'R', 'b', 'B', 'u', 'U', 'f', 'F':
+			default:
+				ok = false
+			}
+		}
+		if ok && isQuote(lx.peekAt(n)) {
+			prefix := lx.src[lx.pos : lx.pos+n]
+			lx.advance(n)
+			tok, err := lx.scanString(prefix)
+			return tok, true, err
+		}
+	}
+	return Token{}, false, nil
+}
+
+// scanString consumes a quoted literal. prefix has already been consumed.
+func (lx *Lexer) scanString(prefix string) (Token, error) {
+	line, col := lx.line, lx.col
+	q := lx.peekByte()
+	raw := strings.ContainsAny(prefix, "rR")
+	triple := lx.peekAt(1) == q && lx.peekAt(2) == q
+	n := 1
+	if triple {
+		n = 3
+	}
+	lx.advance(n)
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c == '\\' && !raw {
+			lx.advance(2)
+			continue
+		}
+		if c == q {
+			if !triple {
+				text := lx.src[start:lx.pos]
+				lx.advance(1)
+				return Token{Kind: STRING, Text: text, Line: line, Col: col}, nil
+			}
+			if lx.peekAt(1) == q && lx.peekAt(2) == q {
+				text := lx.src[start:lx.pos]
+				lx.advance(3)
+				return Token{Kind: STRING, Text: text, Line: line, Col: col}, nil
+			}
+			lx.advance(1)
+			continue
+		}
+		if c == '\n' && !triple {
+			return Token{}, errAt(line, col, "unterminated string literal")
+		}
+		lx.advance(1)
+	}
+	return Token{}, errAt(line, col, "unterminated string literal")
+}
+
+func (lx *Lexer) scanName() (Token, error) {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c < utf8.RuneSelf {
+			if !isNameCont(c) {
+				break
+			}
+			lx.advance(1)
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			break
+		}
+		lx.advance(size)
+	}
+	if lx.pos == start {
+		// A non-ASCII byte that is not a letter: reject rather than emit an
+		// empty token (which would make no progress).
+		return Token{}, errAt(line, col, "unexpected character %q", lx.src[lx.pos])
+	}
+	return Token{Kind: NAME, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+}
+
+// scanNumber consumes a numeric literal loosely: digits, letters (for 0x/j/e
+// suffixes), dots, and +/- immediately after an exponent marker.
+func (lx *Lexer) scanNumber() (Token, error) {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c >= '0' && c <= '9' || c == '.' || c == '_' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			prev := c
+			lx.advance(1)
+			if (prev == 'e' || prev == 'E') && (lx.peekByte() == '+' || lx.peekByte() == '-') {
+				// Only consume the sign in a decimal exponent, not hex.
+				text := lx.src[start:lx.pos]
+				if !strings.HasPrefix(text, "0x") && !strings.HasPrefix(text, "0X") {
+					lx.advance(1)
+				}
+			}
+			continue
+		}
+		break
+	}
+	return Token{Kind: NUMBER, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+}
+
+// operators longest-first so that e.g. "**=" beats "**" beats "*".
+var operators = []string{
+	"**=", "//=", ">>=", "<<=", "...", "!=", ">=", "<=", "==", "->", ":=",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "@=", "**", "//", "<<",
+	">>", "+", "-", "*", "/", "%", "@", "&", "|", "^", "~", "<", ">", "(",
+	")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
+}
+
+func (lx *Lexer) scanOp() (Token, error) {
+	line, col := lx.line, lx.col
+	rest := lx.src[lx.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			switch op {
+			case "(", "[", "{":
+				lx.parenDepth++
+			case ")", "]", "}":
+				if lx.parenDepth > 0 {
+					lx.parenDepth--
+				}
+			}
+			lx.advance(len(op))
+			return Token{Kind: OP, Text: op, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", lx.peekByte())
+}

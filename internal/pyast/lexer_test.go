@@ -1,0 +1,305 @@
+package pyast
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func mustTokenize(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestTokenizeSimpleLine(t *testing.T) {
+	toks := mustTokenize(t, "import os\n")
+	want := []Kind{NAME, NAME, NEWLINE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+	if toks[0].Text != "import" || toks[1].Text != "os" {
+		t.Fatalf("texts = %q %q", toks[0].Text, toks[1].Text)
+	}
+}
+
+func TestTokenizeMissingFinalNewline(t *testing.T) {
+	toks := mustTokenize(t, "x = 1")
+	got := kinds(toks)
+	want := []Kind{NAME, OP, NUMBER, NEWLINE, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTokenizeIndentation(t *testing.T) {
+	src := "def f():\n    x = 1\n    y = 2\nz = 3\n"
+	toks := mustTokenize(t, src)
+	var indents, dedents int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case INDENT:
+			indents++
+		case DEDENT:
+			dedents++
+		}
+	}
+	if indents != 1 || dedents != 1 {
+		t.Fatalf("indents=%d dedents=%d, want 1/1", indents, dedents)
+	}
+}
+
+func TestTokenizeNestedDedents(t *testing.T) {
+	src := "if a:\n  if b:\n    x = 1\ny = 2\n"
+	toks := mustTokenize(t, src)
+	var dedents int
+	for _, tok := range toks {
+		if tok.Kind == DEDENT {
+			dedents++
+		}
+	}
+	if dedents != 2 {
+		t.Fatalf("dedents = %d, want 2", dedents)
+	}
+}
+
+func TestTokenizeDanglingIndentClosedAtEOF(t *testing.T) {
+	toks := mustTokenize(t, "if a:\n    x = 1")
+	last := kinds(toks)
+	if last[len(last)-1] != EOF || last[len(last)-2] != DEDENT {
+		t.Fatalf("kinds = %v, want ... DEDENT EOF", last)
+	}
+}
+
+func TestTokenizeBadDedent(t *testing.T) {
+	_, err := Tokenize("if a:\n    x = 1\n  y = 2\n")
+	if err == nil {
+		t.Fatal("inconsistent dedent accepted")
+	}
+	if !strings.Contains(err.Error(), "unindent") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTokenizeBlankAndCommentLinesNoIndent(t *testing.T) {
+	src := "def f():\n    x = 1\n\n    # comment\n\t\n    y = 2\n"
+	toks := mustTokenize(t, src)
+	var indents int
+	for _, tok := range toks {
+		if tok.Kind == INDENT {
+			indents++
+		}
+	}
+	if indents != 1 {
+		t.Fatalf("indents = %d, want 1 (blank/comment lines must not indent)", indents)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks := mustTokenize(t, "x = 1  # import fake\n")
+	for _, tok := range toks {
+		if tok.Kind == NAME && tok.Text == "import" {
+			t.Fatal("comment content leaked into token stream")
+		}
+	}
+}
+
+func TestTokenizeStringForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`'abc'`, "abc"},
+		{`"abc"`, "abc"},
+		{`'''tri\nple'''`, `tri\nple`},
+		{`"""doc"""`, "doc"},
+		{`r'raw\n'`, `raw\n`},
+		{`b"bytes"`, "bytes"},
+		{`f"fmt {x}"`, "fmt {x}"},
+		{`rb'rawbytes'`, "rawbytes"},
+		{`'esc\'aped'`, `esc\'aped`},
+		{`"with # hash"`, "with # hash"},
+	}
+	for _, c := range cases {
+		toks := mustTokenize(t, "x = "+c.src+"\n")
+		var str *Token
+		for i := range toks {
+			if toks[i].Kind == STRING {
+				str = &toks[i]
+			}
+		}
+		if str == nil {
+			t.Errorf("no STRING token for %s", c.src)
+			continue
+		}
+		if str.Text != c.want {
+			t.Errorf("string %s = %q, want %q", c.src, str.Text, c.want)
+		}
+	}
+}
+
+func TestTokenizeTripleStringSpansLines(t *testing.T) {
+	src := "s = '''line1\nline2\n   indented'''\nx = 1\n"
+	toks := mustTokenize(t, src)
+	var indents int
+	for _, tok := range toks {
+		if tok.Kind == INDENT {
+			indents++
+		}
+	}
+	if indents != 0 {
+		t.Fatal("string content affected indentation")
+	}
+}
+
+func TestTokenizeUnterminatedString(t *testing.T) {
+	for _, src := range []string{"x = 'abc\n", "x = '''abc\n"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("unterminated string accepted: %q", src)
+		}
+	}
+}
+
+func TestTokenizeImplicitContinuation(t *testing.T) {
+	src := "f(a,\n  b,\n  c)\ny = 1\n"
+	toks := mustTokenize(t, src)
+	var newlines int
+	for _, tok := range toks {
+		if tok.Kind == NEWLINE {
+			newlines++
+		}
+	}
+	if newlines != 2 {
+		t.Fatalf("newlines = %d, want 2 (no logical break inside parens)", newlines)
+	}
+	var indents int
+	for _, tok := range toks {
+		if tok.Kind == INDENT {
+			indents++
+		}
+	}
+	if indents != 0 {
+		t.Fatal("continuation lines must not produce INDENT")
+	}
+}
+
+func TestTokenizeBackslashContinuation(t *testing.T) {
+	toks := mustTokenize(t, "x = 1 + \\\n    2\n")
+	var newlines int
+	for _, tok := range toks {
+		if tok.Kind == NEWLINE {
+			newlines++
+		}
+	}
+	if newlines != 1 {
+		t.Fatalf("newlines = %d, want 1", newlines)
+	}
+}
+
+func TestTokenizeOperatorsLongestMatch(t *testing.T) {
+	toks := mustTokenize(t, "a **= b // c != d ... e := f\n")
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == OP {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"**=", "//", "!=", "...", ":="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks := mustTokenize(t, "a = 1_000 + 0x1f + 3.14e-2 + 2j\n")
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == NUMBER {
+			nums = append(nums, tok.Text)
+		}
+	}
+	want := []string{"1_000", "0x1f", "3.14e-2", "2j"}
+	if len(nums) != len(want) {
+		t.Fatalf("nums = %v, want %v", nums, want)
+	}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Fatalf("nums = %v, want %v", nums, want)
+		}
+	}
+}
+
+func TestTokenizeCRLF(t *testing.T) {
+	toks := mustTokenize(t, "import os\r\nimport sys\r\n")
+	var names []string
+	for _, tok := range toks {
+		if tok.Kind == NAME {
+			names = append(names, tok.Text)
+		}
+	}
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTokenizeUnicodeIdentifier(t *testing.T) {
+	toks := mustTokenize(t, "héllo = 1\n")
+	if toks[0].Kind != NAME || toks[0].Text != "héllo" {
+		t.Fatalf("token = %v", toks[0])
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks := mustTokenize(t, "a = 1\nbb = 2\n")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	var bb Token
+	for _, tok := range toks {
+		if tok.Text == "bb" {
+			bb = tok
+		}
+	}
+	if bb.Line != 2 || bb.Col != 1 {
+		t.Fatalf("bb at %d:%d, want 2:1", bb.Line, bb.Col)
+	}
+}
+
+// Property: tokenizing never panics or loops on arbitrary input, and always
+// terminates with EOF when it succeeds.
+func TestTokenizeRobustnessProperty(t *testing.T) {
+	prop := func(src string) bool {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return true // errors are fine; crashes are not
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

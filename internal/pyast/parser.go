@@ -1,0 +1,437 @@
+package pyast
+
+import "strings"
+
+// Parse tokenizes and parses src into a Module.
+func Parse(src string) (*Module, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	body, err := p.suite(false)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(EOF) {
+		t := p.peek()
+		return nil, errAt(t.Line, t.Col, "unexpected %s at top level", t.Kind)
+	}
+	return &Module{Body: body}, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) atKeyword(kw string) bool { return p.peek().IsKeyword(kw) }
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errAt(t.Line, t.Col, "expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+// suite parses statements until DEDENT (nested=true) or EOF (nested=false).
+func (p *parser) suite(nested bool) ([]Stmt, error) {
+	var body []Stmt
+	for {
+		switch {
+		case p.at(EOF):
+			return body, nil
+		case p.at(DEDENT):
+			if nested {
+				p.next()
+				return body, nil
+			}
+			t := p.peek()
+			return nil, errAt(t.Line, t.Col, "unexpected dedent")
+		case p.at(NEWLINE):
+			p.next()
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			body = append(body, s)
+		}
+	}
+}
+
+var blockKeywords = map[string]bool{
+	"if": true, "elif": true, "else": true, "for": true, "while": true,
+	"with": true, "try": true, "except": true, "finally": true,
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.IsKeyword("import"):
+		return p.importStmt()
+	case t.IsKeyword("from"):
+		return p.fromImportStmt()
+	case t.IsKeyword("def"):
+		return p.defStmt(false, nil, 0)
+	case t.IsKeyword("async"):
+		// Could be "async def", "async for", or "async with".
+		if p.toks[p.pos+1].IsKeyword("def") {
+			p.next()
+			return p.defStmt(true, nil, 0)
+		}
+		return p.blockStmt()
+	case t.IsKeyword("class"):
+		return p.classStmt(nil, 0)
+	case t.Kind == OP && t.Text == "@":
+		return p.decorated()
+	case t.Kind == NAME && blockKeywords[t.Text] && keywords[t.Text]:
+		return p.blockStmt()
+	default:
+		return p.simpleStmt()
+	}
+}
+
+// dottedName parses NAME ("." NAME)* and returns the joined path.
+func (p *parser) dottedName() (string, error) {
+	first, err := p.expect(NAME)
+	if err != nil {
+		return "", err
+	}
+	parts := []string{first.Text}
+	for p.at(OP) && p.peek().Text == "." {
+		p.next()
+		n, err := p.expect(NAME)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, n.Text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+// importStmt parses "import a.b as x, c".
+func (p *parser) importStmt() (Stmt, error) {
+	kw := p.next() // "import"
+	stmt := &Import{Line: kw.Line}
+	for {
+		mod, err := p.dottedName()
+		if err != nil {
+			return nil, err
+		}
+		item := ImportItem{Module: mod}
+		if p.atKeyword("as") {
+			p.next()
+			alias, err := p.expect(NAME)
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias.Text
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.at(OP) && p.peek().Text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	return stmt, p.endOfLine()
+}
+
+// fromImportStmt parses "from [.]*mod import (a as b, c)" and "from m import *".
+func (p *parser) fromImportStmt() (Stmt, error) {
+	kw := p.next() // "from"
+	stmt := &FromImport{Line: kw.Line}
+	for p.at(OP) && (p.peek().Text == "." || p.peek().Text == "...") {
+		stmt.Level += len(p.next().Text)
+	}
+	if p.at(NAME) && !p.atKeyword("import") {
+		mod, err := p.dottedName()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Module = mod
+	}
+	if stmt.Level == 0 && stmt.Module == "" {
+		t := p.peek()
+		return nil, errAt(t.Line, t.Col, "from-import missing module")
+	}
+	if !p.atKeyword("import") {
+		t := p.peek()
+		return nil, errAt(t.Line, t.Col, "expected 'import' in from-import")
+	}
+	p.next()
+
+	if p.at(OP) && p.peek().Text == "*" {
+		p.next()
+		stmt.Star = true
+		return stmt, p.endOfLine()
+	}
+	paren := false
+	if p.at(OP) && p.peek().Text == "(" {
+		paren = true
+		p.next()
+	}
+	for {
+		name, err := p.expect(NAME)
+		if err != nil {
+			return nil, err
+		}
+		in := ImportName{Name: name.Text}
+		if p.atKeyword("as") {
+			p.next()
+			alias, err := p.expect(NAME)
+			if err != nil {
+				return nil, err
+			}
+			in.Alias = alias.Text
+		}
+		stmt.Names = append(stmt.Names, in)
+		if p.at(OP) && p.peek().Text == "," {
+			p.next()
+			if paren && p.at(OP) && p.peek().Text == ")" {
+				break // trailing comma
+			}
+			continue
+		}
+		break
+	}
+	if paren {
+		t := p.peek()
+		if t.Kind != OP || t.Text != ")" {
+			return nil, errAt(t.Line, t.Col, "expected ')' in from-import, found %q", t.Text)
+		}
+		p.next()
+	}
+	return stmt, p.endOfLine()
+}
+
+// endOfLine verifies the statement ends here. Semicolon separators are
+// consumed; the terminating NEWLINE is left for the enclosing suite, so that
+// inline bodies ("if x: import os; import sys") can keep parsing statements.
+func (p *parser) endOfLine() error {
+	switch {
+	case p.at(NEWLINE), p.at(EOF), p.at(DEDENT):
+		return nil
+	case p.at(OP) && p.peek().Text == ";":
+		p.next()
+		return nil
+	}
+	t := p.peek()
+	return errAt(t.Line, t.Col, "expected end of statement, found %s %q", t.Kind, t.Text)
+}
+
+// decorated parses one or more "@dotted(...)" lines followed by a def/class.
+func (p *parser) decorated() (Stmt, error) {
+	decoLine := p.peek().Line
+	var decorators []string
+	for p.at(OP) && p.peek().Text == "@" {
+		p.next()
+		name, err := p.dottedName()
+		if err != nil {
+			return nil, err
+		}
+		decorators = append(decorators, name)
+		// Skip decorator arguments and anything else to end of line.
+		if err := p.skipToNewline(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.atKeyword("def"):
+		return p.defStmt(false, decorators, decoLine)
+	case p.atKeyword("async") && p.toks[p.pos+1].IsKeyword("def"):
+		p.next()
+		return p.defStmt(true, decorators, decoLine)
+	case p.atKeyword("class"):
+		return p.classStmt(decorators, decoLine)
+	}
+	t := p.peek()
+	return nil, errAt(t.Line, t.Col, "decorator not followed by def or class")
+}
+
+// skipToNewline discards tokens through the next NEWLINE.
+func (p *parser) skipToNewline() error {
+	for {
+		switch p.peek().Kind {
+		case NEWLINE:
+			p.next()
+			return nil
+		case EOF:
+			return nil
+		case INDENT, DEDENT:
+			t := p.peek()
+			return errAt(t.Line, t.Col, "unexpected %s", t.Kind)
+		}
+		p.next()
+	}
+}
+
+// header consumes tokens up to the block-introducing ":" at bracket depth 0
+// (the lexer already hides newlines inside brackets). Lambda colons at depth
+// zero are recognized and skipped.
+func (p *parser) header() ([]Token, error) {
+	depth := 0
+	lambdaPending := 0
+	var toks []Token
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == EOF || t.Kind == NEWLINE:
+			return nil, errAt(t.Line, t.Col, "expected ':' before end of line")
+		case t.Kind == OP && (t.Text == "(" || t.Text == "[" || t.Text == "{"):
+			depth++
+		case t.Kind == OP && (t.Text == ")" || t.Text == "]" || t.Text == "}"):
+			depth--
+		case t.IsKeyword("lambda") && depth == 0:
+			lambdaPending++
+		case t.Kind == OP && t.Text == ":" && depth == 0:
+			if lambdaPending > 0 {
+				lambdaPending--
+			} else {
+				p.next() // consume the ':'
+				return toks, nil
+			}
+		}
+		toks = append(toks, p.next())
+	}
+}
+
+// body parses what follows a header colon: either an indented suite or an
+// inline simple-statement list on the same line.
+func (p *parser) body() ([]Stmt, error) {
+	if p.at(NEWLINE) {
+		p.next()
+		if _, err := p.expect(INDENT); err != nil {
+			return nil, err
+		}
+		return p.suite(true)
+	}
+	// Inline suite: "def f(): return 1" or "if x: import os; import sys".
+	var stmts []Stmt
+	for {
+		if p.at(NEWLINE) {
+			p.next()
+			break
+		}
+		if p.at(EOF) || p.at(DEDENT) {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	return stmts, nil
+}
+
+func (p *parser) defStmt(async bool, decorators []string, decoLine int) (Stmt, error) {
+	kw := p.next() // "def"
+	name, err := p.expect(NAME)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.header(); err != nil { // parameter list + annotations
+		return nil, err
+	}
+	body, err := p.body()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{Line: kw.Line, DecoratorLine: decoLine, EndLine: p.lastLine(),
+		Name: name.Text, Async: async, Decorators: decorators, Body: body}, nil
+}
+
+// lastLine reports the source line of the most recently consumed *content*
+// token. Trailing NEWLINE/INDENT/DEDENT/EOF tokens are skipped: a DEDENT is
+// emitted at the start of the line that follows the block, which would
+// overshoot the block's true extent.
+func (p *parser) lastLine() int {
+	for i := p.pos - 1; i >= 0; i-- {
+		switch p.toks[i].Kind {
+		case NEWLINE, INDENT, DEDENT, EOF:
+			continue
+		}
+		return p.toks[i].Line
+	}
+	return 0
+}
+
+func (p *parser) classStmt(decorators []string, decoLine int) (Stmt, error) {
+	kw := p.next() // "class"
+	name, err := p.expect(NAME)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(OP) || p.peek().Text != ":" {
+		if _, err := p.header(); err != nil { // base class list
+			return nil, err
+		}
+	} else {
+		p.next()
+	}
+	body, err := p.body()
+	if err != nil {
+		return nil, err
+	}
+	return &ClassDef{Line: kw.Line, DecoratorLine: decoLine, EndLine: p.lastLine(),
+		Name: name.Text, Decorators: decorators, Body: body}, nil
+}
+
+func (p *parser) blockStmt() (Stmt, error) {
+	kw := p.next() // if/for/while/... or async (for async for/with)
+	keyword := kw.Text
+	if keyword == "async" {
+		inner := p.next()
+		keyword = "async " + inner.Text
+	}
+	if _, err := p.header(); err != nil {
+		return nil, err
+	}
+	body, err := p.body()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Line: kw.Line, Keyword: keyword, Body: body}, nil
+}
+
+// simpleStmt captures a logical line of anything else, tokens retained. A
+// top-level ";" ends the statement (the next one follows on the same line);
+// the terminating NEWLINE is left unconsumed for the suite.
+func (p *parser) simpleStmt() (Stmt, error) {
+	start := p.peek()
+	var toks []Token
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case NEWLINE, EOF, DEDENT:
+			return &Simple{Line: start.Line, Tokens: toks}, nil
+		case INDENT:
+			return nil, errAt(t.Line, t.Col, "unexpected indent")
+		case OP:
+			if t.Text == ";" {
+				p.next()
+				return &Simple{Line: start.Line, Tokens: toks}, nil
+			}
+		}
+		toks = append(toks, p.next())
+	}
+}

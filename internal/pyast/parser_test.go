@@ -1,0 +1,317 @@
+package pyast
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse:\n%s\nerror: %v", src, err)
+	}
+	return m
+}
+
+func TestParseImportForms(t *testing.T) {
+	m := mustParse(t, `
+import os
+import os.path
+import numpy as np, scipy.linalg as la
+`)
+	if len(m.Body) != 3 {
+		t.Fatalf("body = %d statements, want 3", len(m.Body))
+	}
+	imp3 := m.Body[2].(*Import)
+	if len(imp3.Items) != 2 {
+		t.Fatalf("items = %v", imp3.Items)
+	}
+	if imp3.Items[0].Module != "numpy" || imp3.Items[0].Alias != "np" {
+		t.Fatalf("item0 = %+v", imp3.Items[0])
+	}
+	if imp3.Items[1].Module != "scipy.linalg" || imp3.Items[1].Alias != "la" {
+		t.Fatalf("item1 = %+v", imp3.Items[1])
+	}
+}
+
+func TestParseFromImportForms(t *testing.T) {
+	m := mustParse(t, `
+from os import path
+from os.path import join as j, split
+from . import sibling
+from ..pkg import thing
+from tensorflow.keras import *
+from collections import (
+    OrderedDict,
+    defaultdict,
+)
+`)
+	fi := func(i int) *FromImport { return m.Body[i].(*FromImport) }
+	if fi(0).Module != "os" || fi(0).Names[0].Name != "path" {
+		t.Fatalf("stmt0 = %+v", fi(0))
+	}
+	if fi(1).Names[0].Alias != "j" || fi(1).Names[1].Name != "split" {
+		t.Fatalf("stmt1 = %+v", fi(1))
+	}
+	if fi(2).Level != 1 || fi(2).Module != "" || fi(2).Names[0].Name != "sibling" {
+		t.Fatalf("stmt2 = %+v", fi(2))
+	}
+	if fi(3).Level != 2 || fi(3).Module != "pkg" {
+		t.Fatalf("stmt3 = %+v", fi(3))
+	}
+	if !fi(4).Star || fi(4).Module != "tensorflow.keras" {
+		t.Fatalf("stmt4 = %+v", fi(4))
+	}
+	if len(fi(5).Names) != 2 {
+		t.Fatalf("parenthesized names = %+v", fi(5).Names)
+	}
+}
+
+func TestParseFunctionWithImports(t *testing.T) {
+	m := mustParse(t, `
+import os
+
+@parsl.python_app
+def analyze(data, out="x.txt"):
+    import numpy as np
+    from scipy import linalg
+    return np.sum(data)
+
+def plain():
+    pass
+`)
+	f, ok := m.Function("analyze")
+	if !ok {
+		t.Fatal("function analyze not found")
+	}
+	if len(f.Decorators) != 1 || f.Decorators[0] != "parsl.python_app" {
+		t.Fatalf("decorators = %v", f.Decorators)
+	}
+	if len(f.Body) != 3 {
+		t.Fatalf("body = %d statements, want 3", len(f.Body))
+	}
+	if _, ok := f.Body[0].(*Import); !ok {
+		t.Fatalf("body[0] = %T, want *Import", f.Body[0])
+	}
+	if _, ok := f.Body[1].(*FromImport); !ok {
+		t.Fatalf("body[1] = %T, want *FromImport", f.Body[1])
+	}
+	if _, ok := m.Function("plain"); !ok {
+		t.Fatal("function plain not found")
+	}
+}
+
+func TestParseNestedStructures(t *testing.T) {
+	m := mustParse(t, `
+class Analyzer:
+    """Doc string."""
+
+    def method(self):
+        if True:
+            import json
+        for i in range(10):
+            with open("f") as f:
+                import csv
+        try:
+            import cPickle as pickle
+        except ImportError:
+            import pickle
+`)
+	cls := m.Body[0].(*ClassDef)
+	if cls.Name != "Analyzer" {
+		t.Fatalf("class = %+v", cls)
+	}
+	funcs := m.Functions()
+	if len(funcs) != 1 || funcs[0].Name != "method" {
+		t.Fatalf("functions = %v", funcs)
+	}
+	// All four conditional imports must be reachable via Walk.
+	var imports int
+	Walk(m.Body, func(s Stmt) bool {
+		if _, ok := s.(*Import); ok {
+			imports++
+		}
+		return true
+	})
+	if imports != 4 {
+		t.Fatalf("found %d imports, want 4", imports)
+	}
+}
+
+func TestParseInlineBodies(t *testing.T) {
+	m := mustParse(t, "if x: import os; import sys\ndef f(): return 1\n")
+	blk := m.Body[0].(*Block)
+	if len(blk.Body) != 2 {
+		t.Fatalf("inline block body = %d, want 2", len(blk.Body))
+	}
+	for _, s := range blk.Body {
+		if _, ok := s.(*Import); !ok {
+			t.Fatalf("inline stmt = %T, want *Import", s)
+		}
+	}
+	f := m.Body[1].(*FuncDef)
+	if len(f.Body) != 1 {
+		t.Fatalf("inline def body = %d, want 1", len(f.Body))
+	}
+}
+
+func TestParseHeaderWithColonsInBrackets(t *testing.T) {
+	m := mustParse(t, `
+def f(x: int, y: dict = {"a": 1}) -> str:
+    return "ok"
+
+for k in {1: "a", 2: "b"}:
+    pass
+
+while m[1:3]:
+    break
+`)
+	if len(m.Body) != 3 {
+		t.Fatalf("body = %d statements, want 3", len(m.Body))
+	}
+	if _, ok := m.Body[0].(*FuncDef); !ok {
+		t.Fatalf("body[0] = %T", m.Body[0])
+	}
+}
+
+func TestParseLambdaColonInHeader(t *testing.T) {
+	m := mustParse(t, "if sorted(xs, key=lambda v: v.x):\n    pass\n")
+	if _, ok := m.Body[0].(*Block); !ok {
+		t.Fatalf("body[0] = %T", m.Body[0])
+	}
+	// Lambda colon at depth 0 in header.
+	m2 := mustParse(t, "with ctx() as f, g() as h:\n    k = lambda: 1\n")
+	if _, ok := m2.Body[0].(*Block); !ok {
+		t.Fatalf("body[0] = %T", m2.Body[0])
+	}
+}
+
+func TestParseAsyncForms(t *testing.T) {
+	m := mustParse(t, `
+async def fetch(url):
+    import aiohttp
+    async with session() as s:
+        async for chunk in s:
+            pass
+`)
+	f := m.Body[0].(*FuncDef)
+	if !f.Async || f.Name != "fetch" {
+		t.Fatalf("func = %+v", f)
+	}
+	inner := f.Body[1].(*Block)
+	if inner.Keyword != "async with" {
+		t.Fatalf("keyword = %q", inner.Keyword)
+	}
+}
+
+func TestParseDecoratorWithArguments(t *testing.T) {
+	m := mustParse(t, `
+@python_app(executors=["wq"], cache=True)
+@other.mark
+def work():
+    pass
+`)
+	f := m.Body[0].(*FuncDef)
+	if len(f.Decorators) != 2 || f.Decorators[0] != "python_app" || f.Decorators[1] != "other.mark" {
+		t.Fatalf("decorators = %v", f.Decorators)
+	}
+}
+
+func TestParseClassWithBases(t *testing.T) {
+	m := mustParse(t, "class A(Base, metaclass=Meta):\n    x = 1\n")
+	cls := m.Body[0].(*ClassDef)
+	if cls.Name != "A" || len(cls.Body) != 1 {
+		t.Fatalf("class = %+v", cls)
+	}
+}
+
+func TestParseSimpleStatementTokensRetained(t *testing.T) {
+	m := mustParse(t, `mod = __import__("json")`+"\n")
+	s := m.Body[0].(*Simple)
+	var sawDunder, sawString bool
+	for _, tok := range s.Tokens {
+		if tok.Kind == NAME && tok.Text == "__import__" {
+			sawDunder = true
+		}
+		if tok.Kind == STRING && tok.Text == "json" {
+			sawString = true
+		}
+	}
+	if !sawDunder || !sawString {
+		t.Fatalf("tokens = %v", s.Tokens)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"import \n",
+		"from import x\n",
+		"from x import\n",
+		"def :\n    pass\n",
+		"@deco\nx = 1\n",
+		"def f(:\n", // unbalanced header: lexer hides the newline, EOF hits
+		"import os as\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRealisticParslScript(t *testing.T) {
+	src := `
+"""A Parsl analysis script like the paper's HEP example."""
+import parsl
+from parsl import python_app
+from parsl.config import Config
+
+@python_app
+def preprocess(path):
+    import uproot
+    import awkward as ak
+    return uproot.open(path)
+
+@python_app
+def analyze(events):
+    import coffea.processor as processor
+    from coffea import hist
+    out = processor.run(events)
+    return out
+
+@python_app
+def postprocess(results):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    plt.plot(results)
+
+def main():
+    cfg = Config()
+    parsl.load(cfg)
+    futures = [preprocess(p) for p in paths]
+    done = [analyze(f) for f in futures]
+    postprocess(done)
+
+if __name__ == "__main__":
+    main()
+`
+	m := mustParse(t, src)
+	funcs := m.Functions()
+	if len(funcs) != 4 {
+		t.Fatalf("functions = %d, want 4", len(funcs))
+	}
+	pre, _ := m.Function("preprocess")
+	var mods []string
+	Walk(pre.Body, func(s Stmt) bool {
+		if imp, ok := s.(*Import); ok {
+			for _, it := range imp.Items {
+				mods = append(mods, it.Module)
+			}
+		}
+		return true
+	})
+	if len(mods) != 2 || mods[0] != "uproot" || mods[1] != "awkward" {
+		t.Fatalf("preprocess imports = %v", mods)
+	}
+}

@@ -1,0 +1,79 @@
+// Package pyast provides a tokenizer and a block-structure parser for a
+// practical subset of Python 3 source, sufficient for the static dependency
+// analysis of the LFM paper (§V-B): finding import statements (and variations
+// thereof) at module level and inside function bodies, without executing any
+// code. It handles comments, all string-literal forms, explicit and implicit
+// line continuation, and indentation-based block structure.
+package pyast
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. COMMENT tokens are consumed by the lexer and never emitted.
+const (
+	EOF     Kind = iota
+	NEWLINE      // logical end of statement
+	INDENT       // block opened
+	DEDENT       // block closed
+	NAME         // identifier or keyword
+	NUMBER       // numeric literal (scanned loosely)
+	STRING       // string literal of any quoting/prefix form
+	OP           // operator or punctuation
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", NEWLINE: "NEWLINE", INDENT: "INDENT", DEDENT: "DEDENT",
+	NAME: "NAME", NUMBER: "NUMBER", STRING: "STRING", OP: "OP",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Token is one lexical token with its source position (1-based line/column).
+type Token struct {
+	Kind Kind
+	// Text is the token text. For STRING tokens it is the *decoded inner
+	// text* for ordinary quotes (prefixes and quotes stripped, no escape
+	// processing beyond quote removal), which is what import analysis of
+	// __import__("name") needs.
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+// keywords is the Python 3.8 keyword set. Soft keywords (match/case) are
+// treated as names, as they were in the Python versions the paper targets.
+var keywords = map[string]bool{
+	"False": true, "None": true, "True": true, "and": true, "as": true,
+	"assert": true, "async": true, "await": true, "break": true, "class": true,
+	"continue": true, "def": true, "del": true, "elif": true, "else": true,
+	"except": true, "finally": true, "for": true, "from": true, "global": true,
+	"if": true, "import": true, "in": true, "is": true, "lambda": true,
+	"nonlocal": true, "not": true, "or": true, "pass": true, "raise": true,
+	"return": true, "try": true, "while": true, "with": true, "yield": true,
+}
+
+// IsKeyword reports whether the token is the given Python keyword.
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == NAME && t.Text == kw && keywords[kw]
+}
+
+// SyntaxError describes a tokenization or parse failure with its position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pyast: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,326 @@
+package pypkg
+
+// DefaultCatalog returns an index stocked with the packages the paper's
+// evaluation exercises: the Python interpreter with its native runtime
+// dependencies, NumPy, the five high-download SCIENTIFIC/ENGINEERING PyPI
+// packages of Table II, the TensorFlow/MXNet ML stacks, and the three
+// application environments (HEP/Coffea, drug screening, genomic analysis).
+//
+// Sizes, file counts, and dependency-closure shapes follow the magnitudes
+// the paper reports (Table II; §VI-C1 gives the HEP Conda environment as a
+// 240 MB packed file): interpreter ~100 MB, NumPy tens of MB, TensorFlow in
+// the GB range with tens of dependencies and tens of thousands of files.
+func DefaultCatalog() *Index {
+	ix := NewIndex()
+
+	// --- native (non-Python) runtime packages, provided via Conda ---
+	native := []struct {
+		name  string
+		ver   Version
+		arMB  float64
+		insMB float64
+		files int
+		deps  []Spec
+	}{
+		{"ca-certificates", V(2020, 6, 20), 0.15, 0.3, 10, nil},
+		{"openssl", V(1, 1, 1), 2.5, 8, 60, nil},
+		{"zlib", V(1, 2, 11), 0.1, 0.4, 12, nil},
+		{"xz", V(5, 2, 5), 0.4, 1.2, 25, nil},
+		{"bzip2", V(1, 0, 8), 0.1, 0.5, 15, nil},
+		{"readline", V(8, 0, 0), 0.4, 1.5, 18, nil},
+		{"ncurses", V(6, 2, 0), 1.0, 4, 120, nil},
+		{"libffi", V(3, 2, 1), 0.05, 0.2, 8, nil},
+		{"sqlite", V(3, 32, 3), 1.2, 4, 14, []Spec{Any("zlib")}},
+		{"tk", V(8, 6, 10), 3.2, 12, 400, []Spec{Any("zlib")}},
+		{"libopenblas", V(0, 3, 10), 8, 30, 24, nil},
+		{"hdf5", V(1, 10, 6), 3.5, 14, 160, []Spec{Any("zlib")}},
+		{"freetype", V(2, 10, 2), 0.9, 3, 40, []Spec{Any("zlib"), Any("libpng")}},
+		{"libpng", V(1, 6, 37), 0.3, 1.2, 20, []Spec{Any("zlib")}},
+		{"lz4-c", V(1, 9, 2), 0.2, 0.7, 14, nil},
+		{"libprotobuf", V(3, 12, 3), 2.3, 9, 90, []Spec{Any("zlib")}},
+		{"grpc-native", V(1, 30, 0), 4.5, 18, 110, []Spec{Any("openssl"), Any("zlib")}},
+		{"llvm-runtime", V(9, 0, 1), 22, 85, 300, nil},
+		{"cudatoolkit-stub", V(10, 1, 0), 60, 240, 500, nil},
+		{"boost-cpp", V(1, 72, 0), 18, 70, 1400, []Spec{Any("zlib"), Any("bzip2")}},
+		{"cairo", V(1, 16, 0), 1.4, 5, 60, []Spec{Any("libpng"), Any("freetype")}},
+		{"perl", V(5, 26, 2), 12, 50, 2200, nil},
+		{"htslib", V(1, 9, 0), 1.5, 5, 45, []Spec{Any("zlib"), Any("bzip2"), Any("xz")}},
+		{"openjdk", V(8, 0, 152), 70, 280, 600, nil},
+	}
+	for _, n := range native {
+		ix.Add(&Package{
+			Name: n.name, Version: n.ver, Requires: n.deps,
+			ArchiveBytes: mb(n.arMB), InstalledBytes: mb(n.insMB),
+			FileCount: n.files, NonPython: true,
+		})
+	}
+
+	// --- the interpreter itself ---
+	// "the Python interpreter alone (which itself depends on several
+	// non-Python packages provided via Conda)" — Table II row 1.
+	pythonDeps := []Spec{
+		Any("ca-certificates"), Any("openssl"), Any("zlib"), Any("xz"),
+		Any("bzip2"), Any("readline"), Any("ncurses"), Any("libffi"),
+		Any("sqlite"), Any("tk"),
+	}
+	for _, v := range []Version{V(3, 7, 7), V(3, 8, 5)} {
+		ix.Add(&Package{
+			Name: "python", Version: v, Requires: pythonDeps,
+			ArchiveBytes: mb(25), InstalledBytes: mb(140), FileCount: 4200,
+		})
+	}
+	// Installer tooling always present in a Conda env.
+	ix.Add(&Package{Name: "setuptools", Version: V(49, 6, 0), Requires: []Spec{Any("python")},
+		ArchiveBytes: mb(0.8), InstalledBytes: mb(3), FileCount: 350})
+	ix.Add(&Package{Name: "pip", Version: V(20, 2, 2), Requires: []Spec{Any("python"), Any("setuptools"), Any("wheel")},
+		ArchiveBytes: mb(1.5), InstalledBytes: mb(7), FileCount: 700})
+	ix.Add(&Package{Name: "wheel", Version: V(0, 35, 1), Requires: []Spec{Any("python")},
+		ArchiveBytes: mb(0.03), InstalledBytes: mb(0.1), FileCount: 30})
+
+	// --- pure-Python small utility packages ---
+	small := []struct {
+		name     string
+		ver      Version
+		provides []string
+		deps     []Spec
+	}{
+		{"six", V(1, 15, 0), nil, []Spec{Any("python")}},
+		{"pytz", V(2020, 1, 0), nil, []Spec{Any("python")}},
+		{"python-dateutil", V(2, 8, 1), []string{"dateutil"}, []Spec{Any("python"), Any("six")}},
+		{"joblib", V(0, 16, 0), nil, []Spec{Any("python")}},
+		{"threadpoolctl", V(2, 1, 0), nil, []Spec{Any("python")}},
+		{"cycler", V(0, 10, 0), nil, []Spec{Any("python"), Any("six")}},
+		{"kiwisolver", V(1, 2, 0), nil, []Spec{Any("python")}},
+		{"pyparsing", V(2, 4, 7), nil, []Spec{Any("python")}},
+		{"certifi", V(2020, 6, 20), nil, []Spec{Any("python")}},
+		{"idna", V(2, 10, 0), nil, []Spec{Any("python")}},
+		{"chardet", V(3, 0, 4), nil, []Spec{Any("python")}},
+		{"urllib3", V(1, 25, 10), nil, []Spec{Any("python")}},
+		{"absl-py", V(0, 9, 0), []string{"absl"}, []Spec{Any("python"), Any("six")}},
+		{"gast", V(0, 3, 3), nil, []Spec{Any("python")}},
+		{"astunparse", V(1, 6, 3), nil, []Spec{Any("python"), Any("six")}},
+		{"termcolor", V(1, 1, 0), nil, []Spec{Any("python")}},
+		{"wrapt", V(1, 12, 1), nil, []Spec{Any("python")}},
+		{"opt-einsum", V(3, 3, 0), []string{"opt_einsum"}, []Spec{Any("python"), Req("numpy", OpGe, V(1, 7, 0))}},
+		{"keras-preprocessing", V(1, 1, 2), []string{"keras_preprocessing"}, []Spec{Any("python"), Any("numpy"), Any("six")}},
+		{"werkzeug", V(1, 0, 1), nil, []Spec{Any("python")}},
+		{"markdown", V(3, 2, 2), nil, []Spec{Any("python")}},
+		{"cloudpickle", V(1, 5, 0), nil, []Spec{Any("python")}},
+		{"dill", V(0, 3, 2), nil, []Spec{Any("python")}},
+		{"tqdm", V(4, 48, 2), nil, []Spec{Any("python")}},
+		{"psutil", V(5, 7, 2), nil, []Spec{Any("python")}},
+		{"tblib", V(1, 7, 0), nil, []Spec{Any("python")}},
+		{"globus-sdk", V(1, 9, 1), []string{"globus_sdk"}, []Spec{Any("python"), Any("requests")}},
+		{"typeguard", V(2, 9, 1), nil, []Spec{Any("python")}},
+		{"packaging", V(20, 4, 0), nil, []Spec{Any("python"), Any("pyparsing"), Any("six")}},
+		{"retrying", V(1, 3, 3), nil, []Spec{Any("python"), Any("six")}},
+		{"mplhep", V(0, 1, 30), nil, []Spec{Any("python"), Any("matplotlib"), Any("numpy"), Any("packaging")}},
+		{"lz4", V(3, 1, 0), nil, []Spec{Any("python"), Any("lz4-c")}},
+		{"cachetools", V(4, 1, 1), nil, []Spec{Any("python")}},
+		{"pysam", V(0, 16, 0), nil, []Spec{Any("python"), Any("htslib")}},
+		{"smilite", V(2, 3, 0), nil, []Spec{Any("python")}},
+	}
+	for _, s := range small {
+		ix.Add(&Package{
+			Name: s.name, Version: s.ver, Provides: s.provides, Requires: s.deps,
+			ArchiveBytes: mb(0.2), InstalledBytes: mb(1.0), FileCount: 40,
+		})
+	}
+
+	// --- NumPy, at several versions to exercise the resolver ---
+	for _, v := range []Version{V(1, 17, 4), V(1, 18, 1), V(1, 19, 1)} {
+		ix.Add(&Package{
+			Name: "numpy", Version: v,
+			Requires:     []Spec{Any("python"), Any("libopenblas")},
+			ArchiveBytes: mb(14), InstalledBytes: mb(65), FileCount: 850,
+		})
+	}
+
+	// --- the five SCIENTIFIC/ENGINEERING high-download packages ---
+	ix.Add(&Package{
+		Name: "scipy", Version: V(1, 5, 2),
+		Requires:     []Spec{Any("python"), Req("numpy", OpGe, V(1, 14, 5)), Any("libopenblas")},
+		ArchiveBytes: mb(26), InstalledBytes: mb(115), FileCount: 1600,
+	})
+	ix.Add(&Package{
+		Name: "pandas", Version: V(1, 1, 0),
+		Requires: []Spec{Any("python"), Req("numpy", OpGe, V(1, 15, 4)),
+			Any("python-dateutil"), Any("pytz")},
+		ArchiveBytes: mb(11), InstalledBytes: mb(85), FileCount: 1350,
+	})
+	ix.Add(&Package{
+		Name: "scikit-learn", Version: V(0, 23, 2), Provides: []string{"sklearn"},
+		Requires: []Spec{Any("python"), Req("numpy", OpGe, V(1, 13, 3)),
+			Req("scipy", OpGe, V(0, 19, 1)), Any("joblib"), Any("threadpoolctl")},
+		ArchiveBytes: mb(9), InstalledBytes: mb(60), FileCount: 950,
+	})
+	ix.Add(&Package{
+		Name: "matplotlib", Version: V(3, 3, 1),
+		Requires: []Spec{Any("python"), Req("numpy", OpGe, V(1, 15, 0)), Any("pillow"),
+			Any("cycler"), Any("kiwisolver"), Any("pyparsing"), Any("python-dateutil"),
+			Any("freetype")},
+		ArchiveBytes: mb(34), InstalledBytes: mb(120), FileCount: 2100,
+	})
+	ix.Add(&Package{
+		Name: "sympy", Version: V(1, 6, 2),
+		Requires:     []Spec{Any("python"), Any("mpmath")},
+		ArchiveBytes: mb(9), InstalledBytes: mb(55), FileCount: 1700,
+	})
+	ix.Add(&Package{Name: "mpmath", Version: V(1, 1, 0), Requires: []Spec{Any("python")},
+		ArchiveBytes: mb(1), InstalledBytes: mb(5), FileCount: 180})
+	ix.Add(&Package{
+		Name: "pillow", Version: V(7, 2, 0), Provides: []string{"PIL"},
+		Requires:     []Spec{Any("python"), Any("libpng"), Any("freetype"), Any("zlib")},
+		ArchiveBytes: mb(2.2), InstalledBytes: mb(9), FileCount: 220,
+	})
+	ix.Add(&Package{
+		Name: "requests", Version: V(2, 24, 0),
+		Requires: []Spec{Any("python"), Any("urllib3"), Any("idna"),
+			Any("chardet"), Any("certifi")},
+		ArchiveBytes: mb(0.2), InstalledBytes: mb(1), FileCount: 60,
+	})
+
+	// --- the ML stacks ---
+	ix.Add(&Package{
+		Name: "protobuf", Version: V(3, 12, 4), Provides: []string{"google"},
+		Requires:     []Spec{Any("python"), Any("libprotobuf"), Any("six")},
+		ArchiveBytes: mb(1.8), InstalledBytes: mb(8), FileCount: 200,
+	})
+	ix.Add(&Package{
+		Name: "grpcio", Version: V(1, 30, 0), Provides: []string{"grpc"},
+		Requires:     []Spec{Any("python"), Any("grpc-native"), Any("six")},
+		ArchiveBytes: mb(4), InstalledBytes: mb(16), FileCount: 350,
+	})
+	ix.Add(&Package{
+		Name: "h5py", Version: V(2, 10, 0),
+		Requires:     []Spec{Any("python"), Any("hdf5"), Req("numpy", OpGe, V(1, 7, 0)), Any("six")},
+		ArchiveBytes: mb(1.2), InstalledBytes: mb(6), FileCount: 150,
+	})
+	ix.Add(&Package{
+		Name: "tensorboard", Version: V(2, 2, 2),
+		Requires: []Spec{Any("python"), Any("numpy"), Any("protobuf"), Any("grpcio"),
+			Any("werkzeug"), Any("markdown"), Any("absl-py"), Any("requests"), Any("six")},
+		ArchiveBytes: mb(3), InstalledBytes: mb(12), FileCount: 400,
+	})
+	for _, v := range []Version{V(2, 1, 0), V(2, 2, 0)} {
+		ix.Add(&Package{
+			Name: "tensorflow", Version: v,
+			Requires: []Spec{
+				Any("python"), Req("numpy", OpGe, V(1, 16, 0)), Any("six"),
+				Any("protobuf"), Any("grpcio"), Any("absl-py"), Any("gast"),
+				Any("astunparse"), Any("termcolor"), Any("wrapt"), Any("opt-einsum"),
+				Any("keras-preprocessing"), Any("h5py"), Any("tensorboard"),
+				Any("cudatoolkit-stub"), Any("wheel"),
+			},
+			ArchiveBytes: mb(420), InstalledBytes: mb(1900), FileCount: 26000,
+		})
+	}
+	ix.Add(&Package{
+		Name: "mxnet", Version: V(1, 6, 0),
+		Requires: []Spec{Any("python"), Req("numpy", OpGe, V(1, 16, 0)),
+			Any("requests"), Any("cudatoolkit-stub")},
+		ArchiveBytes: mb(330), InstalledBytes: mb(1400), FileCount: 9000,
+	})
+	ix.Add(&Package{
+		Name: "keras", Version: V(2, 4, 3),
+		Requires:     []Spec{Any("python"), Req("tensorflow", OpGe, V(2, 2, 0)), Any("numpy"), Any("h5py")},
+		ArchiveBytes: mb(0.4), InstalledBytes: mb(2), FileCount: 120,
+	})
+
+	// --- parallel frameworks (always shipped with the LFM runtime) ---
+	ix.Add(&Package{
+		Name: "parsl", Version: V(0, 9, 0),
+		Requires: []Spec{Any("python"), Any("typeguard"), Any("dill"),
+			Any("globus-sdk"), Any("requests"), Any("tblib"), Any("psutil"), Any("six")},
+		ArchiveBytes: mb(0.8), InstalledBytes: mb(4), FileCount: 300,
+	})
+	ix.Add(&Package{
+		Name: "work-queue", Version: V(7, 1, 0), Provides: []string{"work_queue"},
+		Requires:     []Spec{Any("python"), Any("perl")},
+		ArchiveBytes: mb(6), InstalledBytes: mb(24), FileCount: 280,
+	})
+	ix.Add(&Package{
+		Name: "funcx", Version: V(0, 0, 5),
+		Requires:     []Spec{Any("python"), Any("requests"), Any("globus-sdk"), Any("parsl")},
+		ArchiveBytes: mb(0.3), InstalledBytes: mb(1.5), FileCount: 90,
+	})
+
+	// --- HEP / Coffea stack ---
+	ix.Add(&Package{Name: "llvmlite", Version: V(0, 34, 0), Requires: []Spec{Any("python"), Any("llvm-runtime")},
+		ArchiveBytes: mb(16), InstalledBytes: mb(60), FileCount: 130})
+	ix.Add(&Package{Name: "numba", Version: V(0, 51, 0),
+		Requires:     []Spec{Any("python"), Req("numpy", OpGe, V(1, 15, 0)), Any("llvmlite"), Any("setuptools")},
+		ArchiveBytes: mb(7), InstalledBytes: mb(35), FileCount: 900})
+	ix.Add(&Package{Name: "uproot", Version: V(3, 12, 0),
+		Requires:     []Spec{Any("python"), Any("numpy"), Any("cachetools"), Any("lz4")},
+		ArchiveBytes: mb(0.5), InstalledBytes: mb(3), FileCount: 140})
+	ix.Add(&Package{Name: "awkward", Version: V(0, 13, 0),
+		Requires:     []Spec{Any("python"), Any("numpy")},
+		ArchiveBytes: mb(0.4), InstalledBytes: mb(2), FileCount: 110})
+	ix.Add(&Package{Name: "coffea", Version: V(0, 6, 47),
+		Requires: []Spec{Any("python"), Any("uproot"), Any("awkward"), Any("numba"),
+			Any("scipy"), Any("matplotlib"), Any("mplhep"), Any("cloudpickle"), Any("tqdm")},
+		ArchiveBytes: mb(1.2), InstalledBytes: mb(6), FileCount: 260})
+
+	// --- drug screening stack ---
+	ix.Add(&Package{Name: "rdkit", Version: V(2020, 3, 0), Provides: []string{"rdkit"},
+		Requires:     []Spec{Any("python"), Any("numpy"), Any("boost-cpp"), Any("cairo"), Any("pillow")},
+		ArchiveBytes: mb(110), InstalledBytes: mb(420), FileCount: 3200})
+	ix.Add(&Package{Name: "mordred", Version: V(1, 2, 0),
+		Requires:     []Spec{Any("python"), Any("rdkit"), Any("numpy"), Any("six")},
+		ArchiveBytes: mb(0.8), InstalledBytes: mb(4), FileCount: 420})
+	ix.Add(&Package{Name: "xgboost", Version: V(1, 1, 1),
+		Requires:     []Spec{Any("python"), Any("numpy"), Any("scipy")},
+		ArchiveBytes: mb(60), InstalledBytes: mb(230), FileCount: 380})
+
+	// --- genomics stack (native biology tools + thin Python glue) ---
+	bio := []struct {
+		name  string
+		ver   Version
+		arMB  float64
+		insMB float64
+		files int
+		deps  []Spec
+	}{
+		{"bwa", V(0, 7, 17), 1.2, 4, 20, []Spec{Any("zlib")}},
+		{"samtools", V(1, 9, 0), 1.8, 7, 60, []Spec{Any("htslib"), Any("ncurses")}},
+		{"picard", V(2, 23, 3), 28, 110, 30, []Spec{Any("openjdk")}},
+		{"gatk4", V(4, 1, 8), 220, 880, 420, []Spec{Any("openjdk"), Any("python")}},
+		{"ensembl-vep", V(100, 4, 0), 14, 55, 900, []Spec{Any("perl"), Any("htslib")}},
+	}
+	for _, b := range bio {
+		ix.Add(&Package{
+			Name: b.name, Version: b.ver, Requires: b.deps,
+			ArchiveBytes: mb(b.arMB), InstalledBytes: mb(b.insMB),
+			FileCount: b.files, NonPython: true,
+		})
+	}
+
+	return ix
+}
+
+// AppSpecs returns the root requirement lists for the paper's three
+// application environments plus the funcX benchmark environment, keyed by
+// the names used throughout the experiments.
+func AppSpecs() map[string][]Spec {
+	return map[string][]Spec{
+		"hep": {
+			Any("python"), Any("coffea"), Any("parsl"), Any("work-queue"),
+		},
+		"drugscreen": {
+			Any("python"), Req("tensorflow", OpGe, V(2, 1, 0)), Any("rdkit"),
+			Any("mordred"), Any("pandas"), Any("pillow"), Any("xgboost"),
+			Any("parsl"), Any("work-queue"),
+		},
+		"genomics": {
+			Any("python"), Any("bwa"), Any("samtools"), Any("picard"),
+			Any("gatk4"), Any("ensembl-vep"), Any("pysam"), Any("pandas"),
+			Any("parsl"), Any("work-queue"),
+		},
+		"funcx-resnet": {
+			Any("python"), Any("keras"), Any("pillow"), Any("funcx"),
+		},
+	}
+}
+
+func mb(m float64) int64 { return int64(m * 1e6) }

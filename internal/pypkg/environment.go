@@ -1,0 +1,99 @@
+package pypkg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Environment is an installed set of packages — the analogue of the user's
+// Conda environment on the submit node. Dependency analysis queries it to
+// pin the installed version of each imported package (paper §V-B), and
+// environment packing enumerates its contents.
+type Environment struct {
+	// Name identifies the environment ("base", "hep-analysis", ...).
+	Name string
+
+	installed map[string]*Package
+}
+
+// NewEnvironment returns an empty environment.
+func NewEnvironment(name string) *Environment {
+	return &Environment{Name: name, installed: make(map[string]*Package)}
+}
+
+// Install adds every package of a resolution to the environment, replacing
+// any same-name packages already present (as "conda install" would).
+func (e *Environment) Install(res *Resolution) {
+	for _, p := range res.Packages {
+		e.installed[p.Name] = p
+	}
+}
+
+// InstallPackage adds a single package.
+func (e *Environment) InstallPackage(p *Package) {
+	e.installed[normalizeName(p.Name)] = p
+}
+
+// Lookup returns the installed version of a distribution.
+func (e *Environment) Lookup(name string) (*Package, bool) {
+	p, ok := e.installed[normalizeName(name)]
+	return p, ok
+}
+
+// Len reports the number of installed distributions.
+func (e *Environment) Len() int { return len(e.installed) }
+
+// Packages returns the installed packages sorted by name.
+func (e *Environment) Packages() []*Package {
+	out := make([]*Package, 0, len(e.installed))
+	for _, p := range e.installed {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DistributionForImport searches installed packages for one providing the
+// import name. It reflects what introspecting the live environment (as the
+// paper's analysis tool does) can see.
+func (e *Environment) DistributionForImport(module string) (*Package, bool) {
+	for _, p := range e.installed {
+		if p.ProvidesImport(module) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Pin converts an installed package set into exact "==" requirement specs,
+// the dependency list the paper ships to workers. Names not installed are
+// reported as an error rather than silently dropped.
+func (e *Environment) Pin(names []string) ([]Spec, error) {
+	specs := make([]Spec, 0, len(names))
+	for _, n := range names {
+		p, ok := e.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("pypkg: %q not installed in environment %q", n, e.Name)
+		}
+		specs = append(specs, Req(p.Name, OpEq, p.Version))
+	}
+	return specs, nil
+}
+
+// TotalInstalledBytes sums installed sizes over the whole environment.
+func (e *Environment) TotalInstalledBytes() int64 {
+	var n int64
+	for _, p := range e.installed {
+		n += p.InstalledBytes
+	}
+	return n
+}
+
+// TotalFiles sums file counts over the whole environment.
+func (e *Environment) TotalFiles() int {
+	var n int
+	for _, p := range e.installed {
+		n += p.FileCount
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package pypkg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Package is one distribution at one version in the index, together with the
+// physical characteristics that drive environment-distribution costs:
+// download (archive) size, installed size, and file count. File count matters
+// because shared-filesystem import cost is dominated by per-file metadata
+// operations (paper §V-A).
+type Package struct {
+	Name    string
+	Version Version
+
+	// Requires lists direct dependencies as requirement specs.
+	Requires []Spec
+
+	// ArchiveBytes is the compressed download size.
+	ArchiveBytes int64
+	// InstalledBytes is the on-disk size after installation.
+	InstalledBytes int64
+	// FileCount is the number of files the installation creates.
+	FileCount int
+
+	// Provides lists the import names this distribution makes available
+	// (e.g. scikit-learn provides "sklearn"). Empty means the package name
+	// itself is the import name.
+	Provides []string
+
+	// NonPython marks native dependencies (BLAS, openssl, ...) shipped via
+	// Conda that are never imported directly.
+	NonPython bool
+}
+
+// ID renders "name==version".
+func (p *Package) ID() string { return p.Name + "==" + p.Version.String() }
+
+// ProvidesImport reports whether importing the given module name is satisfied
+// by this package.
+func (p *Package) ProvidesImport(module string) bool {
+	if p.NonPython {
+		return false
+	}
+	if len(p.Provides) == 0 {
+		return module == p.Name
+	}
+	for _, m := range p.Provides {
+		if m == module {
+			return true
+		}
+	}
+	return false
+}
+
+// Index is a package repository: every known distribution at every version,
+// plus a mapping from import names to distribution names. It plays the role
+// of PyPI/Conda channels in the paper.
+type Index struct {
+	packages map[string][]*Package // name -> versions, kept sorted descending
+	imports  map[string]string     // import module -> distribution name
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		packages: make(map[string][]*Package),
+		imports:  make(map[string]string),
+	}
+}
+
+// Add registers a package version. Adding the same name+version twice
+// replaces the earlier entry.
+func (ix *Index) Add(p *Package) {
+	if p.Name == "" {
+		panic("pypkg: package with empty name")
+	}
+	p.Name = normalizeName(p.Name)
+	list := ix.packages[p.Name]
+	for i, q := range list {
+		if q.Version == p.Version {
+			list[i] = p
+			ix.indexImports(p)
+			return
+		}
+	}
+	list = append(list, p)
+	sort.Slice(list, func(i, j int) bool { return list[j].Version.Less(list[i].Version) })
+	ix.packages[p.Name] = list
+	ix.indexImports(p)
+}
+
+func (ix *Index) indexImports(p *Package) {
+	if p.NonPython {
+		return
+	}
+	if len(p.Provides) == 0 {
+		ix.imports[p.Name] = p.Name
+		return
+	}
+	for _, m := range p.Provides {
+		ix.imports[m] = p.Name
+	}
+}
+
+// Len reports the number of distinct distribution names.
+func (ix *Index) Len() int { return len(ix.packages) }
+
+// Names returns all distribution names in sorted order.
+func (ix *Index) Names() []string {
+	names := make([]string, 0, len(ix.packages))
+	for n := range ix.packages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Candidates returns all versions of the named package, newest first. The
+// returned slice must not be modified.
+func (ix *Index) Candidates(name string) []*Package {
+	return ix.packages[normalizeName(name)]
+}
+
+// Latest returns the newest version of the named package.
+func (ix *Index) Latest(name string) (*Package, bool) {
+	list := ix.packages[normalizeName(name)]
+	if len(list) == 0 {
+		return nil, false
+	}
+	return list[0], true
+}
+
+// Get returns the exact name+version, if present.
+func (ix *Index) Get(name string, v Version) (*Package, bool) {
+	for _, p := range ix.packages[normalizeName(name)] {
+		if p.Version == v {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// DistributionForImport maps an import name ("sklearn") to the distribution
+// that provides it ("scikit-learn").
+func (ix *Index) DistributionForImport(module string) (string, bool) {
+	d, ok := ix.imports[module]
+	return d, ok
+}
+
+// NotFoundError reports a requirement that matched no package in the index.
+type NotFoundError struct {
+	Spec Spec
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("pypkg: no package satisfies %q", e.Spec.String())
+}
+
+// ConflictError reports an unsatisfiable combination of requirements.
+type ConflictError struct {
+	Name    string
+	Demands []Spec
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("pypkg: conflicting requirements on %q: %v", e.Name, e.Demands)
+}

@@ -1,0 +1,53 @@
+package pypkg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseRequirements reads a pip requirements file: one spec per line, with
+// blank lines and #-comments ignored (including trailing comments). The
+// paper notes such files are "error prone and often incomplete" as a
+// dependency source, but they remain the interchange format the analysis
+// tool emits.
+func ParseRequirements(r io.Reader) ([]Spec, error) {
+	var specs []Spec
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "-") {
+			// pip options (-r, -e, --index-url ...) are not requirements.
+			return nil, fmt.Errorf("pypkg: line %d: pip option %q not supported", line, text)
+		}
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return nil, fmt.Errorf("pypkg: line %d: %w", line, err)
+		}
+		specs = append(specs, spec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// WriteRequirements emits specs in pip requirements syntax, one per line.
+func WriteRequirements(w io.Writer, specs []Spec) error {
+	for _, s := range specs {
+		if _, err := fmt.Fprintln(w, s.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

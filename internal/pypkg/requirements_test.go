@@ -1,0 +1,66 @@
+package pypkg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseRequirements(t *testing.T) {
+	in := `
+# analysis output for analyze()
+numpy==1.18.1
+scipy>=1.4,<2   # pinned loosely
+
+Coffea
+`
+	specs, err := ParseRequirements(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("specs = %v", specs)
+	}
+	if specs[0].String() != "numpy==1.18.1" {
+		t.Fatalf("spec0 = %v", specs[0])
+	}
+	if specs[1].Name != "scipy" || len(specs[1].Constraints) != 2 {
+		t.Fatalf("spec1 = %v", specs[1])
+	}
+	if specs[2].Name != "coffea" { // normalized
+		t.Fatalf("spec2 = %v", specs[2])
+	}
+}
+
+func TestParseRequirementsErrors(t *testing.T) {
+	for _, in := range []string{"-r other.txt\n", "numpy==x\n"} {
+		if _, err := ParseRequirements(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseRequirements(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRequirementsRoundTrip(t *testing.T) {
+	specs := []Spec{
+		Req("numpy", OpEq, V(1, 18, 1)),
+		Any("coffea"),
+		{Name: "tensorflow", Constraints: []Constraint{
+			{Op: OpGe, Version: V(2, 1, 0)}, {Op: OpLt, Version: V(2, 3, 0)}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRequirements(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRequirements(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("round trip lost specs: %v", got)
+	}
+	for i := range specs {
+		if got[i].String() != specs[i].String() {
+			t.Fatalf("spec %d: %v != %v", i, got[i], specs[i])
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package pypkg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyIndex builds a small index with a diamond dependency and a version
+// conflict opportunity:
+//
+//	app -> libA>=2.0 -> base
+//	    -> libB      -> base, libA (any)
+//	old -> libA<2.0
+func tinyIndex() *Index {
+	ix := NewIndex()
+	ix.Add(&Package{Name: "base", Version: V(1, 0, 0), FileCount: 1})
+	ix.Add(&Package{Name: "liba", Version: V(1, 5, 0), Requires: []Spec{Any("base")}, FileCount: 2})
+	ix.Add(&Package{Name: "liba", Version: V(2, 1, 0), Requires: []Spec{Any("base")}, FileCount: 2})
+	ix.Add(&Package{Name: "libb", Version: V(1, 0, 0), Requires: []Spec{Any("base"), Any("liba")}, FileCount: 3})
+	ix.Add(&Package{Name: "app", Version: V(0, 1, 0),
+		Requires: []Spec{Req("liba", OpGe, V(2, 0, 0)), Any("libb")}, FileCount: 4})
+	ix.Add(&Package{Name: "old", Version: V(0, 1, 0),
+		Requires: []Spec{Req("liba", OpLt, V(2, 0, 0))}, FileCount: 4})
+	return ix
+}
+
+func TestResolveDiamond(t *testing.T) {
+	ix := tinyIndex()
+	res, err := ix.Resolve([]Spec{Any("app")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("closure size = %d, want 4 (app, liba, libb, base)", res.Len())
+	}
+	p, ok := res.Lookup("liba")
+	if !ok || p.Version != V(2, 1, 0) {
+		t.Fatalf("liba resolved to %v, want 2.1.0", p)
+	}
+	// Dependency order: base before liba/libb, app last.
+	pos := map[string]int{}
+	for i, p := range res.Packages {
+		pos[p.Name] = i
+	}
+	if pos["base"] > pos["liba"] || pos["liba"] > pos["app"] || pos["libb"] > pos["app"] {
+		t.Fatalf("not in dependency order: %v", pos)
+	}
+}
+
+func TestResolveBacktracksToOlderVersion(t *testing.T) {
+	ix := tinyIndex()
+	res, err := ix.Resolve([]Spec{Any("old")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Lookup("liba")
+	if p.Version != V(1, 5, 0) {
+		t.Fatalf("liba = %v, want 1.5.0 (downgrade forced by old)", p.Version)
+	}
+}
+
+func TestResolveConflict(t *testing.T) {
+	ix := tinyIndex()
+	_, err := ix.Resolve([]Spec{Any("app"), Any("old")})
+	if err == nil {
+		t.Fatal("conflicting roots resolved")
+	}
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v, want ConflictError", err)
+	}
+	if ce.Name != "liba" {
+		t.Fatalf("conflict on %q, want liba", ce.Name)
+	}
+}
+
+func TestResolveNotFound(t *testing.T) {
+	ix := tinyIndex()
+	_, err := ix.Resolve([]Spec{Any("nonexistent")})
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("error = %v, want NotFoundError", err)
+	}
+	if !strings.Contains(err.Error(), "nonexistent") {
+		t.Fatalf("error message %q should name the package", err)
+	}
+}
+
+func TestResolveVersionRangeNotFound(t *testing.T) {
+	ix := tinyIndex()
+	_, err := ix.Resolve([]Spec{Req("liba", OpGe, V(9, 0, 0))})
+	if err == nil {
+		t.Fatal("impossible range resolved")
+	}
+}
+
+func TestResolvePrefersNewest(t *testing.T) {
+	ix := tinyIndex()
+	res, err := ix.Resolve([]Spec{Any("liba")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Lookup("liba")
+	if p.Version != V(2, 1, 0) {
+		t.Fatalf("liba = %v, want newest 2.1.0", p.Version)
+	}
+}
+
+func TestResolveTotals(t *testing.T) {
+	ix := tinyIndex()
+	res, _ := ix.Resolve([]Spec{Any("app")})
+	if res.TotalFiles() != 1+2+3+4 {
+		t.Fatalf("TotalFiles = %d, want 10", res.TotalFiles())
+	}
+}
+
+func TestResolveDeterministicOrder(t *testing.T) {
+	ix := tinyIndex()
+	a, _ := ix.Resolve([]Spec{Any("app")})
+	b, _ := ix.Resolve([]Spec{Any("app")})
+	for i := range a.Packages {
+		if a.Packages[i].ID() != b.Packages[i].ID() {
+			t.Fatal("resolution order not deterministic")
+		}
+	}
+}
+
+func TestDefaultCatalogResolvesEverything(t *testing.T) {
+	ix := DefaultCatalog()
+	for _, name := range ix.Names() {
+		if _, err := ix.Resolve([]Spec{Any(name)}); err != nil {
+			t.Errorf("catalog package %q does not resolve: %v", name, err)
+		}
+	}
+}
+
+func TestDefaultCatalogAppSpecs(t *testing.T) {
+	ix := DefaultCatalog()
+	for app, specs := range AppSpecs() {
+		res, err := ix.Resolve(specs)
+		if err != nil {
+			t.Errorf("app %q does not resolve: %v", app, err)
+			continue
+		}
+		if res.Len() < 10 {
+			t.Errorf("app %q closure suspiciously small: %d packages", app, res.Len())
+		}
+	}
+}
+
+func TestDefaultCatalogShapes(t *testing.T) {
+	// Table II shape: TensorFlow's closure dwarfs NumPy's in size, file
+	// count, and dependency count; the interpreter alone still has several
+	// non-Python dependencies.
+	ix := DefaultCatalog()
+	py, err := ix.Resolve([]Spec{Any("python")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if py.Len() < 5 {
+		t.Fatalf("python closure = %d deps, want several non-Python deps", py.Len())
+	}
+	np, err := ix.Resolve([]Spec{Any("numpy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ix.Resolve([]Spec{Any("tensorflow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Len() <= np.Len()*2 {
+		t.Errorf("tensorflow deps (%d) should far exceed numpy deps (%d)", tf.Len(), np.Len())
+	}
+	if tf.TotalInstalledBytes() <= 5*np.TotalInstalledBytes() {
+		t.Errorf("tensorflow size (%d) should far exceed numpy size (%d)",
+			tf.TotalInstalledBytes(), np.TotalInstalledBytes())
+	}
+	if tf.TotalFiles() < 20000 {
+		t.Errorf("tensorflow closure files = %d, want tens of thousands", tf.TotalFiles())
+	}
+}
+
+func TestIndexImportMapping(t *testing.T) {
+	ix := DefaultCatalog()
+	cases := map[string]string{
+		"sklearn": "scikit-learn",
+		"PIL":     "pillow",
+		"numpy":   "numpy",
+		"grpc":    "grpcio",
+	}
+	for imp, dist := range cases {
+		got, ok := ix.DistributionForImport(imp)
+		if !ok || got != dist {
+			t.Errorf("DistributionForImport(%q) = %q, %v; want %q", imp, got, ok, dist)
+		}
+	}
+	if _, ok := ix.DistributionForImport("libopenblas"); ok {
+		t.Error("non-Python package should not be importable")
+	}
+}
+
+func TestEnvironment(t *testing.T) {
+	ix := DefaultCatalog()
+	res, err := ix.Resolve(AppSpecs()["hep"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnvironment("hep")
+	env.Install(res)
+	if env.Len() != res.Len() {
+		t.Fatalf("env size %d != resolution size %d", env.Len(), res.Len())
+	}
+	p, ok := env.DistributionForImport("uproot")
+	if !ok || p.Name != "uproot" {
+		t.Fatalf("DistributionForImport(uproot) = %v, %v", p, ok)
+	}
+	pins, err := env.Pin([]string{"numpy", "coffea"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pin := range pins {
+		if len(pin.Constraints) != 1 || pin.Constraints[0].Op != OpEq {
+			t.Fatalf("pin %v is not exact", pin)
+		}
+	}
+	if _, err := env.Pin([]string{"not-installed"}); err == nil {
+		t.Fatal("pinning a missing package should error")
+	}
+	if env.TotalInstalledBytes() <= 0 || env.TotalFiles() <= 0 {
+		t.Fatal("environment totals should be positive")
+	}
+}
+
+func TestIndexAddReplacesSameVersion(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(&Package{Name: "x", Version: V(1, 0, 0), FileCount: 1})
+	ix.Add(&Package{Name: "x", Version: V(1, 0, 0), FileCount: 99})
+	p, _ := ix.Latest("x")
+	if p.FileCount != 99 {
+		t.Fatal("re-adding same version did not replace")
+	}
+	if len(ix.Candidates("x")) != 1 {
+		t.Fatal("duplicate version listed twice")
+	}
+}

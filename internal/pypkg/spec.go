@@ -1,0 +1,156 @@
+package pypkg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a version comparison operator in a requirement spec.
+type Op int
+
+// Supported requirement operators, matching pip/conda syntax.
+const (
+	OpAny        Op = iota // no constraint: any version
+	OpEq                   // ==
+	OpNe                   // !=
+	OpGe                   // >=
+	OpGt                   // >
+	OpLe                   // <=
+	OpLt                   // <
+	OpCompatible           // ~= (same major.minor, >= given)
+)
+
+var opStrings = map[Op]string{
+	OpAny: "", OpEq: "==", OpNe: "!=", OpGe: ">=", OpGt: ">",
+	OpLe: "<=", OpLt: "<", OpCompatible: "~=",
+}
+
+func (o Op) String() string { return opStrings[o] }
+
+// Constraint is one operator/version pair.
+type Constraint struct {
+	Op      Op
+	Version Version
+}
+
+// Matches reports whether v satisfies the constraint.
+func (c Constraint) Matches(v Version) bool {
+	cmp := v.Compare(c.Version)
+	switch c.Op {
+	case OpAny:
+		return true
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpGe:
+		return cmp >= 0
+	case OpGt:
+		return cmp > 0
+	case OpLe:
+		return cmp <= 0
+	case OpLt:
+		return cmp < 0
+	case OpCompatible:
+		return v.Major == c.Version.Major && v.Minor == c.Version.Minor && cmp >= 0
+	}
+	return false
+}
+
+// Spec is a named requirement with zero or more constraints, e.g.
+// "numpy>=1.18,<1.20". An empty constraint list accepts any version.
+type Spec struct {
+	Name        string
+	Constraints []Constraint
+}
+
+// Req builds a single-constraint Spec; Op may be OpAny with a zero Version.
+func Req(name string, op Op, v Version) Spec {
+	if op == OpAny {
+		return Spec{Name: name}
+	}
+	return Spec{Name: name, Constraints: []Constraint{{Op: op, Version: v}}}
+}
+
+// Any builds an unconstrained Spec.
+func Any(name string) Spec { return Spec{Name: name} }
+
+// Matches reports whether version v of the named package satisfies the spec.
+func (s Spec) Matches(v Version) bool {
+	for _, c := range s.Constraints {
+		if !c.Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec in pip requirement syntax.
+func (s Spec) String() string {
+	if len(s.Constraints) == 0 {
+		return s.Name
+	}
+	parts := make([]string, len(s.Constraints))
+	for i, c := range s.Constraints {
+		parts[i] = c.Op.String() + c.Version.String()
+	}
+	return s.Name + strings.Join(parts, ",")
+}
+
+// ParseSpec parses pip requirement syntax: a package name optionally followed
+// by comma-separated operator/version constraints ("tensorflow>=2.1,<2.3").
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("pypkg: empty requirement")
+	}
+	i := 0
+	for i < len(s) && !strings.ContainsRune("=!<>~", rune(s[i])) {
+		i++
+	}
+	name := strings.TrimSpace(s[:i])
+	if name == "" {
+		return Spec{}, fmt.Errorf("pypkg: requirement %q has no package name", s)
+	}
+	spec := Spec{Name: normalizeName(name)}
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		op, verStr, err := splitOp(part)
+		if err != nil {
+			return Spec{}, fmt.Errorf("pypkg: requirement %q: %w", s, err)
+		}
+		v, err := ParseVersion(verStr)
+		if err != nil {
+			return Spec{}, fmt.Errorf("pypkg: requirement %q: %w", s, err)
+		}
+		spec.Constraints = append(spec.Constraints, Constraint{Op: op, Version: v})
+	}
+	return spec, nil
+}
+
+func splitOp(s string) (Op, string, error) {
+	for _, cand := range []struct {
+		text string
+		op   Op
+	}{
+		{"==", OpEq}, {"!=", OpNe}, {">=", OpGe}, {"<=", OpLe},
+		{"~=", OpCompatible}, {">", OpGt}, {"<", OpLt},
+	} {
+		if strings.HasPrefix(s, cand.text) {
+			return cand.op, strings.TrimSpace(s[len(cand.text):]), nil
+		}
+	}
+	return OpAny, "", fmt.Errorf("malformed constraint %q", s)
+}
+
+// normalizeName lower-cases and canonicalizes separators per PEP 503.
+func normalizeName(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.ReplaceAll(name, "_", "-")
+	name = strings.ReplaceAll(name, ".", "-")
+	return name
+}

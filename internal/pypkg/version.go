@@ -1,0 +1,71 @@
+// Package pypkg models a Python package ecosystem: distributions with
+// versions, dependency requirements, archive/installed sizes and file counts,
+// an index (the PyPI/Conda analogue), and a backtracking dependency resolver.
+//
+// The LFM paper (§V) resolves each function's minimal import list against the
+// user's Conda environment and a package repository; this package provides
+// both, with a built-in catalog whose sizes and dependency counts mirror the
+// paper's Table II.
+package pypkg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is a three-component package version (PEP 440 release segment).
+type Version struct {
+	Major, Minor, Patch int
+}
+
+// V is shorthand for constructing a Version.
+func V(major, minor, patch int) Version { return Version{major, minor, patch} }
+
+// ParseVersion parses "X", "X.Y" or "X.Y.Z".
+func ParseVersion(s string) (Version, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) == 0 || len(parts) > 3 {
+		return Version{}, fmt.Errorf("pypkg: malformed version %q", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return Version{}, fmt.Errorf("pypkg: malformed version %q", s)
+		}
+		nums[i] = n
+	}
+	return Version{nums[0], nums[1], nums[2]}, nil
+}
+
+// String renders the version as "X.Y.Z".
+func (v Version) String() string {
+	return fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Patch)
+}
+
+// Compare returns -1, 0, or 1 as v is less than, equal to, or greater than o.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v.Major != o.Major:
+		return sign(v.Major - o.Major)
+	case v.Minor != o.Minor:
+		return sign(v.Minor - o.Minor)
+	case v.Patch != o.Patch:
+		return sign(v.Patch - o.Patch)
+	}
+	return 0
+}
+
+// Less reports whether v precedes o.
+func (v Version) Less(o Version) bool { return v.Compare(o) < 0 }
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}

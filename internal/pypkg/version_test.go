@@ -1,0 +1,135 @@
+package pypkg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseVersion(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Version
+		ok   bool
+	}{
+		{"1.2.3", V(1, 2, 3), true},
+		{"1.2", V(1, 2, 0), true},
+		{"3", V(3, 0, 0), true},
+		{" 2.10.7 ", V(2, 10, 7), true},
+		{"", Version{}, false},
+		{"1.2.3.4", Version{}, false},
+		{"a.b", Version{}, false},
+		{"1.-2", Version{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseVersion(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseVersion(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseVersion(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want int
+	}{
+		{V(1, 0, 0), V(1, 0, 0), 0},
+		{V(1, 0, 0), V(2, 0, 0), -1},
+		{V(1, 2, 0), V(1, 1, 9), 1},
+		{V(1, 1, 3), V(1, 1, 4), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVersionCompareProperty(t *testing.T) {
+	antisym := func(a, b uint8, c, d uint8, e, f uint8) bool {
+		v1 := V(int(a), int(c), int(e))
+		v2 := V(int(b), int(d), int(f))
+		return v1.Compare(v2) == -v2.Compare(v1)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Fatal(err)
+	}
+	roundtrip := func(a, b, c uint8) bool {
+		v := V(int(a), int(b), int(c))
+		got, err := ParseVersion(v.String())
+		return err == nil && got == v
+	}
+	if err := quick.Check(roundtrip, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstraintMatches(t *testing.T) {
+	v := V(1, 18, 1)
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{OpAny, Version{}}, true},
+		{Constraint{OpEq, V(1, 18, 1)}, true},
+		{Constraint{OpEq, V(1, 18, 0)}, false},
+		{Constraint{OpNe, V(1, 18, 0)}, true},
+		{Constraint{OpGe, V(1, 18, 1)}, true},
+		{Constraint{OpGt, V(1, 18, 1)}, false},
+		{Constraint{OpLe, V(1, 18, 1)}, true},
+		{Constraint{OpLt, V(1, 18, 1)}, false},
+		{Constraint{OpCompatible, V(1, 18, 0)}, true},
+		{Constraint{OpCompatible, V(1, 17, 0)}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Matches(v); got != c.want {
+			t.Errorf("%v%v matches %v = %v, want %v", c.c.Op, c.c.Version, v, got, c.want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("tensorflow>=2.1,<2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tensorflow" || len(s.Constraints) != 2 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if !s.Matches(V(2, 2, 0)) || s.Matches(V(2, 3, 0)) || s.Matches(V(2, 0, 9)) {
+		t.Fatalf("constraint logic wrong for %v", s)
+	}
+
+	s2, err := ParseSpec("numpy")
+	if err != nil || s2.Name != "numpy" || len(s2.Constraints) != 0 {
+		t.Fatalf("bare spec = %+v, %v", s2, err)
+	}
+	if !s2.Matches(V(0, 0, 1)) {
+		t.Fatal("unconstrained spec should match anything")
+	}
+
+	// PEP 503 name normalization.
+	s3, err := ParseSpec("Scikit_Learn==0.23.2")
+	if err != nil || s3.Name != "scikit-learn" {
+		t.Fatalf("normalized spec = %+v, %v", s3, err)
+	}
+
+	for _, bad := range []string{"", ">=1.0", "numpy>=", "numpy=1.0", "numpy>=x.y"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s, _ := ParseSpec("numpy>=1.18,<1.20")
+	if got := s.String(); got != "numpy>=1.18.0,<1.20.0" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Any("scipy").String(); got != "scipy" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+package serde
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripArgs(t *testing.T) {
+	in := []any{1, "two", []float64{3, 4.5}}
+	data, err := Encode(KindArgs, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, v, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindArgs {
+		t.Fatalf("kind = %d", kind)
+	}
+	if !reflect.DeepEqual(v, in) {
+		t.Fatalf("v = %#v, want %#v", v, in)
+	}
+}
+
+func TestPeekKind(t *testing.T) {
+	data, _ := Encode(KindResult, 42)
+	kind, err := PeekKind(data)
+	if err != nil || kind != KindResult {
+		t.Fatalf("kind = %d, %v", kind, err)
+	}
+}
+
+func TestDecodeResultSuccess(t *testing.T) {
+	data, _ := Encode(KindResult, "payload")
+	v, err := DecodeResult(data)
+	if err != nil || v.(string) != "payload" {
+		t.Fatalf("v = %v, %v", v, err)
+	}
+}
+
+func TestDecodeResultRemoteError(t *testing.T) {
+	data, err := EncodeError("kaput", "Traceback (most recent call last): ...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeResult(data)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+	if re.Message != "kaput" || re.Traceback == "" {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestDecodeResultRejectsArgsFrame(t *testing.T) {
+	data, _ := Encode(KindArgs, 1)
+	if _, err := DecodeResult(data); err == nil {
+		t.Fatal("args frame accepted as result")
+	}
+}
+
+func TestRejectForeignFrames(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("garbage that is definitely not a frame"),
+		{'L', 'F', 99, 1, 0, 0, 0, 0}, // bad version
+		{'X', 'Y', 1, 1, 0, 0, 0, 0},  // bad magic
+		{'L', 'F', 1, 9, 0, 0, 0, 0},  // bad kind
+	}
+	for _, c := range cases {
+		if _, _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%v) succeeded", c)
+		}
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	data, _ := Encode(KindResult, "hello world")
+	if _, _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestCustomTypeRegistration(t *testing.T) {
+	type Histogram struct {
+		Bins   []int
+		Counts []float64
+	}
+	Register(Histogram{})
+	data, err := Encode(KindResult, Histogram{Bins: []int{1, 2}, Counts: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.(Histogram)
+	if len(h.Bins) != 2 || h.Counts[0] != 0.5 {
+		t.Fatalf("h = %+v", h)
+	}
+}
+
+// Property: round-tripping arbitrary string/int payloads preserves values
+// and always reports the requested kind.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(s string, n int, useResult bool) bool {
+		kind := KindArgs
+		if useResult {
+			kind = KindResult
+		}
+		payload := map[string]any{"s": s, "n": n}
+		data, err := Encode(kind, payload)
+		if err != nil {
+			return false
+		}
+		gotKind, v, err := Decode(data)
+		if err != nil || gotKind != kind {
+			return false
+		}
+		m, ok := v.(map[string]any)
+		return ok && m["s"] == s && m["n"] == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameSizeTracksPayload(t *testing.T) {
+	small, _ := Encode(KindArgs, make([]float64, 10))
+	big, _ := Encode(KindArgs, make([]float64, 10000))
+	if len(big) < 100*len(small)/2 {
+		t.Fatalf("sizes: small=%d big=%d", len(small), len(big))
+	}
+}

@@ -1,0 +1,155 @@
+// Package sharedfs models a cluster's shared parallel filesystem and the
+// node-local storage that the LFM paper contrasts it with (§V-A, §V-D).
+//
+// The shared filesystem has two contended resources:
+//
+//   - a metadata server: a k-channel FIFO queueing station; every stat/open
+//     during a Python import is a metadata operation, and concurrent imports
+//     from many nodes queue here. Prior work ([14,15] in the paper) found
+//     this to be the dominant cost of importing large Python stacks at
+//     scale, and this model reproduces that behaviour.
+//   - aggregate data bandwidth: a fair-shared capacity, optionally capped
+//     per client by the node interconnect.
+//
+// Node-local storage (ephemeral disk, burst buffer) is modeled per node with
+// fair-shared bandwidth and effectively free metadata.
+package sharedfs
+
+import (
+	"lfm/internal/sim"
+)
+
+// Config parameterizes a shared filesystem.
+type Config struct {
+	// Name labels the filesystem in reports ("lustre", "gpfs", ...).
+	Name string
+	// MetaChannels is the number of metadata requests served in parallel.
+	MetaChannels int
+	// MetaOpTime is the service time of a single metadata operation.
+	MetaOpTime sim.Time
+	// ReadBandwidth and WriteBandwidth are aggregate data rates in bytes/s.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+	// PerClientBandwidth caps a single stream (node NIC), 0 for no cap.
+	PerClientBandwidth float64
+}
+
+// DefaultConfig returns a mid-sized parallel filesystem: a metadata server
+// handling ~8k ops/s and 40 GB/s of aggregate data bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		Name:               "sharedfs",
+		MetaChannels:       4,
+		MetaOpTime:         150e-6, // 150us per op per channel => ~27k ops/s
+		ReadBandwidth:      40e9,
+		WriteBandwidth:     25e9,
+		PerClientBandwidth: 1.25e9, // 10 Gb/s NIC
+	}
+}
+
+// FS is a simulated shared filesystem.
+type FS struct {
+	Config Config
+
+	eng   *sim.Engine
+	meta  *sim.Server
+	read  *sim.FairShare
+	write *sim.FairShare
+
+	// MetaOpsIssued counts total metadata operations for reporting.
+	MetaOpsIssued int64
+}
+
+// New returns a shared filesystem attached to the engine.
+func New(eng *sim.Engine, cfg Config) *FS {
+	if cfg.MetaChannels < 1 || cfg.MetaOpTime <= 0 {
+		panic("sharedfs: invalid metadata configuration")
+	}
+	read := sim.NewFairShare(eng, cfg.ReadBandwidth)
+	read.PerFlowCap = cfg.PerClientBandwidth
+	write := sim.NewFairShare(eng, cfg.WriteBandwidth)
+	write.PerFlowCap = cfg.PerClientBandwidth
+	return &FS{
+		Config: cfg,
+		eng:    eng,
+		meta:   sim.NewServer(eng, cfg.MetaChannels),
+		read:   read,
+		write:  write,
+	}
+}
+
+// Metadata performs ops metadata operations as one batched client request
+// (one import's worth of stats/opens). The request occupies a server channel
+// for ops*MetaOpTime and queues behind other clients — so per-client latency
+// grows with concurrent offered load, which is exactly the Figure 4 effect.
+func (fs *FS) Metadata(ops int, done func()) {
+	if ops < 0 {
+		panic("sharedfs: negative metadata ops")
+	}
+	fs.MetaOpsIssued += int64(ops)
+	fs.meta.Request(sim.Time(ops)*fs.Config.MetaOpTime, done)
+}
+
+// Read transfers n bytes from the filesystem to one client.
+func (fs *FS) Read(n int64, done func()) {
+	fs.read.Transfer(float64(n), done)
+}
+
+// Write transfers n bytes from one client to the filesystem.
+func (fs *FS) Write(n int64, done func()) {
+	fs.write.Transfer(float64(n), done)
+}
+
+// MetaQueueDepth reports current metadata backlog (for instrumentation).
+func (fs *FS) MetaQueueDepth() int { return fs.meta.QueueLen() }
+
+// MetaBusyTime reports cumulative metadata service time consumed.
+func (fs *FS) MetaBusyTime() sim.Time { return fs.meta.BusyTime }
+
+// LocalDisk models one node's local storage (SSD or ramdisk): bandwidth is
+// fair-shared among that node's tasks only, and metadata operations are
+// cheap and uncontended across nodes.
+type LocalDisk struct {
+	eng        *sim.Engine
+	read       *sim.FairShare
+	write      *sim.FairShare
+	metaOpTime sim.Time
+}
+
+// LocalDiskConfig parameterizes node-local storage.
+type LocalDiskConfig struct {
+	ReadBandwidth  float64  // bytes/s
+	WriteBandwidth float64  // bytes/s
+	MetaOpTime     sim.Time // per local metadata op (no cross-node queueing)
+}
+
+// DefaultLocalDisk returns a node-local NVMe-class device.
+func DefaultLocalDisk() LocalDiskConfig {
+	return LocalDiskConfig{
+		ReadBandwidth:  2e9,
+		WriteBandwidth: 1.2e9,
+		MetaOpTime:     15e-6,
+	}
+}
+
+// NewLocalDisk returns a node-local disk attached to the engine.
+func NewLocalDisk(eng *sim.Engine, cfg LocalDiskConfig) *LocalDisk {
+	return &LocalDisk{
+		eng:        eng,
+		read:       sim.NewFairShare(eng, cfg.ReadBandwidth),
+		write:      sim.NewFairShare(eng, cfg.WriteBandwidth),
+		metaOpTime: cfg.MetaOpTime,
+	}
+}
+
+// Read transfers n bytes from local disk.
+func (d *LocalDisk) Read(n int64, done func()) { d.read.Transfer(float64(n), done) }
+
+// Write transfers n bytes to local disk.
+func (d *LocalDisk) Write(n int64, done func()) { d.write.Transfer(float64(n), done) }
+
+// Metadata performs ops local metadata operations; they serialize only with
+// this node's own activity, modeled as plain elapsed time.
+func (d *LocalDisk) Metadata(ops int, done func()) {
+	d.eng.After(sim.Time(ops)*d.metaOpTime, done)
+}

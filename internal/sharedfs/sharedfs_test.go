@@ -1,0 +1,221 @@
+package sharedfs
+
+import (
+	"testing"
+
+	"lfm/internal/envpack"
+	"lfm/internal/pypkg"
+	"lfm/internal/sim"
+)
+
+func resolution(t *testing.T, name string) *pypkg.Resolution {
+	t.Helper()
+	res, err := pypkg.DefaultCatalog().Resolve([]pypkg.Spec{pypkg.Any(name)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMetadataQueueing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.MetaChannels = 1
+	cfg.MetaOpTime = 1e-3
+	fs := New(eng, cfg)
+	var done []sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 3; i++ {
+			fs.Metadata(100, func() { done = append(done, eng.Now()) })
+		}
+	})
+	eng.Run()
+	want := []sim.Time{0.1, 0.2, 0.3}
+	for i := range want {
+		if diff := done[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if fs.MetaOpsIssued != 300 {
+		t.Fatalf("MetaOpsIssued = %d, want 300", fs.MetaOpsIssued)
+	}
+}
+
+func TestReadSharesBandwidth(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.ReadBandwidth = 100
+	cfg.PerClientBandwidth = 0
+	fs := New(eng, cfg)
+	var finish []sim.Time
+	eng.At(0, func() {
+		fs.Read(100, func() { finish = append(finish, eng.Now()) })
+		fs.Read(100, func() { finish = append(finish, eng.Now()) })
+	})
+	eng.Run()
+	if len(finish) != 2 || finish[0] != 2 || finish[1] != 2 {
+		t.Fatalf("finish = %v, want both at 2 (shared 100 B/s)", finish)
+	}
+}
+
+func TestPerClientCapLimitsSingleStream(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.ReadBandwidth = 1000
+	cfg.PerClientBandwidth = 100
+	fs := New(eng, cfg)
+	var end sim.Time
+	eng.At(0, func() { fs.Read(200, func() { end = eng.Now() }) })
+	eng.Run()
+	if end != 2 {
+		t.Fatalf("capped single stream finished at %v, want 2", end)
+	}
+}
+
+func TestLocalDiskIndependentOfSharedFS(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fs := New(eng, DefaultConfig())
+	d1 := NewLocalDisk(eng, DefaultLocalDisk())
+	d2 := NewLocalDisk(eng, DefaultLocalDisk())
+	var events int
+	eng.At(0, func() {
+		// Saturate the shared FS; local disks must be unaffected.
+		fs.Metadata(1e6, func() { events++ })
+		d1.Read(2e9, func() { events++ })
+		d2.Write(1.2e9, func() { events++ })
+		d1.Metadata(1000, func() { events++ })
+	})
+	end := eng.RunUntil(1.5)
+	_ = end
+	if events < 3 {
+		t.Fatalf("local disk operations delayed by shared FS load (events=%d)", events)
+	}
+}
+
+// Figure 4 shape: concurrent import latency is flat with client count for
+// small modules and rises steeply for TensorFlow-sized stacks.
+func TestImportDirectScalingShape(t *testing.T) {
+	meanLatency := func(pkg string, clients int) sim.Time {
+		eng := sim.NewEngine(7)
+		fs := New(eng, DefaultConfig())
+		im := NewImporter(eng, fs, envpack.DefaultCostModel())
+		res := resolution(t, pkg)
+		var total sim.Time
+		eng.At(0, func() {
+			for i := 0; i < clients; i++ {
+				im.ImportDirect(res, func(el sim.Time) { total += el })
+			}
+		})
+		eng.Run()
+		return total / sim.Time(clients)
+	}
+
+	// numpy: small enough that 64 -> 1024 clients changes latency little.
+	npSmall := meanLatency("numpy", 64)
+	npBig := meanLatency("numpy", 1024)
+	if npBig > 4*npSmall {
+		t.Fatalf("numpy import: %v @64 -> %v @1024; want near-flat", npSmall, npBig)
+	}
+
+	// tensorflow: latency must grow severely with scale.
+	tfSmall := meanLatency("tensorflow", 64)
+	tfBig := meanLatency("tensorflow", 1024)
+	if tfBig < 4*tfSmall {
+		t.Fatalf("tensorflow import: %v @64 -> %v @1024; want steep growth", tfSmall, tfBig)
+	}
+}
+
+// Figure 5 shape: cumulative import time grows with node count under both
+// methods, but packed transfer + local unpack beats direct shared-FS access
+// by a wide margin at scale.
+func TestDistributionMethodsShape(t *testing.T) {
+	res := resolution(t, "tensorflow")
+	model := envpack.DefaultCostModel()
+
+	direct := func(nodes, coresPerNode int) sim.Time {
+		eng := sim.NewEngine(7)
+		fs := New(eng, DefaultConfig())
+		im := NewImporter(eng, fs, model)
+		var cumulative sim.Time
+		eng.At(0, func() {
+			for i := 0; i < nodes*coresPerNode; i++ {
+				im.ImportDirect(res, func(el sim.Time) { cumulative += el })
+			}
+		})
+		eng.Run()
+		return cumulative
+	}
+	local := func(nodes, coresPerNode int) sim.Time {
+		eng := sim.NewEngine(7)
+		fs := New(eng, DefaultConfig())
+		im := NewImporter(eng, fs, model)
+		var cumulative sim.Time
+		eng.At(0, func() {
+			for n := 0; n < nodes; n++ {
+				disk := NewLocalDisk(eng, DefaultLocalDisk())
+				im.StagePacked(res, disk, func(stageEl sim.Time) {
+					cumulative += stageEl
+					for c := 0; c < coresPerNode; c++ {
+						im.ImportLocal(res, disk, func(el sim.Time) { cumulative += el })
+					}
+				})
+			}
+		})
+		eng.Run()
+		return cumulative
+	}
+
+	d16, d64 := direct(16, 8), direct(64, 8)
+	l16, l64 := local(16, 8), local(64, 8)
+	if d64 <= d16 || l64 <= l16 {
+		t.Fatalf("cumulative time must grow with nodes: direct %v->%v local %v->%v",
+			d16, d64, l16, l64)
+	}
+	if l64 >= d64/2 {
+		t.Fatalf("local unpack (%v) should significantly beat direct (%v) at 64 nodes",
+			l64.Duration(), d64.Duration())
+	}
+	// At hundreds of nodes, direct-access cumulative time reaches hours
+	// ("On many nodes, cumulative time is many hours").
+	if d256 := direct(256, 8); d256 < sim.Hour {
+		t.Fatalf("direct cumulative at 256x8 = %v, want > 1h", d256.Duration())
+	}
+}
+
+func TestCreateRemoteContention(t *testing.T) {
+	res := resolution(t, "numpy")
+	model := envpack.DefaultCostModel()
+	elapsed := func(workers int) sim.Time {
+		eng := sim.NewEngine(7)
+		fs := New(eng, DefaultConfig())
+		im := NewImporter(eng, fs, model)
+		wan := sim.NewFairShare(eng, 1e9) // 1 GB/s site-wide outbound
+		var last sim.Time
+		eng.At(0, func() {
+			for i := 0; i < workers; i++ {
+				disk := NewLocalDisk(eng, DefaultLocalDisk())
+				im.CreateRemote(res, wan, disk, func(el sim.Time) {
+					if el > last {
+						last = el
+					}
+				})
+			}
+		})
+		eng.Run()
+		return last
+	}
+	one, many := elapsed(1), elapsed(128)
+	if many <= one {
+		t.Fatalf("concurrent conda create should contend on the WAN: 1->%v 128->%v", one, many)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	New(eng, Config{})
+}

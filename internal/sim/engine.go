@@ -1,0 +1,186 @@
+// Package sim provides a deterministic discrete-event simulation kernel used
+// by the cluster, filesystem, and scheduler models. All experiment results in
+// this repository are produced on top of this kernel so that they are exactly
+// reproducible across machines and runs.
+//
+// The kernel is callback-based: entities schedule functions to run at future
+// simulated times, and Engine.Run dispatches them in time order. Ties are
+// broken by scheduling order, which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp or duration in seconds.
+type Time float64
+
+// Common durations, for readability at call sites.
+const (
+	Millisecond Time = 1e-3
+	Second      Time = 1
+	Minute      Time = 60
+	Hour        Time = 3600
+)
+
+// Duration formats a Time as a human-readable duration string.
+func (t Time) Duration() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).Duration()
+	case t < 1e-3:
+		return fmt.Sprintf("%.0fus", float64(t)*1e6)
+	case t < 1:
+		return fmt.Sprintf("%.1fms", float64(t)*1e3)
+	case t < Minute:
+		return fmt.Sprintf("%.2fs", float64(t))
+	case t < Hour:
+		return fmt.Sprintf("%.1fm", float64(t)/60)
+	default:
+		return fmt.Sprintf("%.2fh", float64(t)/3600)
+	}
+}
+
+// Event is a handle to a scheduled callback. It can be cancelled as long as
+// it has not fired yet; cancelling a fired or already-cancelled event is a
+// harmless no-op.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 once removed
+}
+
+// At reports the simulated time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	rng     *RNG
+
+	// Processed counts events dispatched so far; useful for runaway guards.
+	Processed uint64
+	// MaxEvents, if nonzero, aborts Run with a panic once exceeded. It is a
+	// backstop against accidental infinite event loops in model code.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine starting at time 0 with a deterministic
+// random-number generator seeded from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the past
+// (t < Now) panics: it always indicates a model bug, and silently clamping
+// would hide it.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(float64(t)) {
+		panic("sim: scheduling event at NaN time")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. It is safe to call on nil, fired, or
+// already-cancelled events.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fn == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.fn = nil
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run dispatches events in time order until no events remain or Stop is
+// called. It returns the final simulated time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(math.Inf(1))) }
+
+// RunUntil dispatches events with timestamps <= limit. Events beyond limit
+// remain queued. It returns the simulated time of the last dispatched event
+// (or the current time if nothing ran).
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.Processed++
+		if e.MaxEvents != 0 && e.Processed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (event loop?)", e.MaxEvents))
+		}
+		if fn != nil {
+			fn()
+		}
+	}
+	return e.now
+}

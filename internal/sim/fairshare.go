@@ -1,0 +1,154 @@
+package sim
+
+// FairShare models a capacity shared equally among active flows, such as a
+// network link or the aggregate data bandwidth of a parallel filesystem.
+// While n flows are active each progresses at Capacity/n (optionally capped
+// by PerFlowCap, modeling a single client NIC that cannot use the whole
+// fabric). Completion times are recomputed whenever the set of active flows
+// changes, which is the textbook processor-sharing construction.
+type FairShare struct {
+	eng *Engine
+
+	// Capacity is the aggregate service rate in units/second (e.g. bytes/s).
+	Capacity float64
+	// PerFlowCap, if nonzero, limits the rate any single flow can achieve.
+	PerFlowCap float64
+
+	flows   map[*Flow]struct{}
+	lastUpd Time
+	next    *Event
+
+	// Completed counts finished flows; MovedUnits integrates total work done.
+	Completed  uint64
+	MovedUnits float64
+}
+
+// Flow is one in-progress transfer on a FairShare resource.
+type Flow struct {
+	remaining float64
+	done      func()
+	fs        *FairShare
+}
+
+// NewFairShare returns a fair-shared resource with the given aggregate
+// capacity attached to the engine.
+func NewFairShare(eng *Engine, capacity float64) *FairShare {
+	if capacity <= 0 {
+		panic("sim: fair share capacity must be positive")
+	}
+	return &FairShare{eng: eng, Capacity: capacity, flows: make(map[*Flow]struct{})}
+}
+
+// Active reports the number of in-progress flows.
+func (f *FairShare) Active() int { return len(f.flows) }
+
+// rate returns the current per-flow service rate.
+func (f *FairShare) rate() float64 {
+	n := len(f.flows)
+	if n == 0 {
+		return 0
+	}
+	r := f.Capacity / float64(n)
+	if f.PerFlowCap > 0 && r > f.PerFlowCap {
+		r = f.PerFlowCap
+	}
+	return r
+}
+
+// advance charges elapsed progress to every active flow.
+func (f *FairShare) advance() {
+	now := f.eng.Now()
+	dt := float64(now - f.lastUpd)
+	f.lastUpd = now
+	if dt <= 0 || len(f.flows) == 0 {
+		return
+	}
+	progress := f.rate() * dt
+	for fl := range f.flows {
+		fl.remaining -= progress
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+	}
+	f.MovedUnits += progress * float64(len(f.flows))
+}
+
+// reschedule finds the flow that will finish first at the current rate and
+// schedules the next completion event.
+func (f *FairShare) reschedule() {
+	f.eng.Cancel(f.next)
+	f.next = nil
+	if len(f.flows) == 0 {
+		return
+	}
+	var min *Flow
+	for fl := range f.flows {
+		if min == nil || fl.remaining < min.remaining {
+			min = fl
+		}
+	}
+	rate := f.rate()
+	eta := Time(min.remaining / rate)
+	f.next = f.eng.After(eta, f.complete)
+}
+
+// complete fires when the earliest flow(s) finish.
+func (f *FairShare) complete() {
+	f.next = nil
+	f.advance()
+	var finished []*Flow
+	var min *Flow
+	for fl := range f.flows {
+		// Tolerate floating-point residue when several flows tie.
+		if fl.remaining <= 1e-9 {
+			finished = append(finished, fl)
+		}
+		if min == nil || fl.remaining < min.remaining {
+			min = fl
+		}
+	}
+	// This event was scheduled for the earliest flow's completion. If float
+	// underflow kept the clock (and thus advance) from registering the last
+	// sliver of progress, force-complete that flow: otherwise the resource
+	// reschedules at the same instant forever.
+	if len(finished) == 0 && min != nil {
+		min.remaining = 0
+		finished = append(finished, min)
+	}
+	for _, fl := range finished {
+		delete(f.flows, fl)
+		f.Completed++
+	}
+	// Callbacks run after bookkeeping so they can start new flows safely.
+	for _, fl := range finished {
+		if fl.done != nil {
+			fl.done()
+		}
+	}
+	f.reschedule()
+}
+
+// Transfer starts a flow of the given size and calls done when it completes.
+// A zero-size transfer completes on the next event dispatch.
+func (f *FairShare) Transfer(units float64, done func()) *Flow {
+	if units < 0 {
+		panic("sim: negative transfer size")
+	}
+	f.advance()
+	fl := &Flow{remaining: units, done: done, fs: f}
+	f.flows[fl] = struct{}{}
+	f.reschedule()
+	return fl
+}
+
+// EstimateLatency reports how long a transfer of the given size would take if
+// the current number of flows stayed constant. Schedulers use it for
+// planning; it performs no simulation side effects.
+func (f *FairShare) EstimateLatency(units float64) Time {
+	n := len(f.flows) + 1
+	r := f.Capacity / float64(n)
+	if f.PerFlowCap > 0 && r > f.PerFlowCap {
+		r = f.PerFlowCap
+	}
+	return Time(units / r)
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFairShareSingleFlow(t *testing.T) {
+	e := NewEngine(1)
+	fs := NewFairShare(e, 100)
+	var done Time
+	e.At(0, func() {
+		fs.Transfer(500, func() { done = e.Now() })
+	})
+	e.Run()
+	if done != 5 {
+		t.Fatalf("single flow finished at %v, want 5", done)
+	}
+}
+
+func TestFairShareTwoEqualFlows(t *testing.T) {
+	e := NewEngine(1)
+	fs := NewFairShare(e, 100)
+	var done []Time
+	e.At(0, func() {
+		fs.Transfer(500, func() { done = append(done, e.Now()) })
+		fs.Transfer(500, func() { done = append(done, e.Now()) })
+	})
+	e.Run()
+	// Each gets 50 units/s: both finish at 10.
+	if len(done) != 2 || done[0] != 10 || done[1] != 10 {
+		t.Fatalf("done = %v, want [10 10]", done)
+	}
+}
+
+func TestFairShareLateArrivalSlowsFirst(t *testing.T) {
+	e := NewEngine(1)
+	fs := NewFairShare(e, 100)
+	var first, second Time
+	e.At(0, func() { fs.Transfer(500, func() { first = e.Now() }) })
+	// Second flow arrives at t=2.5 when the first has 250 left.
+	e.At(2.5, func() { fs.Transfer(500, func() { second = e.Now() }) })
+	e.Run()
+	// From 2.5 both run at 50/s. First has 250 left -> finishes at 7.5.
+	if math.Abs(float64(first-7.5)) > 1e-9 {
+		t.Fatalf("first = %v, want 7.5", first)
+	}
+	// Second then has 250 left and gets 100/s -> finishes at 10.
+	if math.Abs(float64(second-10)) > 1e-9 {
+		t.Fatalf("second = %v, want 10", second)
+	}
+}
+
+func TestFairSharePerFlowCap(t *testing.T) {
+	e := NewEngine(1)
+	fs := NewFairShare(e, 1000)
+	fs.PerFlowCap = 100 // a single client cannot exceed its NIC
+	var done Time
+	e.At(0, func() { fs.Transfer(500, func() { done = e.Now() }) })
+	e.Run()
+	if done != 5 {
+		t.Fatalf("capped flow finished at %v, want 5", done)
+	}
+}
+
+func TestFairShareZeroSizeTransfer(t *testing.T) {
+	e := NewEngine(1)
+	fs := NewFairShare(e, 10)
+	fired := false
+	e.At(1, func() { fs.Transfer(0, func() { fired = true }) })
+	e.Run()
+	if !fired {
+		t.Fatal("zero-size transfer never completed")
+	}
+	if e.Now() != 1 {
+		t.Fatalf("zero-size transfer finished at %v, want 1", e.Now())
+	}
+}
+
+func TestFairShareChainedTransfers(t *testing.T) {
+	// Completion callbacks may start new flows; the resource must handle it.
+	e := NewEngine(1)
+	fs := NewFairShare(e, 10)
+	var hops int
+	var next func()
+	next = func() {
+		hops++
+		if hops < 3 {
+			fs.Transfer(10, next)
+		}
+	}
+	e.At(0, func() { fs.Transfer(10, next) })
+	e.Run()
+	if hops != 3 {
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("chain finished at %v, want 3", e.Now())
+	}
+}
+
+func TestFairShareEstimateLatency(t *testing.T) {
+	e := NewEngine(1)
+	fs := NewFairShare(e, 100)
+	if got := fs.EstimateLatency(200); got != 2 {
+		t.Fatalf("idle estimate = %v, want 2", got)
+	}
+	e.At(0, func() {
+		fs.Transfer(1e9, nil)
+		if got := fs.EstimateLatency(100); got != 2 {
+			t.Errorf("estimate with one active flow = %v, want 2", got)
+		}
+	})
+	e.RunUntil(1)
+}
+
+// Property: total moved units equals the sum of all transfer sizes, and the
+// makespan is at least total/capacity (work conservation under sharing).
+func TestFairShareConservationProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		e := NewEngine(5)
+		fs := NewFairShare(e, 50)
+		var total float64
+		var completed int
+		e.At(0, func() {
+			for _, sz := range sizes {
+				s := float64(sz)
+				total += s
+				fs.Transfer(s, func() { completed++ })
+			}
+		})
+		end := e.Run()
+		if completed != len(sizes) {
+			return false
+		}
+		if math.Abs(fs.MovedUnits-total) > 1e-6*(total+1) {
+			return false
+		}
+		return float64(end) >= total/50-1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokensTryAcquire(t *testing.T) {
+	tk := NewTokens(10)
+	if !tk.TryAcquire(6) {
+		t.Fatal("first acquire failed")
+	}
+	if tk.TryAcquire(6) {
+		t.Fatal("over-capacity acquire succeeded")
+	}
+	if tk.Free() != 4 {
+		t.Fatalf("Free = %v, want 4", tk.Free())
+	}
+	tk.Release(6)
+	if tk.Used() != 0 {
+		t.Fatalf("Used = %v, want 0", tk.Used())
+	}
+}
+
+func TestTokensFIFOGrant(t *testing.T) {
+	tk := NewTokens(10)
+	var order []int
+	tk.Acquire(10, func() { order = append(order, 0) })
+	tk.Acquire(2, func() { order = append(order, 1) })
+	tk.Acquire(3, func() { order = append(order, 2) })
+	if len(order) != 1 {
+		t.Fatalf("only the first acquire should be granted, got %v", order)
+	}
+	tk.Release(10)
+	if len(order) != 3 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestTokensStrictFIFONoStarvationBypass(t *testing.T) {
+	tk := NewTokens(10)
+	granted := make([]bool, 3)
+	tk.Acquire(8, func() { granted[0] = true })
+	tk.Acquire(8, func() { granted[1] = true }) // waits
+	tk.Acquire(1, func() { granted[2] = true }) // must NOT jump the queue
+	if granted[2] {
+		t.Fatal("small request bypassed FIFO head")
+	}
+	tk.Release(8)
+	if !granted[1] || !granted[2] {
+		t.Fatalf("grants after release = %v, want all true", granted)
+	}
+}
+
+func TestTokensPanics(t *testing.T) {
+	tk := NewTokens(5)
+	mustPanic(t, "acquire > capacity", func() { tk.Acquire(6, func() {}) })
+	mustPanic(t, "release more than held", func() { tk.Release(1) })
+	mustPanic(t, "negative acquire", func() { tk.TryAcquire(-1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestTokensPeakTracking(t *testing.T) {
+	tk := NewTokens(10)
+	tk.TryAcquire(4)
+	tk.TryAcquire(4)
+	tk.Release(4)
+	tk.TryAcquire(1)
+	if tk.PeakUsed != 8 {
+		t.Fatalf("PeakUsed = %v, want 8", tk.PeakUsed)
+	}
+}
+
+// Property: used never exceeds capacity and never goes negative under any
+// valid acquire/release interleaving.
+func TestTokensInvariantProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		tk := NewTokens(16)
+		var held []float64
+		for _, op := range ops {
+			amt := float64(op%8) + 1
+			if op%2 == 0 {
+				if tk.TryAcquire(amt) {
+					held = append(held, amt)
+				}
+			} else if len(held) > 0 {
+				tk.Release(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if tk.Used() < -1e-9 || tk.Used() > tk.Capacity()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("N/Min/Max = %d/%v/%v", s.N(), s.Min(), s.Max())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Sum() != 20 {
+		t.Fatalf("Sum = %v, want 20", s.Sum())
+	}
+	if got := s.Percentile(50); got != 4 {
+		t.Fatalf("P50 = %v, want 4", got)
+	}
+	if got := s.Percentile(100); got != 8 {
+		t.Fatalf("P100 = %v, want 8", got)
+	}
+	if got := s.Percentile(0); got != 2 {
+		t.Fatalf("P0 = %v, want 2", got)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Std() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty stats should report zeros")
+	}
+}
+
+func TestStatsStd(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	// Sample std of this classic set is ~2.138.
+	if got := s.Std(); got < 2.1 || got > 2.2 {
+		t.Fatalf("Std = %v, want ~2.14", got)
+	}
+}
+
+func TestRNGDeterminismAndFork(t *testing.T) {
+	a, b := NewRNG(9), NewRNG(9)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	fa := a.Fork()
+	fb := b.Fork()
+	for i := 0; i < 10; i++ {
+		if fa.Float64() != fb.Float64() {
+			t.Fatal("forked RNGs diverged")
+		}
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if v := g.Uniform(5, 10); v < 5 || v >= 10 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+		if v := g.TruncNormal(5, 10, 0, 8); v < 0 || v > 8 {
+			t.Fatalf("TruncNormal out of range: %v", v)
+		}
+		if v := g.Pareto(1.5, 2, 64); v < 2-1e-9 || v > 64+1e-9 {
+			t.Fatalf("Pareto out of range: %v", v)
+		}
+		if v := g.Exponential(3); v < 0 {
+			t.Fatalf("Exponential negative: %v", v)
+		}
+	}
+}
+
+func TestRNGParetoIsHeavyTailed(t *testing.T) {
+	g := NewRNG(13)
+	var s Stats
+	for i := 0; i < 5000; i++ {
+		s.Add(g.Pareto(1.2, 1, 100))
+	}
+	// A heavy right tail pulls the mean well above the median.
+	if s.Mean() <= s.Percentile(50) {
+		t.Fatalf("Pareto mean %v not above median %v", s.Mean(), s.Percentile(50))
+	}
+}

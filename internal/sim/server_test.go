@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerSingleChannelFIFO(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1)
+	var done []Time
+	e.At(0, func() {
+		for i := 0; i < 3; i++ {
+			s.Request(2, func() { done = append(done, e.Now()) })
+		}
+	})
+	e.Run()
+	want := []Time{2, 4, 6}
+	if len(done) != 3 {
+		t.Fatalf("completions = %v, want %v", done, want)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if s.Served != 3 {
+		t.Fatalf("Served = %d, want 3", s.Served)
+	}
+}
+
+func TestServerParallelChannels(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 2)
+	var done []Time
+	e.At(0, func() {
+		for i := 0; i < 4; i++ {
+			s.Request(3, func() { done = append(done, e.Now()) })
+		}
+	})
+	e.Run()
+	// Two at a time: completions at 3,3,6,6.
+	want := []Time{3, 3, 6, 6}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestServerLatencyGrowsWithLoad(t *testing.T) {
+	// The core behaviour behind Figures 4 and 5: per-request latency under
+	// N concurrent clients grows roughly linearly in N once saturated.
+	latency := func(n int) Time {
+		e := NewEngine(1)
+		s := NewServer(e, 4)
+		var total Time
+		e.At(0, func() {
+			for i := 0; i < n; i++ {
+				s.Request(0.01, func() { total += e.Now() })
+			}
+		})
+		e.Run()
+		return total / Time(n)
+	}
+	l16, l256 := latency(16), latency(256)
+	if l256 < 8*l16 {
+		t.Fatalf("mean latency at 256 clients = %v, want >= 8x the %v at 16", l256, l16)
+	}
+}
+
+func TestServerZeroServiceStillQueues(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1)
+	var order []int
+	e.At(0, func() {
+		s.Request(5, func() { order = append(order, 0) })
+		s.Request(0, func() { order = append(order, 1) })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("zero-service request should finish at 5, now = %v", e.Now())
+	}
+}
+
+func TestServerUtilizationAccounting(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 2)
+	e.At(0, func() {
+		s.Request(1, nil)
+		s.Request(2, nil)
+		s.Request(3, nil)
+	})
+	e.Run()
+	if s.BusyTime != 6 {
+		t.Fatalf("BusyTime = %v, want 6", s.BusyTime)
+	}
+	if s.Busiest != 1 {
+		t.Fatalf("Busiest = %d, want 1", s.Busiest)
+	}
+}
+
+// Property: all requests complete exactly once and makespan >= total
+// work / channels (conservation of work).
+func TestServerConservationProperty(t *testing.T) {
+	prop := func(services []uint8, channels uint8) bool {
+		k := int(channels%4) + 1
+		e := NewEngine(3)
+		s := NewServer(e, k)
+		var count int
+		var work Time
+		e.At(0, func() {
+			for _, sv := range services {
+				d := Time(sv) * Millisecond
+				work += d
+				s.Request(d, func() { count++ })
+			}
+		})
+		end := e.Run()
+		if count != len(services) {
+			return false
+		}
+		return end >= work/Time(k)-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats accumulates summary statistics online (Welford's algorithm) and
+// retains samples for percentile queries. It is used for task runtimes,
+// resource peaks, and queue depths throughout the models.
+type Stats struct {
+	n       int
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *Stats) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// N reports the number of samples.
+func (s *Stats) N() int { return s.n }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Sum reports the total of all samples.
+func (s *Stats) Sum() float64 { return s.mean * float64(s.n) }
+
+// Std reports the sample standard deviation, or 0 with fewer than 2 samples.
+func (s *Stats) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (s *Stats) Min() float64 { return s.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (s *Stats) Max() float64 { return s.max }
+
+// Percentile reports the p-th percentile (0..100) by nearest-rank on the
+// retained samples, or 0 with no samples.
+func (s *Stats) Percentile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[s.n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.samples[rank-1]
+}

@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"testing"
+
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+	"lfm/internal/wq"
+)
+
+func TestHEPStructure(t *testing.T) {
+	w := HEP(sim.NewRNG(1), 50)
+	// 5 preprocessing + 50 analysis + 1 postprocessing.
+	if w.TaskCount() != 56 {
+		t.Fatalf("tasks = %d, want 56", w.TaskCount())
+	}
+	var pre, ana, post int
+	for _, task := range w.Tasks {
+		switch task.Category {
+		case "hep-pre":
+			pre++
+			if len(task.DependsOn) != 0 {
+				t.Fatal("preprocessing has dependencies")
+			}
+		case "hep-ana":
+			ana++
+			if len(task.DependsOn) != 1 || task.DependsOn[0].Category != "hep-pre" {
+				t.Fatal("analysis must depend on preprocessing")
+			}
+		case "hep-post":
+			post++
+			if len(task.DependsOn) != 50 {
+				t.Fatalf("postprocessing deps = %d", len(task.DependsOn))
+			}
+		}
+	}
+	if pre != 5 || ana != 50 || post != 1 {
+		t.Fatalf("pre/ana/post = %d/%d/%d", pre, ana, post)
+	}
+}
+
+func TestHEPResourceEnvelope(t *testing.T) {
+	w := HEP(sim.NewRNG(2), 100)
+	for _, task := range w.Tasks {
+		peak := task.Spec.TruePeak()
+		oracle := w.OraclePeaks[task.Category]
+		if !peak.Fits(oracle) {
+			t.Fatalf("task %d peak %v exceeds oracle %v", task.ID, peak, oracle)
+		}
+		dur := task.Spec.Duration()
+		if dur < 40 || dur > 70 {
+			t.Fatalf("task duration %v outside 40-70s", dur)
+		}
+	}
+	// Guess over-allocates memory by >10x (1.5GB vs ~110MB).
+	if w.Guess.MemoryMB < 10*w.OraclePeaks["hep-ana"].MemoryMB {
+		t.Fatalf("guess %v not clearly over oracle %v", w.Guess, w.OraclePeaks["hep-ana"])
+	}
+	if w.EnvFile.SizeBytes != 240e6 || !w.EnvFile.Cacheable {
+		t.Fatalf("env file = %+v", w.EnvFile)
+	}
+}
+
+func TestDrugScreenStructure(t *testing.T) {
+	w := DrugScreen(sim.NewRNG(3), 10)
+	// 6 tasks per batch: smiles, 3 features, 2 models.
+	if w.TaskCount() != 60 {
+		t.Fatalf("tasks = %d, want 60", w.TaskCount())
+	}
+	var models int
+	for _, task := range w.Tasks {
+		if task.Category == "drug-model" {
+			models++
+			if len(task.DependsOn) != 3 {
+				t.Fatalf("model deps = %d, want 3 features", len(task.DependsOn))
+			}
+		}
+		peak := task.Spec.TruePeak()
+		if !peak.Fits(w.OraclePeaks[task.Category]) {
+			t.Fatalf("task %d (%s) peak %v exceeds oracle", task.ID, task.Category, peak)
+		}
+	}
+	if models != 20 {
+		t.Fatalf("models = %d", models)
+	}
+}
+
+func TestGenomicsStructureAndVEPTail(t *testing.T) {
+	w := Genomics(sim.NewRNG(4), 40)
+	// 4 per-genome stages + 1 aggregate.
+	if w.TaskCount() != 161 {
+		t.Fatalf("tasks = %d, want 161", w.TaskCount())
+	}
+	var vepMems []float64
+	var exceeds int
+	for _, task := range w.Tasks {
+		if task.Category != "gen-annotate" {
+			// Every non-VEP category fits its oracle label.
+			if !task.Spec.TruePeak().Fits(w.OraclePeaks[task.Category]) {
+				t.Fatalf("task %d (%s) exceeds oracle", task.ID, task.Category)
+			}
+			continue
+		}
+		mem := task.Spec.TruePeak().MemoryMB
+		vepMems = append(vepMems, mem)
+		if mem > w.OraclePeaks["gen-annotate"].MemoryMB {
+			exceeds++
+		}
+	}
+	if len(vepMems) != 40 {
+		t.Fatalf("vep tasks = %d", len(vepMems))
+	}
+	// The tail must occasionally exceed the oracle's (imperfect) label —
+	// the paper's stated reason Auto sometimes beats Oracle here — but
+	// only for a minority of tasks.
+	if exceeds == 0 {
+		t.Fatal("no VEP task exceeds the imperfect oracle; tail too light")
+	}
+	if exceeds > len(vepMems)/2 {
+		t.Fatalf("%d/%d VEP tasks exceed oracle; tail too heavy", exceeds, len(vepMems))
+	}
+	// Final task aggregates all annotations.
+	last := w.Tasks[len(w.Tasks)-1]
+	if last.Category != "gen-aggregate" || len(last.DependsOn) != 40 {
+		t.Fatalf("last task = %s with %d deps", last.Category, len(last.DependsOn))
+	}
+}
+
+func TestFuncXResNetUniformity(t *testing.T) {
+	w := FuncXResNet(sim.NewRNG(5), 100)
+	if w.TaskCount() != 100 {
+		t.Fatalf("tasks = %d", w.TaskCount())
+	}
+	for _, task := range w.Tasks {
+		if len(task.DependsOn) != 0 {
+			t.Fatal("funcX tasks are independent")
+		}
+		if !task.Spec.TruePeak().Fits(w.OraclePeaks["resnet-infer"]) {
+			t.Fatal("task exceeds oracle")
+		}
+		if d := task.Spec.Duration(); d < 8 || d > 15 {
+			t.Fatalf("duration %v outside 8-15s", d)
+		}
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := Genomics(sim.NewRNG(7), 10)
+	b := Genomics(sim.NewRNG(7), 10)
+	for i := range a.Tasks {
+		if a.Tasks[i].Spec.TruePeak() != b.Tasks[i].Spec.TruePeak() {
+			t.Fatal("same-seed workloads differ")
+		}
+	}
+}
+
+func TestAllWorkloadsShareEnvAcrossTasks(t *testing.T) {
+	rng := sim.NewRNG(8)
+	for _, w := range []*Workload{
+		HEP(rng, 10), DrugScreen(rng, 3), Genomics(rng, 3), FuncXResNet(rng, 10),
+	} {
+		var envRefs int
+		for _, task := range w.Tasks {
+			for _, f := range task.Inputs {
+				if f == w.EnvFile {
+					envRefs++
+				}
+			}
+		}
+		if envRefs != w.TaskCount() {
+			t.Fatalf("%s: env referenced by %d/%d tasks", w.Name, envRefs, w.TaskCount())
+		}
+	}
+}
+
+// Smoke-check that the workload categories line up with what a master and
+// strategy expect (compile-level integration of types).
+var _ = []*wq.Task{}
+var _ = monitor.Resources{}

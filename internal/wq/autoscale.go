@@ -1,0 +1,104 @@
+package wq
+
+import (
+	"lfm/internal/sim"
+)
+
+// Autoscaler implements the paper's cluster-provisioning element (§III):
+// "worker nodes must be provisioned at runtime by observing the workload
+// ... and submitting requests to start new workers". It periodically
+// compares the master's backlog against the connected pool and requests
+// more pilot jobs from the site's batch system when tasks are waiting.
+type Autoscaler struct {
+	// Master is the queue being observed.
+	Master *Master
+	// Request submits n pilot jobs to the underlying batch system; workers
+	// join the master (via AddWorker) whenever the batch system delivers
+	// them. An error is fatal to the autoscaler (capacity exhausted).
+	Request func(n int) error
+
+	// MinWorkers is provisioned immediately at Start.
+	MinWorkers int
+	// MaxWorkers caps total requested workers.
+	MaxWorkers int
+	// TasksPerWorker is the backlog each new worker is expected to absorb;
+	// one new worker is requested per this many queued tasks. Default 4.
+	TasksPerWorker int
+	// Interval is the observation period. Default 30s.
+	Interval sim.Time
+
+	requested int
+	stopped   bool
+	armed     bool
+	err       error
+}
+
+// Requested reports how many workers the autoscaler has asked for in total.
+func (a *Autoscaler) Requested() int { return a.requested }
+
+// Err reports a provisioning failure, if any occurred.
+func (a *Autoscaler) Err() error { return a.err }
+
+// Stop halts future scaling decisions.
+func (a *Autoscaler) Stop() { a.stopped = true }
+
+// Start provisions MinWorkers and begins scaling. The autoscaler is
+// event-driven: it observes at Interval while tasks are queued and goes
+// quiet when the queue drains (so that simulations run to completion),
+// re-arming whenever the master reports new ready tasks.
+func (a *Autoscaler) Start() {
+	if a.TasksPerWorker <= 0 {
+		a.TasksPerWorker = 4
+	}
+	if a.Interval <= 0 {
+		a.Interval = 30 * sim.Second
+	}
+	if a.MaxWorkers <= 0 {
+		a.MaxWorkers = 1 << 20
+	}
+	a.Master.onReady = a.wake
+	if a.MinWorkers > 0 {
+		a.request(a.MinWorkers)
+	}
+	a.armed = true
+	a.tick()
+}
+
+// wake re-arms observation when new work appears.
+func (a *Autoscaler) wake() {
+	if a.armed || a.stopped || a.err != nil {
+		return
+	}
+	a.armed = true
+	a.Master.Eng.After(0, a.tick)
+}
+
+func (a *Autoscaler) tick() {
+	if a.stopped || a.err != nil {
+		a.armed = false
+		return
+	}
+	backlog := a.Master.QueueLen()
+	if backlog == 0 {
+		a.armed = false // sleep until the master reports new ready tasks
+		return
+	}
+	if a.requested < a.MaxWorkers {
+		want := (backlog + a.TasksPerWorker - 1) / a.TasksPerWorker
+		if a.requested+want > a.MaxWorkers {
+			want = a.MaxWorkers - a.requested
+		}
+		if want > 0 {
+			a.request(want)
+		}
+	}
+	a.Master.Eng.After(a.Interval, a.tick)
+}
+
+func (a *Autoscaler) request(n int) {
+	if err := a.Request(n); err != nil {
+		a.err = err
+		return
+	}
+	a.requested += n
+}

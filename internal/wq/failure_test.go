@@ -1,0 +1,233 @@
+package wq
+
+import (
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/cluster"
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+)
+
+func TestRemoveWorkerRequeuesRunningTasks(t *testing.T) {
+	eng, m := testRig(t, 2, quickCfg(&alloc.Unmanaged{}))
+	tasks := make([]*Task, 4)
+	for i := range tasks {
+		tasks[i] = simpleTask(i, 20, 100)
+	}
+	eng.At(0, func() {
+		for _, task := range tasks {
+			m.Submit(task)
+		}
+	})
+	// Kill one worker mid-execution.
+	eng.At(5, func() { m.RemoveWorker(m.workers[0]) })
+	eng.Run()
+	for _, task := range tasks {
+		if task.State != TaskDone {
+			t.Fatalf("task %d state = %v", task.ID, task.State)
+		}
+	}
+	if m.Stats().LostTasks != 1 {
+		t.Fatalf("lost tasks = %d, want 1", m.Stats().LostTasks)
+	}
+	if m.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", m.Workers())
+	}
+	// The lost attempt does not count against exhaustion retries.
+	if m.Stats().Retries != 0 {
+		t.Fatalf("retries = %d, want 0", m.Stats().Retries)
+	}
+}
+
+func TestRemoveWorkerDuringStaging(t *testing.T) {
+	// Worker dies while a big input is in flight; the task must end up on
+	// the surviving worker.
+	eng, m := testRig(t, 2, quickCfg(&alloc.Unmanaged{}))
+	task := simpleTask(1, 5, 100)
+	task.Inputs = []*File{{Name: "big.tar", SizeBytes: 10e9, Cacheable: true}}
+	eng.At(0, func() { m.Submit(task) })
+	eng.At(1, func() {
+		// Find the worker holding the task (the one with running > 0).
+		for _, w := range m.workers {
+			if w.running > 0 {
+				m.RemoveWorker(w)
+				return
+			}
+		}
+		t.Error("no worker was staging the task")
+	})
+	eng.Run()
+	if task.State != TaskDone {
+		t.Fatalf("task state = %v", task.State)
+	}
+	if m.Stats().LostTasks != 1 {
+		t.Fatalf("lost = %d", m.Stats().LostTasks)
+	}
+}
+
+func TestRemoveAllWorkersThenRecover(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 0
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, quickCfg(&alloc.Unmanaged{}))
+	if err := cl.Provision(1, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+		t.Fatal(err)
+	}
+	task := simpleTask(1, 10, 100)
+	eng.At(0, func() { m.Submit(task) })
+	eng.At(2, func() { m.RemoveWorker(m.workers[0]) })
+	// A replacement arrives later.
+	eng.At(50, func() {
+		if err := cl.Provision(1, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if task.State != TaskDone {
+		t.Fatalf("task state = %v", task.State)
+	}
+	if task.StartedAt < 50 {
+		t.Fatalf("final attempt started at %v, want after replacement", task.StartedAt)
+	}
+}
+
+func TestRemoveWorkerIdempotent(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	eng.RunUntil(1) // let the provisioned worker join
+	w := m.workers[0]
+	m.RemoveWorker(w)
+	m.RemoveWorker(w) // no-op
+	if m.Workers() != 0 {
+		t.Fatalf("workers = %d", m.Workers())
+	}
+}
+
+func TestExecutionAbortSuppressesReport(t *testing.T) {
+	eng := sim.NewEngine(1)
+	lfm := monitor.New(eng, monitor.DefaultConfig())
+	reported := false
+	var ex *monitor.Execution
+	eng.At(0, func() {
+		ex = lfm.Run(monitor.Proc(10, monitor.Resources{Cores: 1, MemoryMB: 1}),
+			monitor.Resources{}, func(monitor.Report) { reported = true })
+	})
+	eng.At(3, func() { ex.Abort() })
+	end := eng.Run()
+	if reported {
+		t.Fatal("aborted execution reported")
+	}
+	if end > 4 {
+		t.Fatalf("events kept firing after abort (end=%v)", end)
+	}
+	// Aborting again is harmless.
+	ex.Abort()
+}
+
+func TestExecutionAbortBeforeStart(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := monitor.DefaultConfig()
+	cfg.Overhead = 5
+	lfm := monitor.New(eng, cfg)
+	reported := false
+	var ex *monitor.Execution
+	eng.At(0, func() {
+		ex = lfm.Run(monitor.Proc(10, monitor.Resources{Cores: 1, MemoryMB: 1}),
+			monitor.Resources{}, func(monitor.Report) { reported = true })
+	})
+	eng.At(1, func() { ex.Abort() }) // before the overhead elapses
+	eng.Run()
+	if reported {
+		t.Fatal("aborted-before-start execution reported")
+	}
+}
+
+func TestAutoscalerGrowsWithBacklog(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 10
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, quickCfg(&alloc.Unmanaged{}))
+	as := &Autoscaler{
+		Master:         m,
+		Request:        func(n int) error { return cl.Provision(n, func(nd *cluster.Node) { m.AddWorker(nd) }) },
+		MinWorkers:     1,
+		MaxWorkers:     16,
+		TasksPerWorker: 2,
+		Interval:       5,
+	}
+	eng.At(0, func() {
+		as.Start()
+		for i := 0; i < 24; i++ {
+			m.Submit(simpleTask(i, 30, 100))
+		}
+	})
+	eng.Run()
+	if as.Err() != nil {
+		t.Fatal(as.Err())
+	}
+	if m.Stats().Completed != 24 {
+		t.Fatalf("completed = %d", m.Stats().Completed)
+	}
+	if as.Requested() <= 1 {
+		t.Fatalf("requested = %d, want growth beyond MinWorkers", as.Requested())
+	}
+	if as.Requested() > 16 {
+		t.Fatalf("requested = %d exceeds MaxWorkers", as.Requested())
+	}
+}
+
+func TestAutoscalerRespectsMax(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 1000 // workers effectively never arrive
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, quickCfg(&alloc.Unmanaged{}))
+	as := &Autoscaler{
+		Master:         m,
+		Request:        func(n int) error { return cl.Provision(n, func(nd *cluster.Node) { m.AddWorker(nd) }) },
+		MaxWorkers:     3,
+		TasksPerWorker: 1,
+		Interval:       5,
+	}
+	eng.At(0, func() {
+		as.Start()
+		for i := 0; i < 50; i++ {
+			m.Submit(simpleTask(i, 1, 1))
+		}
+	})
+	eng.RunUntil(100)
+	as.Stop()
+	if as.Requested() != 3 {
+		t.Fatalf("requested = %d, want capped at 3", as.Requested())
+	}
+}
+
+func TestAutoscalerSurfacesProvisionError(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"] // 64 nodes
+	site.BatchLatency = 1000
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, quickCfg(&alloc.Unmanaged{}))
+	as := &Autoscaler{
+		Master:         m,
+		Request:        func(n int) error { return cl.Provision(n, func(nd *cluster.Node) { m.AddWorker(nd) }) },
+		MaxWorkers:     1000, // beyond the site's 64 nodes
+		TasksPerWorker: 1,
+		Interval:       1,
+	}
+	eng.At(0, func() {
+		as.Start()
+		for i := 0; i < 500; i++ {
+			m.Submit(simpleTask(i, 1, 1))
+		}
+	})
+	eng.RunUntil(50)
+	if as.Err() == nil {
+		t.Fatal("over-capacity provisioning error not surfaced")
+	}
+}

@@ -1,0 +1,74 @@
+package wq
+
+import "fmt"
+
+// Placement selects among candidate workers for a task. The paper's Work
+// Queue "prefers to schedule tasks where needed data is cached"; the other
+// policies exist for the packing ablation.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceCacheAffinity prefers the worker caching the most input bytes,
+	// breaking ties toward emptier workers. This is Work Queue's behaviour
+	// and the default.
+	PlaceCacheAffinity Placement = iota
+	// PlaceFirstFit takes the first worker with room.
+	PlaceFirstFit
+	// PlaceBestFit takes the worker whose free cores are smallest but
+	// sufficient (tight packing, leaves big holes elsewhere).
+	PlaceBestFit
+	// PlaceWorstFit takes the worker with the most free cores (load
+	// spreading).
+	PlaceWorstFit
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceCacheAffinity:
+		return "cache-affinity"
+	case PlaceFirstFit:
+		return "first-fit"
+	case PlaceBestFit:
+		return "best-fit"
+	case PlaceWorstFit:
+		return "worst-fit"
+	}
+	return fmt.Sprintf("placement(%d)", int(p))
+}
+
+// pick chooses a worker for the task under the configured policy, or nil.
+func (m *Master) pick(t *Task, candidates []*Worker) *Worker {
+	var best *Worker
+	switch m.Cfg.Placement {
+	case PlaceFirstFit:
+		if len(candidates) > 0 {
+			best = candidates[0]
+		}
+	case PlaceBestFit:
+		for _, w := range candidates {
+			if best == nil || w.free().Cores < best.free().Cores {
+				best = w
+			}
+		}
+	case PlaceWorstFit:
+		for _, w := range candidates {
+			if best == nil || w.free().Cores > best.free().Cores {
+				best = w
+			}
+		}
+	default: // PlaceCacheAffinity
+		var bestCached int64 = -1
+		var bestFree float64 = -1
+		for _, w := range candidates {
+			c := w.cachedBytes(t)
+			f := w.free().Cores
+			if c > bestCached || (c == bestCached && f > bestFree) {
+				best = w
+				bestCached = c
+				bestFree = f
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,127 @@
+package wq
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lfm/internal/sim"
+)
+
+// EventKind labels one trace event.
+type EventKind string
+
+// Trace event kinds.
+const (
+	EventSubmit       EventKind = "submit"
+	EventStart        EventKind = "start"
+	EventComplete     EventKind = "complete"
+	EventExhausted    EventKind = "exhausted"
+	EventFail         EventKind = "fail"
+	EventLost         EventKind = "lost"
+	EventWorkerJoin   EventKind = "worker-join"
+	EventWorkerLeave  EventKind = "worker-leave"
+	EventFileTransfer EventKind = "file-transfer"
+)
+
+// Event is one timestamped scheduler occurrence, suitable for building
+// Gantt charts and utilization timelines from a run.
+type Event struct {
+	At   sim.Time  `json:"at"`
+	Kind EventKind `json:"kind"`
+	// Task is the task ID, or -1 for worker events.
+	Task int `json:"task"`
+	// Category is the task category, or empty.
+	Category string `json:"category,omitempty"`
+	// Worker is the worker's node ID, or -1.
+	Worker int `json:"worker"`
+	// Detail carries kind-specific text (exhausted resource, file name).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace records scheduler events when attached to a master via SetTrace.
+type Trace struct {
+	Events []Event
+}
+
+// SetTrace attaches a trace recorder (nil detaches).
+func (m *Master) SetTrace(tr *Trace) { m.trace = tr }
+
+// record appends an event if tracing is enabled.
+func (m *Master) record(kind EventKind, task *Task, w *Worker, detail string) {
+	if m.trace == nil {
+		return
+	}
+	ev := Event{At: m.Eng.Now(), Kind: kind, Task: -1, Worker: -1, Detail: detail}
+	if task != nil {
+		ev.Task = task.ID
+		ev.Category = task.Category
+	}
+	if w != nil {
+		ev.Worker = w.Node.ID
+	}
+	m.trace.Events = append(m.trace.Events, ev)
+}
+
+// WriteJSON emits the trace as a JSON array.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Events)
+}
+
+// Filter returns the events of one kind.
+func (t *Trace) Filter(kind EventKind) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TaskSpans pairs start and terminal events per task attempt, for Gantt
+// rendering. A span with End == -1 never finished (still running or lost).
+type TaskSpan struct {
+	Task     int
+	Category string
+	Worker   int
+	Start    sim.Time
+	End      sim.Time
+	Outcome  EventKind
+}
+
+// Spans reconstructs per-attempt spans from the event stream.
+func (t *Trace) Spans() []TaskSpan {
+	var spans []TaskSpan
+	open := map[int]int{} // task -> index into spans of the open span
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EventStart:
+			open[e.Task] = len(spans)
+			spans = append(spans, TaskSpan{
+				Task: e.Task, Category: e.Category, Worker: e.Worker,
+				Start: e.At, End: -1,
+			})
+		case EventComplete, EventExhausted, EventFail, EventLost:
+			if i, ok := open[e.Task]; ok {
+				spans[i].End = e.At
+				spans[i].Outcome = e.Kind
+				delete(open, e.Task)
+			}
+		}
+	}
+	return spans
+}
+
+// Summary renders one line per kind with counts.
+func (t *Trace) Summary() string {
+	counts := map[EventKind]int{}
+	for _, e := range t.Events {
+		counts[e.Kind]++
+	}
+	return fmt.Sprintf("trace: %d events (%d submits, %d starts, %d completes, %d exhausted, %d lost)",
+		len(t.Events), counts[EventSubmit], counts[EventStart],
+		counts[EventComplete], counts[EventExhausted], counts[EventLost])
+}

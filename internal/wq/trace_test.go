@@ -1,0 +1,125 @@
+package wq
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/monitor"
+)
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	env := &File{Name: "env.tgz", SizeBytes: 1e6, Cacheable: true}
+	task := simpleTask(7, 10, 100)
+	task.Inputs = []*File{env}
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+
+	for _, kind := range []EventKind{
+		EventWorkerJoin, EventSubmit, EventFileTransfer, EventStart, EventComplete,
+	} {
+		if len(tr.Filter(kind)) == 0 {
+			t.Errorf("no %s event recorded", kind)
+		}
+	}
+	// Event ordering for the task: submit <= transfer <= start <= complete.
+	var submit, start, complete Event
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case EventSubmit:
+			submit = e
+		case EventStart:
+			start = e
+		case EventComplete:
+			complete = e
+		}
+	}
+	if !(submit.At <= start.At && start.At < complete.At) {
+		t.Fatalf("ordering: submit %v start %v complete %v", submit.At, start.At, complete.At)
+	}
+	if start.Worker != 0 || start.Task != 7 || start.Category != "t" {
+		t.Fatalf("start event = %+v", start)
+	}
+}
+
+func TestTraceExhaustionAndSpans(t *testing.T) {
+	g := &alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 200, DiskMB: 100}}
+	eng, m := testRig(t, 1, quickCfg(g))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	task := simpleTask(1, 10, 800) // exceeds the 200MB guess -> kill + retry
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+
+	if len(tr.Filter(EventExhausted)) != 1 {
+		t.Fatalf("exhausted events = %d", len(tr.Filter(EventExhausted)))
+	}
+	if tr.Filter(EventExhausted)[0].Detail != "memory" {
+		t.Fatalf("detail = %q", tr.Filter(EventExhausted)[0].Detail)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Outcome != EventExhausted || spans[1].Outcome != EventComplete {
+		t.Fatalf("span outcomes = %v, %v", spans[0].Outcome, spans[1].Outcome)
+	}
+	if spans[0].End < spans[0].Start || spans[1].Start < spans[0].End {
+		t.Fatalf("span times incoherent: %+v", spans)
+	}
+}
+
+func TestTraceLostWorker(t *testing.T) {
+	eng, m := testRig(t, 2, quickCfg(&alloc.Unmanaged{}))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	eng.At(0, func() {
+		m.Submit(simpleTask(1, 20, 100))
+		m.Submit(simpleTask(2, 20, 100))
+	})
+	eng.At(5, func() { m.RemoveWorker(m.workers[0]) })
+	eng.Run()
+	if len(tr.Filter(EventLost)) != 1 {
+		t.Fatalf("lost events = %d", len(tr.Filter(EventLost)))
+	}
+	if len(tr.Filter(EventWorkerLeave)) != 1 {
+		t.Fatalf("leave events = %d", len(tr.Filter(EventWorkerLeave)))
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	eng.At(0, func() { m.Submit(simpleTask(1, 5, 10)) })
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(tr.Events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(tr.Events))
+	}
+	if !strings.Contains(tr.Summary(), "events") {
+		t.Fatalf("summary = %q", tr.Summary())
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	eng.At(0, func() { m.Submit(simpleTask(1, 5, 10)) })
+	eng.Run() // must not panic without a trace attached
+	if m.Stats().Completed != 1 {
+		t.Fatal("task did not complete")
+	}
+}

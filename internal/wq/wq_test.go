@@ -1,0 +1,367 @@
+package wq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/cluster"
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+)
+
+// testRig builds an engine, a small site, and a master, delivering workers
+// immediately (no batch latency) for deterministic scheduling tests.
+func testRig(t *testing.T, workers int, cfg Config) (*sim.Engine, *Master) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 0
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, cfg)
+	if err := cl.Provision(workers, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+		t.Fatal(err)
+	}
+	return eng, m
+}
+
+func quickCfg(s alloc.Strategy) Config {
+	cfg := DefaultConfig()
+	cfg.Strategy = s
+	cfg.Monitor.Overhead = 0
+	return cfg
+}
+
+func simpleTask(id int, dur sim.Time, mem float64) *Task {
+	return &Task{
+		ID:       id,
+		Category: "t",
+		Spec:     monitor.Proc(dur, monitor.Resources{Cores: 1, MemoryMB: mem, DiskMB: 10}),
+	}
+}
+
+func TestSingleTaskCompletes(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	task := simpleTask(1, 10, 100)
+	var done bool
+	m.OnTaskDone(func(tk *Task) { done = tk.State == TaskDone })
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+	if !done {
+		t.Fatalf("task state = %v", task.State)
+	}
+	if task.Report.WallTime != 10 {
+		t.Fatalf("wall time = %v", task.Report.WallTime)
+	}
+	if m.Stats().Completed != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestUnmanagedSerializesOnWholeNodes(t *testing.T) {
+	// 4 one-core tasks, 1 worker with 8 cores: Unmanaged runs them one at
+	// a time; a packing strategy runs them together.
+	makespan := func(s alloc.Strategy) sim.Time {
+		eng, m := testRig(t, 1, quickCfg(s))
+		eng.At(0, func() {
+			for i := 0; i < 4; i++ {
+				m.Submit(simpleTask(i, 10, 100))
+			}
+		})
+		return eng.Run()
+	}
+	un := makespan(&alloc.Unmanaged{})
+	or := makespan(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 100, DiskMB: 10}}})
+	if un < 40 {
+		t.Fatalf("unmanaged makespan = %v, want >= 40 (serialized)", un)
+	}
+	if or > un/2 {
+		t.Fatalf("oracle makespan %v should be well under unmanaged %v", or, un)
+	}
+}
+
+func TestPackingRespectsMemory(t *testing.T) {
+	// Node has 8GB; tasks need 3GB each: at most 2 run concurrently even
+	// though 8 cores are free.
+	eng, m := testRig(t, 1, quickCfg(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 3 * 1024, DiskMB: 10}}}))
+	var maxConcurrent, current int
+	m.OnTaskDone(func(*Task) { current-- })
+	eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			task := simpleTask(i, 10, 3*1024)
+			task.Spec = monitor.Proc(10, monitor.Resources{Cores: 1, MemoryMB: 3 * 1024, DiskMB: 10})
+			m.Submit(task)
+		}
+	})
+	// Track concurrency via periodic sampling.
+	var sample func()
+	sample = func() {
+		running := 0
+		for _, w := range m.workers {
+			running += w.running
+		}
+		if running > maxConcurrent {
+			maxConcurrent = running
+		}
+		if m.Stats().Completed < 4 {
+			eng.After(1, sample)
+		}
+	}
+	eng.At(0.5, sample)
+	eng.Run()
+	// 8GB node, ~3.15GB per padded request: two fit, three do not.
+	if maxConcurrent > 2 {
+		t.Fatalf("max concurrent = %d, want <= 2 (memory-bound)", maxConcurrent)
+	}
+	if maxConcurrent < 2 {
+		t.Fatalf("max concurrent = %d, want 2 (should pack)", maxConcurrent)
+	}
+}
+
+func TestAutoBootstrapThenPacks(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(alloc.NewAuto()))
+	eng.At(0, func() {
+		for i := 0; i < 8; i++ {
+			m.Submit(simpleTask(i, 10, 100))
+		}
+	})
+	end := eng.Run()
+	if m.Stats().Completed != 8 {
+		t.Fatalf("completed = %d", m.Stats().Completed)
+	}
+	// First task runs alone (bootstrap whole node, ~10s), then the
+	// remaining 7 pack onto 8 cores and finish together (~10s more).
+	if end > 30 {
+		t.Fatalf("makespan = %v, want auto to pack after first observation", end)
+	}
+}
+
+func TestExhaustionRetryAtFullSize(t *testing.T) {
+	// Tasks peak at 800MB but Guess says 200MB: every task is killed once,
+	// then retried on a whole node and completes.
+	g := &alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 200, DiskMB: 100}}
+	eng, m := testRig(t, 1, quickCfg(g))
+	task := simpleTask(1, 10, 800)
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+	if task.State != TaskDone {
+		t.Fatalf("state = %v", task.State)
+	}
+	if task.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (kill + full-size retry)", task.Attempts)
+	}
+	if m.Stats().Retries != 1 {
+		t.Fatalf("retries = %d", m.Stats().Retries)
+	}
+	if task.Report.Exhausted != monitor.KindNone {
+		t.Fatalf("final report exhausted = %q", task.Report.Exhausted)
+	}
+}
+
+func TestFailureAfterMaxRetries(t *testing.T) {
+	// A task that exceeds even a whole node keeps failing until retries
+	// are exhausted.
+	cfg := quickCfg(&alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 100, DiskMB: 10}})
+	cfg.MaxRetries = 2
+	eng, m := testRig(t, 1, cfg)
+	task := simpleTask(1, 10, 50*1024) // 50GB > any ndcrc node
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+	if task.State != TaskFailed {
+		t.Fatalf("state = %v, want failed", task.State)
+	}
+	if task.Attempts != 3 { // initial + 2 retries
+		t.Fatalf("attempts = %d", task.Attempts)
+	}
+	if m.Stats().Failed != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	eng, m := testRig(t, 2, quickCfg(&alloc.Unmanaged{}))
+	a := simpleTask(1, 10, 100)
+	b := simpleTask(2, 10, 100)
+	c := simpleTask(3, 5, 100)
+	c.DependsOn = []*Task{a, b}
+	var order []int
+	m.OnTaskDone(func(tk *Task) { order = append(order, tk.ID) })
+	eng.At(0, func() {
+		m.Submit(c)
+		m.Submit(a)
+		m.Submit(b)
+	})
+	eng.Run()
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("completion order = %v, want c last", order)
+	}
+	if c.StartedAt < 10 {
+		t.Fatalf("c started at %v, before dependencies finished", c.StartedAt)
+	}
+}
+
+func TestDependencyOnAlreadyDoneTask(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	a := simpleTask(1, 5, 100)
+	b := simpleTask(2, 5, 100)
+	b.DependsOn = []*Task{a}
+	eng.At(0, func() { m.Submit(a) })
+	eng.At(20, func() { m.Submit(b) }) // a is long done
+	eng.Run()
+	if b.State != TaskDone {
+		t.Fatalf("b state = %v", b.State)
+	}
+}
+
+func TestInputCachingAndAffinity(t *testing.T) {
+	env := &File{Name: "env.tar.gz", SizeBytes: 240e6, Cacheable: true, UnpackTime: 2}
+	cfg := quickCfg(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 100, DiskMB: 10}}})
+	eng, m := testRig(t, 2, cfg)
+	mk := func(id int) *Task {
+		task := simpleTask(id, 10, 100)
+		task.Inputs = []*File{env}
+		return task
+	}
+	eng.At(0, func() {
+		for i := 0; i < 8; i++ {
+			m.Submit(mk(i))
+		}
+	})
+	eng.Run()
+	st := m.Stats()
+	if st.Completed != 8 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+	// The environment transfers at most once per worker; everyone else
+	// hits the cache.
+	if st.CacheMisses > 2 {
+		t.Fatalf("cache misses = %d, want <= 2 (one per worker)", st.CacheMisses)
+	}
+	if st.CacheHits < 6 {
+		t.Fatalf("cache hits = %d, want >= 6", st.CacheHits)
+	}
+	if st.BytesIn > 2*240e6 {
+		t.Fatalf("bytes in = %d, environment transferred repeatedly", st.BytesIn)
+	}
+}
+
+func TestNonCacheableInputsAlwaysTransfer(t *testing.T) {
+	data := &File{Name: "slice.dat", SizeBytes: 1e6, Cacheable: false}
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	eng.At(0, func() {
+		for i := 0; i < 3; i++ {
+			task := simpleTask(i, 1, 10)
+			task.Inputs = []*File{data}
+			m.Submit(task)
+		}
+	})
+	eng.Run()
+	if m.Stats().CacheMisses != 3 {
+		t.Fatalf("misses = %d, want 3 (non-cacheable)", m.Stats().CacheMisses)
+	}
+}
+
+func TestOutputsTransferBack(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	task := simpleTask(1, 1, 10)
+	task.OutputBytes = 50e6
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+	if m.Stats().BytesOut != 50e6 {
+		t.Fatalf("bytes out = %d", m.Stats().BytesOut)
+	}
+}
+
+func TestLateWorkersPickUpQueue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 100
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, quickCfg(&alloc.Unmanaged{}))
+	task := simpleTask(1, 10, 100)
+	eng.At(0, func() {
+		m.Submit(task)
+		if err := cl.Provision(1, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if task.State != TaskDone {
+		t.Fatalf("state = %v", task.State)
+	}
+	if task.StartedAt < 100 {
+		t.Fatalf("started at %v, before any worker existed", task.StartedAt)
+	}
+}
+
+func TestWaitAndExecStats(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	eng.At(0, func() {
+		m.Submit(simpleTask(1, 10, 100))
+		m.Submit(simpleTask(2, 10, 100))
+	})
+	eng.Run()
+	st := m.Stats()
+	if st.WaitTimes.N() != 2 || st.ExecTimes.N() != 2 {
+		t.Fatalf("stats samples = %d/%d", st.WaitTimes.N(), st.ExecTimes.N())
+	}
+	// Second task waited for the first (whole-node serialization).
+	if st.WaitTimes.Max() < 10 {
+		t.Fatalf("max wait = %v, want >= 10", st.WaitTimes.Max())
+	}
+}
+
+func TestCategorySummaries(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(alloc.NewAuto()))
+	eng.At(0, func() {
+		for i := 0; i < 5; i++ {
+			task := simpleTask(i, 10, 100)
+			task.Category = "alpha"
+			m.Submit(task)
+		}
+		big := simpleTask(99, 10, 900)
+		big.Category = "beta"
+		m.Submit(big)
+	})
+	eng.Run()
+	sums := m.CategorySummaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Category != "alpha" || sums[0].Tasks != 5 {
+		t.Fatalf("alpha = %+v", sums[0])
+	}
+	if got := sums[1].MaxObserved().MemoryMB; got != 900 {
+		t.Fatalf("beta max mem = %v", got)
+	}
+	var buf bytes.Buffer
+	m.WriteCategoryReport(&buf)
+	if !strings.Contains(buf.String(), "alpha") || !strings.Contains(buf.String(), "beta") {
+		t.Fatalf("report = %q", buf.String())
+	}
+}
+
+func TestCategorySummariesFeedPreload(t *testing.T) {
+	// Run once, export history via summaries, preload a fresh Auto: the
+	// second run should skip whole-node bootstraps entirely.
+	eng, m := testRig(t, 1, quickCfg(alloc.NewAuto()))
+	eng.At(0, func() {
+		for i := 0; i < 6; i++ {
+			m.Submit(simpleTask(i, 10, 100))
+		}
+	})
+	eng.Run()
+	sum := m.CategorySummaries()[0]
+
+	a2 := alloc.NewAuto()
+	a2.Preload("t", []monitor.Resources{sum.MaxObserved()})
+	if a2.Next("t").WholeNode {
+		t.Fatal("preloaded strategy still bootstraps")
+	}
+}

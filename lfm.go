@@ -1,0 +1,320 @@
+// Package lfm is a Go implementation of Lightweight Function Monitors
+// (LFMs) for fine-grained management of function-level workloads, after
+// Shaffer et al., "Lightweight Function Monitors for Fine-Grained Management
+// in Large Scale Python Applications" (IPDPS 2021).
+//
+// The library makes individual function invocations — not processes,
+// containers, or batch jobs — the unit of resource management:
+//
+//   - Static dependency analysis of real Python source (AnalyzeFunction)
+//     computes the minimal package set a function needs.
+//   - Environment packaging (ResolveEnv, Pack) captures that set as a
+//     relocatable conda-pack-style tarball for distribution to workers.
+//   - A lightweight function monitor measures each invocation's cores,
+//     memory, and disk by polling plus process-tree events, and kills
+//     invocations that exceed their limits (RunMonitored for real Unix
+//     processes; the simulation packages for modeled ones).
+//   - Automatic resource labeling (NewAutoStrategy) converges on right-sized
+//     allocations so many invocations pack onto each node.
+//   - A Parsl-style dataflow layer (NewDFK) runs Go functions as apps with
+//     futures and dependency tracking.
+//   - A deterministic cluster simulator reproduces every table and figure of
+//     the paper's evaluation (RunWorkload, Experiments).
+//
+// See the examples directory for runnable end-to-end scenarios and
+// DESIGN.md for the system inventory.
+package lfm
+
+import (
+	"context"
+	"io"
+	"os/exec"
+	"time"
+
+	"lfm/internal/alloc"
+	"lfm/internal/core"
+	"lfm/internal/deps"
+	"lfm/internal/envpack"
+	"lfm/internal/experiments"
+	"lfm/internal/monitor"
+	"lfm/internal/parsl"
+	"lfm/internal/procmon"
+	"lfm/internal/pyast"
+	"lfm/internal/pypkg"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// ---- Resource model ----
+
+// Resources is a cores/memory/disk resource vector.
+type Resources = monitor.Resources
+
+// MonitorReport is the outcome of one monitored (simulated) invocation.
+type MonitorReport = monitor.Report
+
+// ---- Dependency analysis (paper §V-B) ----
+
+// DependencyReport lists a code fragment's imports, their classification,
+// and the minimal pinned distribution set.
+type DependencyReport = deps.Report
+
+// PackageIndex is a Python package repository (the PyPI/Conda analogue).
+type PackageIndex = pypkg.Index
+
+// PythonEnv is an installed package set (the user's Conda environment).
+type PythonEnv = pypkg.Environment
+
+// Resolution is a resolved, installable dependency closure.
+type Resolution = pypkg.Resolution
+
+// DefaultCatalog returns the built-in package index with the paper's
+// Table II package population.
+func DefaultCatalog() *PackageIndex { return pypkg.DefaultCatalog() }
+
+// NewEnv returns an empty named Python environment.
+func NewEnv(name string) *PythonEnv { return pypkg.NewEnvironment(name) }
+
+// AnalyzeFunction statically analyzes one function in the given Python
+// source and reports its minimal dependencies, resolved against env.
+func AnalyzeFunction(src, function string, ix *PackageIndex, env *PythonEnv) (*DependencyReport, error) {
+	return deps.NewAnalyzer(ix, env).AnalyzeFunction(src, function)
+}
+
+// AnalyzeSource analyzes a whole Python module.
+func AnalyzeSource(src string, ix *PackageIndex, env *PythonEnv) (*DependencyReport, error) {
+	return deps.NewAnalyzer(ix, env).AnalyzeSource(src)
+}
+
+// AnalyzeAppFunctions analyzes every function in the module decorated with
+// one of the given decorators (e.g. "python_app"), keyed by function name —
+// the Parsl integration surface of §V-B.
+func AnalyzeAppFunctions(src string, ix *PackageIndex, decorators ...string) (map[string]*DependencyReport, error) {
+	return deps.NewAnalyzer(ix, nil).AnalyzeAppFunctions(src, decorators...)
+}
+
+// ExtractFunctionSource returns the named function's source text
+// (decorators included) from a Python module — the code fragment shipped to
+// workers alongside its pickled arguments.
+func ExtractFunctionSource(src, function string) (string, error) {
+	return pyast.ExtractFunctionSource(src, function)
+}
+
+// ResolveEnv resolves requirement specs (pip syntax, e.g. "numpy>=1.18")
+// into a full closure using the index.
+func ResolveEnv(ix *PackageIndex, reqs ...string) (*Resolution, error) {
+	specs := make([]pypkg.Spec, 0, len(reqs))
+	for _, r := range reqs {
+		s, err := pypkg.ParseSpec(r)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return ix.Resolve(specs)
+}
+
+// WriteRequirements emits a report's pinned distributions in pip
+// requirements syntax, the interchange format the analysis tool produces.
+func WriteRequirements(w io.Writer, rep *DependencyReport) error {
+	return pypkg.WriteRequirements(w, rep.Distributions)
+}
+
+// ---- Environment packaging (paper §V-C/D) ----
+
+// Tarball is a packed, relocatable environment archive.
+type Tarball = envpack.Tarball
+
+// Pack captures a resolved closure as a real .tar.gz with a manifest,
+// placeholder payloads, and a relocatable prefix (conda-pack analogue).
+func Pack(name string, res *Resolution) (*Tarball, error) {
+	return envpack.DefaultPacker().Pack(name, res)
+}
+
+// Manifest is the metadata stored inside every packed environment.
+type Manifest = envpack.Manifest
+
+// ReadManifest extracts the manifest from a packed environment without
+// unpacking payload files.
+func ReadManifest(data []byte) (*Manifest, error) { return envpack.ReadManifest(data) }
+
+// Unpack extracts a packed environment into dir and returns its manifest.
+func Unpack(data []byte, dir string) (*Manifest, error) {
+	return envpack.Unpack(data, dir)
+}
+
+// Relocate rewrites an unpacked environment's prefix (conda-unpack step).
+func Relocate(dir, newPrefix string) (oldPrefix string, err error) {
+	return envpack.Relocate(dir, newPrefix)
+}
+
+// ---- Real process monitoring ----
+
+// ProcessLimits bounds a real monitored process tree.
+type ProcessLimits = procmon.Limits
+
+// ProcessReport is the outcome of a real monitored run.
+type ProcessReport = procmon.Report
+
+// RunMonitored executes cmd under a real /proc-based LFM with the given
+// limits, killing the whole process tree on violation. Linux only.
+func RunMonitored(ctx context.Context, cmd *exec.Cmd, limits ProcessLimits, poll time.Duration) (*ProcessReport, error) {
+	m := &procmon.Monitor{PollInterval: poll}
+	return m.RunLimited(ctx, cmd, limits)
+}
+
+// ---- Allocation strategies (paper §VI-B2) ----
+
+// Strategy labels tasks with resource allocations and learns from outcomes.
+type Strategy = alloc.Strategy
+
+// NewAutoStrategy returns the automatic first-allocation labeler.
+func NewAutoStrategy() *alloc.Auto { return alloc.NewAuto() }
+
+// NewGuessStrategy returns a fixed user-provided label strategy.
+func NewGuessStrategy(fixed Resources) Strategy { return &alloc.Guess{Fixed: fixed} }
+
+// NewUnmanagedStrategy returns whole-node unmonitored execution.
+func NewUnmanagedStrategy() Strategy { return &alloc.Unmanaged{} }
+
+// NewOracleStrategy returns a perfect-knowledge strategy over per-category
+// true peaks (reference only; unobtainable in practice).
+func NewOracleStrategy(peaks map[string]Resources) Strategy {
+	return &alloc.Oracle{Peaks: peaks, Pad: 0.05}
+}
+
+// ---- Dataflow (Parsl analogue) ----
+
+// DFK is the dataflow kernel managing apps, futures, and executors.
+type DFK = parsl.DFK
+
+// Future is the eventual result of an app invocation.
+type Future = parsl.Future
+
+// App is a registered concurrent function.
+type App = parsl.App
+
+// AppFunc is an app body.
+type AppFunc = parsl.AppFunc
+
+// NewDFK returns a dataflow kernel running up to maxConcurrent tasks on a
+// local thread (goroutine) pool.
+func NewDFK(maxConcurrent int) *DFK {
+	return parsl.NewDFK(parsl.NewThreadPool(maxConcurrent))
+}
+
+// NewRemoteDFK returns a dataflow kernel whose executor forces every call's
+// arguments and results through the serialization layer (the paper's
+// pickled transferable files), catching non-serializable payloads locally
+// before a workload ever reaches a cluster.
+func NewRemoteDFK(maxConcurrent int) *DFK {
+	return parsl.NewDFK(parsl.NewSerializingExecutor(parsl.NewThreadPool(maxConcurrent)))
+}
+
+// CommandResult is the output and resource report of a monitored command app.
+type CommandResult = parsl.CommandResult
+
+// MonitoredCommandApp returns an app body that runs program under a real
+// /proc-based LFM with the given limits (the bash_app analogue): submit-time
+// string arguments become program arguments, and the future resolves to a
+// *CommandResult. Linux only.
+func MonitoredCommandApp(program string, limits ProcessLimits, poll time.Duration) AppFunc {
+	return parsl.MonitoredCommand(program, limits, poll)
+}
+
+// ---- Simulation-backed evaluation ----
+
+// Workload is a generated evaluation task set.
+type Workload = workloads.Workload
+
+// RunConfig configures one simulated workload execution.
+type RunConfig = core.RunConfig
+
+// Outcome summarizes a simulated run.
+type Outcome = core.Outcome
+
+// HEPWorkload generates the Coffea HEP analysis workload (§VI-C1).
+func HEPWorkload(seed int64, analysisTasks int) *Workload {
+	return workloads.HEP(sim.NewRNG(seed), analysisTasks)
+}
+
+// DrugScreenWorkload generates the drug screening pipeline (§VI-C2).
+func DrugScreenWorkload(seed int64, batches int) *Workload {
+	return workloads.DrugScreen(sim.NewRNG(seed), batches)
+}
+
+// GenomicsWorkload generates the GDC genomic analysis pipeline (§VI-C3).
+func GenomicsWorkload(seed int64, genomes int) *Workload {
+	return workloads.Genomics(sim.NewRNG(seed), genomes)
+}
+
+// FuncXWorkload generates the funcX ResNet classification benchmark (§VI-C4).
+func FuncXWorkload(seed int64, tasks int) *Workload {
+	return workloads.FuncXResNet(sim.NewRNG(seed), tasks)
+}
+
+// RunWorkload executes a workload on a simulated site under a strategy.
+func RunWorkload(w *Workload, cfg RunConfig) (*Outcome, error) { return core.Run(w, cfg) }
+
+// StrategyFor builds "oracle", "auto", "guess", or "unmanaged" for a
+// workload.
+func StrategyFor(name string, w *Workload) (Strategy, error) { return core.StrategyFor(name, w) }
+
+// StrategyNames lists the four evaluation strategies in the paper's order.
+func StrategyNames() []string { return core.Strategies() }
+
+// FaaSResult summarizes one simulated funcX batch (§VI-C4).
+type FaaSResult = core.FaaSResult
+
+// RunFaaSBatch dispatches a batch of ResNet classification invocations
+// through the funcX FaaS layer to an LFM endpoint on the named site, under
+// the named strategy.
+func RunFaaSBatch(seed int64, site string, workers, tasks int, strategy string) (*FaaSResult, error) {
+	return core.RunFuncXBatch(seed, site, workers, tasks, strategy)
+}
+
+// ExecutionTrace records scheduler events (task submit/start/complete,
+// worker join/leave, transfers) when attached to a RunConfig; its Spans
+// method reconstructs per-attempt Gantt spans.
+type ExecutionTrace = wq.Trace
+
+// CategorySummary aggregates monitored behaviour for one task category.
+type CategorySummary = wq.CategorySummary
+
+// ---- Experiment reproduction ----
+
+// ExperimentTable is one regenerated table or figure.
+type ExperimentTable = experiments.Table
+
+// ExperimentOptions tunes experiment scale and seeding.
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
+	d, ok := experiments.Registry()[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return d(opt)
+}
+
+// RenderExperiment runs an experiment and writes its table to w.
+func RenderExperiment(id string, opt ExperimentOptions, w io.Writer) error {
+	tab, err := RunExperiment(id, opt)
+	if err != nil {
+		return err
+	}
+	tab.Render(w)
+	return nil
+}
+
+// UnknownExperimentError reports an experiment ID outside ExperimentIDs.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "lfm: unknown experiment " + e.ID + " (see ExperimentIDs)"
+}

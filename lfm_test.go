@@ -1,0 +1,243 @@
+package lfm
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeFunctionFacade(t *testing.T) {
+	ix := DefaultCatalog()
+	res, err := ResolveEnv(ix, "coffea", "numpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv("user")
+	env.Install(res)
+	rep, err := AnalyzeFunction(`
+def process(path):
+    import numpy as np
+    from coffea import hist
+    return np.sum(hist.load(path))
+`, "process", ix, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Distributions) != 2 {
+		t.Fatalf("distributions = %v", rep.Distributions)
+	}
+}
+
+func TestResolveEnvBadSpec(t *testing.T) {
+	if _, err := ResolveEnv(DefaultCatalog(), ">=bogus"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestPackUnpackFacade(t *testing.T) {
+	ix := DefaultCatalog()
+	res, err := ResolveEnv(ix, "numpy==1.18.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, ok := res.Lookup("numpy")
+	if !ok || np.Version.String() != "1.18.1" {
+		t.Fatalf("numpy = %v", np)
+	}
+	tb, err := Pack("e", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := Unpack(tb.Data, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Name != "e" {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if _, err := Relocate(dir, "/scratch/e"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMonitoredFacade(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("linux only")
+	}
+	rep, err := RunMonitored(context.Background(), exec.Command("sleep", "0.2"),
+		ProcessLimits{}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Killed || rep.ExitCode != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestDFKFacade(t *testing.T) {
+	d := NewDFK(2)
+	defer d.Shutdown()
+	sq := d.NewApp("sq", func(_ context.Context, args []any) (any, error) {
+		n := args[0].(int)
+		return n * n, nil
+	})
+	if v := sq.Submit(9).MustResult(); v.(int) != 81 {
+		t.Fatalf("result = %v", v)
+	}
+}
+
+func TestWorkloadAndStrategyFacade(t *testing.T) {
+	w := HEPWorkload(1, 20)
+	s, err := StrategyFor("auto", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunWorkload(w, RunConfig{
+		SiteName: "ndcrc", Workers: 4, NoBatchLatency: true, Seed: 1, Strategy: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Completed != w.TaskCount() {
+		t.Fatalf("completed %d/%d", out.Stats.Completed, w.TaskCount())
+	}
+	names := StrategyNames()
+	if len(names) != 4 {
+		t.Fatalf("strategies = %v", names)
+	}
+	for _, mk := range []func(int64, int) *Workload{
+		DrugScreenWorkload, GenomicsWorkload, FuncXWorkload,
+	} {
+		if mk(1, 2).TaskCount() == 0 {
+			t.Fatal("empty workload")
+		}
+	}
+}
+
+func TestStrategyConstructors(t *testing.T) {
+	auto := NewAutoStrategy()
+	if auto.Name() != "Auto" {
+		t.Fatal("auto name")
+	}
+	if NewGuessStrategy(Resources{Cores: 1}).Name() != "Guess" {
+		t.Fatal("guess name")
+	}
+	if NewUnmanagedStrategy().Name() != "Unmanaged" {
+		t.Fatal("unmanaged name")
+	}
+	if NewOracleStrategy(nil).Name() != "Oracle" {
+		t.Fatal("oracle name")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 10 { // 9 paper tables/figures + the utilization summary
+		t.Fatalf("ids = %v", ids)
+	}
+	var buf bytes.Buffer
+	if err := RenderExperiment("table3", ExperimentOptions{Quick: true, Seed: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theta") {
+		t.Fatalf("output = %q", buf.String())
+	}
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExtractFunctionSourceFacade(t *testing.T) {
+	src := "@python_app\ndef work(x):\n    import numpy\n    return x\n"
+	code, err := ExtractFunctionSource(src, "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(code, "@python_app\n") || !strings.Contains(code, "import numpy") {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestWriteRequirementsFacade(t *testing.T) {
+	ix := DefaultCatalog()
+	rep, err := AnalyzeSource("import numpy\nimport pandas\n", ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRequirements(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "numpy") || !strings.Contains(out, "pandas") {
+		t.Fatalf("requirements = %q", out)
+	}
+}
+
+func TestRunFaaSBatchFacade(t *testing.T) {
+	res, err := RunFaaSBatch(3, "ec2", 2, 8, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != 8 || res.BatchTime <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRemoteDFKFacade(t *testing.T) {
+	d := NewRemoteDFK(2)
+	defer d.Shutdown()
+	app := d.NewApp("echo", func(_ context.Context, args []any) (any, error) {
+		return args[0], nil
+	})
+	if v := app.Submit("payload").MustResult(); v.(string) != "payload" {
+		t.Fatalf("v = %v", v)
+	}
+	// Non-serializable payloads must be rejected, unlike with NewDFK.
+	if _, err := app.Submit(make(chan int)).Result(); err == nil {
+		t.Fatal("channel crossed the serialization boundary")
+	}
+}
+
+func TestMonitoredCommandAppFacade(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("linux only")
+	}
+	d := NewDFK(1)
+	defer d.Shutdown()
+	sh := d.NewApp("sh", MonitoredCommandApp("sh", ProcessLimits{}, 20*time.Millisecond))
+	v, err := sh.Submit("-c", "echo ok").Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*CommandResult).Stdout != "ok\n" {
+		t.Fatalf("stdout = %q", v.(*CommandResult).Stdout)
+	}
+}
+
+func TestTraceThroughRunConfig(t *testing.T) {
+	w := HEPWorkload(2, 10)
+	s, _ := StrategyFor("auto", w)
+	tr := &ExecutionTrace{}
+	out, err := RunWorkload(w, RunConfig{
+		SiteName: "ndcrc", Workers: 2, Seed: 2, NoBatchLatency: true,
+		Strategy: s, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(tr.Spans()) < w.TaskCount() {
+		t.Fatalf("spans = %d, want >= %d", len(tr.Spans()), w.TaskCount())
+	}
+	if len(out.Categories) == 0 {
+		t.Fatal("no category summaries")
+	}
+}
