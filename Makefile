@@ -1,0 +1,20 @@
+# Tier-1 verification for the repo (see ROADMAP.md): build everything,
+# vet, and run the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test test-race
+
+check: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...

@@ -4,14 +4,22 @@
 // Usage:
 //
 //	lfmbench [-quick] [-seed N] [experiment ...]
+//	lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]
 //
 // With no arguments every experiment runs in the paper's order. Experiment
 // IDs: fig4 fig5 table1 table2 table3 fig6 fig7 fig8 fig9.
+//
+// The -metrics-out form runs one instrumented Figure-6-style HEP workload
+// (auto strategy, 20 four-core ND-CRC workers) and writes the final metric
+// values in Prometheus text exposition format ("-" for stdout);
+// -metrics-timeline additionally writes the sampled per-metric timelines as
+// JSON. Experiments named on the command line still run afterwards.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,8 +31,12 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metricsOut := flag.String("metrics-out", "", "run an instrumented HEP benchmark and write Prometheus text to this file (- for stdout)")
+	metricsTimeline := flag.String("metrics-timeline", "", "with -metrics-out: also write sampled metric timelines as JSON to this file (- for stdout)")
+	metricsRes := flag.Float64("metrics-resolution", 1, "sampling resolution in simulated seconds for -metrics-timeline")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(lfm.ExperimentIDs(), " "))
 		flag.PrintDefaults()
 	}
@@ -35,6 +47,20 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *metricsTimeline != "" && *metricsOut == "" {
+		fmt.Fprintln(os.Stderr, "lfmbench: -metrics-timeline requires -metrics-out")
+		os.Exit(2)
+	}
+	if *metricsOut != "" {
+		if err := runInstrumented(*seed, *metricsRes, *metricsOut, *metricsTimeline); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
 	}
 
 	ids := flag.Args()
@@ -50,4 +76,51 @@ func main() {
 		}
 		fmt.Printf("  (%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runInstrumented executes the Figure-6 point (HEP on ND-CRC, 20 four-core
+// workers, auto strategy) with full metrics instrumentation and writes the
+// requested exports.
+func runInstrumented(seed int64, resolution float64, promPath, timelinePath string) error {
+	w := lfm.HEPWorkload(seed, 200)
+	strategy, err := lfm.StrategyFor("auto", w)
+	if err != nil {
+		return err
+	}
+	reg := lfm.NewMetricsRegistry()
+	out, err := lfm.RunWorkload(w, lfm.RunConfig{
+		SiteName: "ndcrc", Workers: 20,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: strategy, Seed: seed, NoBatchLatency: true,
+		Metrics: reg, MetricsResolution: lfm.Time(resolution),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instrumented %s run: %d tasks on 20 4-core ndcrc workers, makespan %.0fs, utilization %.0f%%\n",
+		out.Workload, out.TaskCount, float64(out.Makespan), 100*out.Utilization)
+	if err := writeTo(promPath, func(f io.Writer) error { return reg.WritePrometheus(f) }); err != nil {
+		return err
+	}
+	if timelinePath != "" {
+		if err := writeTo(timelinePath, func(f io.Writer) error { return out.Sampler.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

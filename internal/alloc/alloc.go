@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"lfm/internal/metrics"
 	"lfm/internal/monitor"
 	"lfm/internal/sim"
 )
@@ -142,6 +143,27 @@ type Auto struct {
 	MaxSamples int
 
 	hist map[string]*history
+	reg  *metrics.Registry
+}
+
+// SetMetrics attaches a metrics registry: label issues, bootstrap decisions,
+// retry escalations, and observations are counted per category from then on.
+// Nil detaches.
+func (a *Auto) SetMetrics(reg *metrics.Registry) {
+	a.reg = reg
+	if reg == nil {
+		return
+	}
+	reg.Help("alloc_labels_issued_total", "sized labels issued from the learned model, by category")
+	reg.Help("alloc_bootstraps_total", "whole-node bootstrap allocations issued, by category")
+	reg.Help("alloc_retry_escalations_total", "full-size retries after resource exhaustion, by category")
+	reg.Help("alloc_observations_total", "completed-run peaks fed back into the model, by category")
+}
+
+func (a *Auto) count(name, category string) {
+	if a.reg != nil {
+		a.reg.Counter(name, metrics.L("category", category)).Inc()
+	}
 }
 
 type history struct {
@@ -162,8 +184,10 @@ func (a *Auto) Next(category string) Decision {
 	h := a.hist[category]
 	if h == nil || len(h.peaks) < a.MinSamples {
 		// Bootstrap: large allocation, monitored.
+		a.count("alloc_bootstraps_total", category)
 		return Decision{WholeNode: true}
 	}
+	a.count("alloc_labels_issued_total", category)
 	return Decision{Request: a.label(h)}
 }
 
@@ -173,6 +197,7 @@ func (a *Auto) Retry(category string, attempt int) Decision {
 	if h := a.hist[category]; h != nil {
 		h.retries++
 	}
+	a.count("alloc_retry_escalations_total", category)
 	return Decision{WholeNode: true}
 }
 
@@ -183,6 +208,7 @@ func (a *Auto) Observe(category string, rep monitor.Report) {
 	if !rep.Completed {
 		return
 	}
+	a.count("alloc_observations_total", category)
 	h := a.hist[category]
 	if h == nil {
 		h = &history{}

@@ -6,6 +6,7 @@ package cluster
 import (
 	"fmt"
 
+	"lfm/internal/metrics"
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
 )
@@ -119,7 +120,55 @@ type Cluster struct {
 	WAN *sim.FairShare
 
 	provisioned int
+	delivered   int
 	rng         *sim.RNG
+	met         *clusterMetrics
+}
+
+// SetMetrics attaches a metrics registry to the cluster and its shared
+// filesystem: provisioning counters, a batch-queue latency histogram, and a
+// delivered-nodes gauge, all labeled by site. Nil detaches.
+func (c *Cluster) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		c.met = nil
+		c.FS.SetMetrics(nil)
+		return
+	}
+	c.met = newClusterMetrics(c, reg)
+	c.FS.SetMetrics(reg)
+}
+
+// clusterMetrics holds the cluster's registry instruments; methods are
+// nil-safe.
+type clusterMetrics struct {
+	requests *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+func newClusterMetrics(c *Cluster, reg *metrics.Registry) *clusterMetrics {
+	l := metrics.L("site", c.Site.Name)
+	reg.Help("cluster_provision_requests_total", "pilot jobs submitted to the batch system")
+	reg.Help("cluster_provision_latency_seconds", "batch queue wait from submission to node delivery")
+	reg.Help("cluster_nodes_provisioned", "nodes requested from the site so far")
+	reg.Help("cluster_nodes_delivered", "nodes delivered by the batch system so far")
+	reg.GaugeFunc("cluster_nodes_provisioned", func() float64 { return float64(c.provisioned) }, l)
+	reg.GaugeFunc("cluster_nodes_delivered", func() float64 { return float64(c.delivered) }, l)
+	return &clusterMetrics{
+		requests: reg.Counter("cluster_provision_requests_total", l),
+		latency:  reg.Histogram("cluster_provision_latency_seconds", metrics.LinearBuckets(0, 15, 16), l),
+	}
+}
+
+func (cm *clusterMetrics) onRequest() {
+	if cm != nil {
+		cm.requests.Inc()
+	}
+}
+
+func (cm *clusterMetrics) onDeliver(wait sim.Time) {
+	if cm != nil {
+		cm.latency.Observe(float64(wait))
+	}
 }
 
 // New instantiates a site on the engine.
@@ -147,11 +196,14 @@ func (c *Cluster) Provision(n int, ready func(*Node)) error {
 	for i := 0; i < n; i++ {
 		id := c.provisioned
 		c.provisioned++
+		c.met.onRequest()
 		wait := c.Site.BatchLatency
 		if c.Site.Jitter > 0 {
 			wait += c.rng.UniformTime(0, c.Site.Jitter)
 		}
 		c.Eng.After(wait, func() {
+			c.delivered++
+			c.met.onDeliver(wait)
 			node := &Node{
 				ID:       id,
 				Site:     &c.Site,

@@ -14,6 +14,7 @@ import (
 	"lfm/internal/deps"
 	"lfm/internal/envpack"
 	"lfm/internal/funcx"
+	"lfm/internal/metrics"
 	"lfm/internal/pypkg"
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
@@ -50,6 +51,14 @@ type RunConfig struct {
 	WorkerChurnMTBF sim.Time
 	// Trace, when non-nil, records every scheduler event of the run.
 	Trace *wq.Trace
+	// Metrics, when non-nil, instruments the whole stack (master, monitor,
+	// cluster, filesystem, and — for Auto — the allocation strategy) on the
+	// registry, and a sampler records counter/gauge timelines at
+	// MetricsResolution. The sampler's final tick can extend the run by up
+	// to one resolution interval past the last model event.
+	Metrics *metrics.Registry
+	// MetricsResolution is the sampling period (default 1s).
+	MetricsResolution sim.Time
 }
 
 // Outcome summarizes one run.
@@ -70,6 +79,9 @@ type Outcome struct {
 	// EffectiveUtilization is measured-used core-time over provisioned
 	// core-time; the gap to Utilization is allocation waste.
 	EffectiveUtilization float64
+	// Sampler holds the recorded metric timelines when RunConfig.Metrics
+	// was set, nil otherwise.
+	Sampler *metrics.Sampler
 }
 
 // Run executes the workload on the configured site and strategy.
@@ -109,9 +121,19 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	cl := cluster.New(eng, site)
 	mcfg := wq.DefaultConfig()
 	mcfg.Strategy = strategy
+	mcfg.Monitor.Metrics = cfg.Metrics
 	master := wq.NewMaster(eng, mcfg)
 	if cfg.Trace != nil {
 		master.SetTrace(cfg.Trace)
+	}
+	var sampler *metrics.Sampler
+	if cfg.Metrics != nil {
+		master.SetMetrics(cfg.Metrics)
+		cl.SetMetrics(cfg.Metrics)
+		if auto, ok := strategy.(*alloc.Auto); ok {
+			auto.SetMetrics(cfg.Metrics)
+		}
+		sampler = metrics.NewSampler(eng, cfg.Metrics, cfg.MetricsResolution)
 	}
 
 	var workers []*wq.Worker
@@ -167,6 +189,9 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		for _, t := range w.Tasks {
 			master.Submit(t)
 		}
+		if sampler != nil {
+			sampler.Start()
+		}
 	})
 	makespan := eng.Run()
 	if scaler != nil && scaler.Err() != nil {
@@ -185,6 +210,7 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		Categories:           master.CategorySummaries(),
 		Utilization:          master.Utilization(),
 		EffectiveUtilization: master.EffectiveUtilization(),
+		Sampler:              sampler,
 	}
 	if st.Submitted > 0 {
 		out.RetryFraction = float64(st.Retries) / float64(st.Submitted)

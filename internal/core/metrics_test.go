@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lfm/internal/metrics"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+)
+
+func TestInstrumentedRun(t *testing.T) {
+	w := workloads.HEP(sim.NewRNG(7), 60)
+	reg := metrics.NewRegistry()
+	s, _ := StrategyFor("auto", w)
+	out, err := Run(w, RunConfig{
+		SiteName: "ndcrc", Workers: 4, Seed: 7, NoBatchLatency: true,
+		Strategy: s, Metrics: reg, MetricsResolution: 2 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampler == nil {
+		t.Fatal("no sampler on instrumented run")
+	}
+
+	// Counters across layers agree with the master's own statistics.
+	var submitted float64
+	for _, ts := range out.Sampler.Series() {
+		if ts.Name == "wq_tasks_submitted_total" {
+			submitted += ts.Points[len(ts.Points)-1].V
+		}
+	}
+	if submitted != float64(out.Stats.Submitted) {
+		t.Fatalf("submitted counter = %v, stats = %d", submitted, out.Stats.Submitted)
+	}
+	if got := reg.Counter("lfm_runs_total").Value(); got < float64(out.Stats.Completed) {
+		t.Fatalf("lfm runs = %v < completed %d", got, out.Stats.Completed)
+	}
+	if got := reg.Counter("cluster_provision_requests_total", metrics.L("site", "ND-CRC")).Value(); got != 4 {
+		t.Fatalf("provision requests = %v", got)
+	}
+	if auto := reg.Counter("alloc_observations_total", metrics.L("category", "hep-ana")).Value(); auto == 0 {
+		t.Fatal("auto strategy observations not counted")
+	}
+
+	// The sampled utilization timeline covers the run and ends drained.
+	ts := out.Sampler.Find("wq_cores_allocated")
+	if ts == nil || len(ts.Points) < 2 {
+		t.Fatalf("cores-allocated series = %+v", ts)
+	}
+	if last := ts.Points[len(ts.Points)-1]; last.V != 0 {
+		t.Fatalf("final cores allocated = %v", last.V)
+	}
+	// The sampler extends the run by at most one resolution interval.
+	if lastAt := ts.Points[len(ts.Points)-1].At; lastAt > out.Makespan {
+		t.Fatalf("sample at %v after makespan %v", lastAt, out.Makespan)
+	}
+
+	// The registry exports as valid (non-empty) Prometheus text.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// An uninstrumented run of the same workload behaves identically.
+	w2 := workloads.HEP(sim.NewRNG(7), 60)
+	s2, _ := StrategyFor("auto", w2)
+	plain, err := Run(w2, RunConfig{
+		SiteName: "ndcrc", Workers: 4, Seed: 7, NoBatchLatency: true, Strategy: s2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Sampler != nil {
+		t.Fatal("sampler on uninstrumented run")
+	}
+	if plain.Stats.Completed != out.Stats.Completed || plain.Stats.Retries != out.Stats.Retries {
+		t.Fatalf("instrumentation changed outcomes: %+v vs %+v", plain.Stats, out.Stats)
+	}
+	if plain.Makespan > out.Makespan {
+		t.Fatalf("plain makespan %v > instrumented %v", plain.Makespan, out.Makespan)
+	}
+	if out.Makespan > plain.Makespan+2*sim.Second {
+		t.Fatalf("sampler extended makespan %v -> %v, more than one resolution", plain.Makespan, out.Makespan)
+	}
+}

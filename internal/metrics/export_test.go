@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+)
+
+// validatePrometheus checks the structural rules of the text exposition
+// format: every line parses, every sample's metric has a preceding TYPE
+// declaration, and no series appears twice.
+func validatePrometheus(t *testing.T, text string) map[string]string {
+	t.Helper()
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			if _, dup := typed[m[1]]; dup {
+				t.Fatalf("duplicate TYPE for %s", m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if helpRe.MatchString(line) {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := m[1]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %s has no TYPE declaration", name)
+		}
+		if seen[m[1]+m[2]] {
+			t.Fatalf("duplicate series %s%s", m[1], m[2])
+		}
+		seen[m[1]+m[2]] = true
+	}
+	return typed
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Help("tasks_total", "tasks submitted to the master")
+	r.Counter("tasks_total", L("category", "hep")).Add(12)
+	r.Counter("tasks_total", L("category", "vep")).Add(3)
+	r.Gauge("queue_depth").Set(4)
+	r.GaugeFunc("pool_size", func() float64 { return 16 })
+	h := r.Histogram("wait_seconds", []float64{0.5, 1, 2})
+	h.Observe(0.2)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	typed := validatePrometheus(t, text)
+	if typed["tasks_total"] != "counter" || typed["queue_depth"] != "gauge" || typed["wait_seconds"] != "histogram" {
+		t.Fatalf("types = %v", typed)
+	}
+	for _, want := range []string{
+		"# HELP tasks_total tasks submitted to the master",
+		`tasks_total{category="hep"} 12`,
+		`tasks_total{category="vep"} 3`,
+		"queue_depth 4",
+		"pool_size 16",
+		`wait_seconds_bucket{le="0.5"} 1`,
+		`wait_seconds_bucket{le="+Inf"} 3`,
+		"wait_seconds_sum 10.7",
+		"wait_seconds_count 3",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrometheusEscapesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("files_total", L("name", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheus(t, buf.String())
+	if !strings.Contains(buf.String(), `name="a\"b\\c\n"`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestPrometheusOmitsUnregistered(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("w", L("worker", "0")).Set(1)
+	r.Gauge("w", L("worker", "1")).Set(2)
+	r.Unregister("w", L("worker", "0"))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `worker="0"`) {
+		t.Fatalf("unregistered series exported:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `worker="1"`) {
+		t.Fatalf("live series missing:\n%s", buf.String())
+	}
+}

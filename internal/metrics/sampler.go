@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"lfm/internal/sim"
+)
+
+// Point is one sampled value.
+type Point struct {
+	At sim.Time
+	V  float64
+}
+
+// TimeSeries is the sampled history of one counter or gauge.
+type TimeSeries struct {
+	Name   string
+	Labels []Label
+	Kind   string // "counter" or "gauge"
+	Points []Point
+}
+
+// Label returns the value of one label key, or "".
+func (ts *TimeSeries) Label(key string) string {
+	for _, l := range ts.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Sampler snapshots every counter and gauge of a registry at a fixed
+// simulated-clock resolution — the 1-second collection loop of a
+// fine-grained monitoring agent, driven by the simulation clock so that
+// timelines are exactly reproducible. Histograms are not sampled (they are
+// cumulative and exported whole); counters are sampled cumulatively so
+// consumers can derive rates by differencing.
+//
+// The sampler stops itself when the simulation drains: once its own tick is
+// the only pending event nothing can change anymore, and rescheduling would
+// keep Engine.Run alive forever. It therefore extends a run by at most one
+// resolution interval past the last model event.
+type Sampler struct {
+	eng *sim.Engine
+	reg *Registry
+	res sim.Time
+
+	series  map[string]*TimeSeries
+	order   []*TimeSeries
+	ev      *sim.Event
+	running bool
+
+	// Samples counts completed sampling sweeps.
+	Samples int
+}
+
+// NewSampler returns a sampler over reg at the given resolution (default 1s).
+func NewSampler(eng *sim.Engine, reg *Registry, resolution sim.Time) *Sampler {
+	if resolution <= 0 {
+		resolution = sim.Second
+	}
+	return &Sampler{eng: eng, reg: reg, res: resolution, series: make(map[string]*TimeSeries)}
+}
+
+// Resolution reports the sampling period.
+func (s *Sampler) Resolution() sim.Time { return s.res }
+
+// Start takes an immediate sample and begins periodic collection. The first
+// periodic tick is always scheduled (so starting before the model's events
+// are queued is safe); auto-stop applies from then on. Starting a running
+// sampler is a no-op.
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.Sample()
+	s.ev = s.eng.After(s.res, s.tick)
+}
+
+// Stop cancels periodic collection; Start resumes it.
+func (s *Sampler) Stop() {
+	s.running = false
+	s.eng.Cancel(s.ev)
+	s.ev = nil
+}
+
+func (s *Sampler) tick() {
+	s.Sample()
+	if s.eng.Pending() == 0 {
+		// The simulation has drained; a final sample was just taken.
+		s.running = false
+		return
+	}
+	s.ev = s.eng.After(s.res, s.tick)
+}
+
+// Sample takes one sweep over the registry's counters and gauges now. It can
+// also be called manually (e.g. to snapshot at a known interesting instant).
+func (s *Sampler) Sample() {
+	now := s.eng.Now()
+	for _, ins := range s.reg.order {
+		if ins.removed {
+			continue
+		}
+		var v float64
+		switch ins.kind {
+		case kindCounter:
+			v = ins.counter.Value()
+		case kindGauge:
+			v = ins.gauge.Value()
+		default:
+			continue
+		}
+		ts := s.series[ins.id]
+		if ts == nil {
+			ts = &TimeSeries{Name: ins.name, Labels: ins.labels, Kind: ins.kind.String()}
+			s.series[ins.id] = ts
+			s.order = append(s.order, ts)
+		}
+		ts.Points = append(ts.Points, Point{At: now, V: v})
+	}
+	s.Samples++
+}
+
+// Series returns every sampled series in first-seen order.
+func (s *Sampler) Series() []*TimeSeries { return s.order }
+
+// Find returns the series for name+labels, or nil if never sampled.
+func (s *Sampler) Find(name string, labels ...Label) *TimeSeries {
+	return s.series[seriesID(name, canonLabels(labels))]
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"lfm/internal/metrics"
 	"lfm/internal/sim"
 )
 
@@ -299,5 +300,87 @@ func TestSeriesOffByDefault(t *testing.T) {
 	rep := runOne(t, DefaultConfig(), Proc(3, res(1, 10, 0)), Resources{})
 	if rep.Series != nil {
 		t.Fatal("series recorded without RecordSeries")
+	}
+}
+
+// Regression: the final measurement at completion must honor
+// TrackProcessEvents — with event tracking disabled it used to increment
+// ProcEvents and record a FromEvent sample anyway, skewing ablation counts.
+func TestFinalMeasurementHonorsEventConfig(t *testing.T) {
+	cfg := Config{PollInterval: sim.Second, TrackProcessEvents: false, RecordSeries: true}
+	rep := runOne(t, cfg, Proc(2.5, res(1, 100, 0)), Resources{})
+	if !rep.Completed {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.ProcEvents != 0 {
+		t.Fatalf("ProcEvents = %d with event tracking disabled, want 0", rep.ProcEvents)
+	}
+	for _, s := range rep.Series {
+		if s.FromEvent {
+			t.Fatalf("FromEvent sample at %v with event tracking disabled", s.At)
+		}
+	}
+	// The measurement itself still happens: the peak is captured.
+	if rep.Peak.MemoryMB != 100 {
+		t.Fatalf("Peak = %v, final measurement lost", rep.Peak)
+	}
+
+	// With event tracking on, the root exit is a process event as before.
+	on := runOne(t, Config{PollInterval: sim.Second, TrackProcessEvents: true}, Proc(2.5, res(1, 100, 0)), Resources{})
+	if on.ProcEvents != 1 {
+		t.Fatalf("ProcEvents = %d with event tracking enabled, want 1 (root exit)", on.ProcEvents)
+	}
+}
+
+// Regression: aborting before the overhead event fires used to run finish()
+// anyway, producing a report with Start == 0 and a WallTime spanning back to
+// the epoch.
+func TestAbortBeforeStartLeavesNoBogusReport(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.Overhead = 5
+	m := New(eng, cfg)
+	var ex *Execution
+	eng.At(0, func() {
+		ex = m.Run(Proc(10, res(1, 1, 0)), Resources{}, func(Report) {
+			t.Error("aborted-before-start execution reported")
+		})
+	})
+	eng.At(1, func() { ex.Abort() })
+	eng.Run()
+	if !ex.r.finished {
+		t.Fatal("aborted run not marked finished")
+	}
+	if ex.r.rep.Start != 0 || ex.r.rep.End != 0 || ex.r.rep.WallTime != 0 {
+		t.Fatalf("bogus report fabricated: %+v", ex.r.rep)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending events = %d after abort", eng.Pending())
+	}
+	ex.Abort() // idempotent
+}
+
+func TestLFMMetrics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.Metrics = metrics.NewRegistry()
+	m := New(eng, cfg)
+	eng.At(0, func() {
+		m.Run(Proc(5, res(1, 10, 0)), Resources{}, nil)                         // completes
+		m.Run(Proc(5, res(1, 900, 0)), Resources{Cores: 2, MemoryMB: 100}, nil) // killed
+	})
+	eng.Run()
+	reg := cfg.Metrics
+	if got := reg.Counter("lfm_runs_total").Value(); got != 2 {
+		t.Fatalf("runs = %v", got)
+	}
+	if got := reg.Counter("lfm_completions_total").Value(); got != 1 {
+		t.Fatalf("completions = %v", got)
+	}
+	if got := reg.Counter("lfm_kills_total", metrics.L("kind", "memory")).Value(); got != 1 {
+		t.Fatalf("memory kills = %v", got)
+	}
+	if reg.Counter("lfm_polls_total").Value() == 0 {
+		t.Fatal("polls not counted")
 	}
 }

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"lfm/internal/metrics"
 	"lfm/internal/sim"
 )
 
@@ -57,6 +58,10 @@ type Config struct {
 	// RecordSeries, when true, retains every measurement in the report's
 	// Series for post-hoc inspection (usage timelines).
 	RecordSeries bool
+	// Metrics, when non-nil, registers LFM instruments (polls, process
+	// events, kills by resource kind) on the registry and updates them for
+	// every run under this monitor.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a 1-second poll with event tracking enabled.
@@ -72,6 +77,8 @@ func DefaultConfig() Config {
 type LFM struct {
 	Eng *sim.Engine
 	Cfg Config
+
+	met *lfmMetrics
 }
 
 // New returns an LFM on the engine.
@@ -79,7 +86,74 @@ func New(eng *sim.Engine, cfg Config) *LFM {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = sim.Second
 	}
-	return &LFM{Eng: eng, Cfg: cfg}
+	m := &LFM{Eng: eng, Cfg: cfg}
+	if cfg.Metrics != nil {
+		m.met = newLFMMetrics(cfg.Metrics)
+	}
+	return m
+}
+
+// lfmMetrics holds the monitor's registry instruments. All methods are
+// nil-safe so uninstrumented runs pay only a nil check.
+type lfmMetrics struct {
+	runs        *metrics.Counter
+	completions *metrics.Counter
+	aborts      *metrics.Counter
+	polls       *metrics.Counter
+	procEvents  *metrics.Counter
+	kills       map[Kind]*metrics.Counter
+}
+
+func newLFMMetrics(reg *metrics.Registry) *lfmMetrics {
+	reg.Help("lfm_kills_total", "tasks killed by the monitor, by exhausted resource kind")
+	kills := make(map[Kind]*metrics.Counter, 3)
+	for _, k := range []Kind{KindCores, KindMemory, KindDisk} {
+		kills[k] = reg.Counter("lfm_kills_total", metrics.L("kind", string(k)))
+	}
+	return &lfmMetrics{
+		runs:        reg.Counter("lfm_runs_total"),
+		completions: reg.Counter("lfm_completions_total"),
+		aborts:      reg.Counter("lfm_aborts_total"),
+		polls:       reg.Counter("lfm_polls_total"),
+		procEvents:  reg.Counter("lfm_proc_events_total"),
+		kills:       kills,
+	}
+}
+
+func (lm *lfmMetrics) onRun() {
+	if lm != nil {
+		lm.runs.Inc()
+	}
+}
+
+func (lm *lfmMetrics) onPoll() {
+	if lm != nil {
+		lm.polls.Inc()
+	}
+}
+
+func (lm *lfmMetrics) onProcEvent() {
+	if lm != nil {
+		lm.procEvents.Inc()
+	}
+}
+
+func (lm *lfmMetrics) onKill(kind Kind) {
+	if lm != nil {
+		lm.kills[kind].Inc()
+	}
+}
+
+func (lm *lfmMetrics) onComplete() {
+	if lm != nil {
+		lm.completions.Inc()
+	}
+}
+
+func (lm *lfmMetrics) onAbort() {
+	if lm != nil {
+		lm.aborts.Inc()
+	}
 }
 
 // run tracks one monitored execution in flight.
@@ -107,12 +181,24 @@ type Execution struct {
 
 // Abort cancels the execution; the done callback will not fire.
 func (e *Execution) Abort() {
-	e.r.m.Eng.Cancel(e.startEv)
-	if e.r.finished {
+	r := e.r
+	if r.finished {
 		return
 	}
-	e.r.done = nil
-	e.r.finish(false)
+	r.m.met.onAbort()
+	if !e.startEv.Cancelled() {
+		// The overhead event has not fired yet: monitoring never began, so
+		// there is nothing to tear down and no measurements were taken.
+		// Cancel the pending start and mark the run finished without
+		// fabricating a report whose Start would be zero and whose WallTime
+		// would span back to the epoch.
+		r.m.Eng.Cancel(e.startEv)
+		r.finished = true
+		r.done = nil
+		return
+	}
+	r.done = nil
+	r.finish(false)
 }
 
 // Run executes spec under the given limits (zero dimensions unlimited) and
@@ -123,12 +209,13 @@ func (e *Execution) Abort() {
 func (m *LFM) Run(spec ProcSpec, limits Resources, done func(Report)) *Execution {
 	r := &run{m: m, spec: spec, limits: limits, done: done}
 	ex := &Execution{r: r}
+	m.met.onRun()
 	ex.startEv = m.Eng.After(m.Cfg.Overhead, func() {
 		r.start = m.Eng.Now()
 		r.rep.Start = r.start
 		r.rep.Procs = spec.countProcs()
 		// Initial measurement at task start.
-		r.measure(false)
+		r.measure(byPoll)
 		if r.finished {
 			return
 		}
@@ -141,23 +228,48 @@ func (m *LFM) Run(spec ProcSpec, limits Resources, done func(Report)) *Execution
 	return ex
 }
 
+// measureSource names what triggered a measurement: a polling tick, a
+// fork/exit process event, or the final measurement at task completion.
+type measureSource int
+
+const (
+	byPoll measureSource = iota
+	byProcEvent
+	atCompletion
+)
+
 // measure samples current usage, updates the peak, and enforces limits.
-func (r *run) measure(isProcEvent bool) {
+func (r *run) measure(src measureSource) {
 	if r.finished {
 		return
 	}
 	now := r.m.Eng.Now()
 	u := r.spec.UsageAt(now - r.start)
-	if isProcEvent {
-		r.rep.ProcEvents++
-	} else {
+	fromEvent := false
+	switch src {
+	case byPoll:
 		r.rep.Polls++
+		r.m.met.onPoll()
 		if cb := r.m.Cfg.Callback; cb != nil {
 			cb(now, u)
 		}
+	case byProcEvent:
+		r.rep.ProcEvents++
+		r.m.met.onProcEvent()
+		fromEvent = true
+	case atCompletion:
+		// The final measurement is the root process's exit: it is a process
+		// event only when event tracking is enabled. Without it the
+		// measurement still updates the peak but is charged to neither
+		// channel, so ablation counts stay honest.
+		if r.m.Cfg.TrackProcessEvents {
+			r.rep.ProcEvents++
+			r.m.met.onProcEvent()
+			fromEvent = true
+		}
 	}
 	if r.m.Cfg.RecordSeries {
-		r.rep.Series = append(r.rep.Series, Sample{At: now, Usage: u, FromEvent: isProcEvent})
+		r.rep.Series = append(r.rep.Series, Sample{At: now, Usage: u, FromEvent: fromEvent})
 	}
 	r.rep.Peak = r.rep.Peak.Max(u)
 	if kind := Exceeds(u, r.limits); kind != KindNone {
@@ -167,7 +279,7 @@ func (r *run) measure(isProcEvent bool) {
 
 func (r *run) schedulePoll() {
 	r.pollEv = r.m.Eng.After(r.m.Cfg.PollInterval, func() {
-		r.measure(false)
+		r.measure(byPoll)
 		if !r.finished {
 			r.schedulePoll()
 		}
@@ -180,9 +292,9 @@ func (r *run) schedulePoll() {
 func (r *run) scheduleProcEvents(spec ProcSpec, base sim.Time) {
 	for _, c := range spec.Children {
 		at := base + c.StartOffset
-		r.procEvs = append(r.procEvs, r.m.Eng.At(at, func() { r.measure(true) }))
+		r.procEvs = append(r.procEvs, r.m.Eng.At(at, func() { r.measure(byProcEvent) }))
 		exit := at + c.Spec.SelfDuration()
-		r.procEvs = append(r.procEvs, r.m.Eng.At(exit, func() { r.measure(true) }))
+		r.procEvs = append(r.procEvs, r.m.Eng.At(exit, func() { r.measure(byProcEvent) }))
 		r.scheduleProcEvents(c.Spec, at)
 	}
 }
@@ -190,13 +302,15 @@ func (r *run) scheduleProcEvents(spec ProcSpec, base sim.Time) {
 func (r *run) kill(kind Kind) {
 	r.rep.Killed = true
 	r.rep.Exhausted = kind
+	r.m.met.onKill(kind)
 	r.finish(false)
 }
 
 func (r *run) complete() {
 	// Final measurement at completion so short tasks are never unmeasured.
-	r.measure(true)
+	r.measure(atCompletion)
 	if !r.finished {
+		r.m.met.onComplete()
 		r.finish(true)
 	}
 }

@@ -16,6 +16,7 @@
 package sharedfs
 
 import (
+	"lfm/internal/metrics"
 	"lfm/internal/sim"
 )
 
@@ -58,6 +59,81 @@ type FS struct {
 
 	// MetaOpsIssued counts total metadata operations for reporting.
 	MetaOpsIssued int64
+
+	met *fsMetrics
+}
+
+// SetMetrics attaches a metrics registry: queue and bandwidth-share gauges
+// are registered immediately (labeled by the filesystem's name) and the op
+// and byte counters update from then on. Nil detaches.
+func (fs *FS) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		fs.met = nil
+		return
+	}
+	fs.met = newFSMetrics(fs, reg)
+}
+
+// fsMetrics holds the filesystem's registry instruments; methods are nil-safe.
+type fsMetrics struct {
+	metaOps    *metrics.Counter
+	readBytes  *metrics.Counter
+	writeBytes *metrics.Counter
+}
+
+// share is the bandwidth one client currently gets from a fair-shared link.
+func share(f *sim.FairShare) float64 {
+	n := f.Active()
+	if n == 0 {
+		return 0
+	}
+	r := f.Capacity / float64(n)
+	if f.PerFlowCap > 0 && r > f.PerFlowCap {
+		r = f.PerFlowCap
+	}
+	return r
+}
+
+func newFSMetrics(fs *FS, reg *metrics.Registry) *fsMetrics {
+	l := metrics.L("fs", fs.Config.Name)
+	reg.Help("sharedfs_meta_queue_depth", "metadata requests queued behind the server's channels")
+	reg.Help("sharedfs_meta_busy_seconds", "cumulative metadata service time consumed")
+	reg.Help("sharedfs_read_flows", "concurrent read streams")
+	reg.Help("sharedfs_write_flows", "concurrent write streams")
+	reg.Help("sharedfs_read_share_bytes", "read bandwidth one client currently receives, bytes/s")
+	reg.Help("sharedfs_write_share_bytes", "write bandwidth one client currently receives, bytes/s")
+	reg.Help("sharedfs_meta_ops_total", "metadata operations issued")
+	reg.Help("sharedfs_read_bytes_total", "bytes read from the filesystem")
+	reg.Help("sharedfs_write_bytes_total", "bytes written to the filesystem")
+	reg.GaugeFunc("sharedfs_meta_queue_depth", func() float64 { return float64(fs.meta.QueueLen()) }, l)
+	reg.GaugeFunc("sharedfs_meta_busy_seconds", func() float64 { return float64(fs.meta.BusyTime) }, l)
+	reg.GaugeFunc("sharedfs_read_flows", func() float64 { return float64(fs.read.Active()) }, l)
+	reg.GaugeFunc("sharedfs_write_flows", func() float64 { return float64(fs.write.Active()) }, l)
+	reg.GaugeFunc("sharedfs_read_share_bytes", func() float64 { return share(fs.read) }, l)
+	reg.GaugeFunc("sharedfs_write_share_bytes", func() float64 { return share(fs.write) }, l)
+	return &fsMetrics{
+		metaOps:    reg.Counter("sharedfs_meta_ops_total", l),
+		readBytes:  reg.Counter("sharedfs_read_bytes_total", l),
+		writeBytes: reg.Counter("sharedfs_write_bytes_total", l),
+	}
+}
+
+func (fm *fsMetrics) onMeta(ops int) {
+	if fm != nil {
+		fm.metaOps.Add(float64(ops))
+	}
+}
+
+func (fm *fsMetrics) onRead(n int64) {
+	if fm != nil {
+		fm.readBytes.Add(float64(n))
+	}
+}
+
+func (fm *fsMetrics) onWrite(n int64) {
+	if fm != nil {
+		fm.writeBytes.Add(float64(n))
+	}
 }
 
 // New returns a shared filesystem attached to the engine.
@@ -87,16 +163,19 @@ func (fs *FS) Metadata(ops int, done func()) {
 		panic("sharedfs: negative metadata ops")
 	}
 	fs.MetaOpsIssued += int64(ops)
+	fs.met.onMeta(ops)
 	fs.meta.Request(sim.Time(ops)*fs.Config.MetaOpTime, done)
 }
 
 // Read transfers n bytes from the filesystem to one client.
 func (fs *FS) Read(n int64, done func()) {
+	fs.met.onRead(n)
 	fs.read.Transfer(float64(n), done)
 }
 
 // Write transfers n bytes from one client to the filesystem.
 func (fs *FS) Write(n int64, done func()) {
+	fs.met.onWrite(n)
 	fs.write.Transfer(float64(n), done)
 }
 

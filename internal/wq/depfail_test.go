@@ -1,0 +1,144 @@
+package wq
+
+import (
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/monitor"
+)
+
+// failingTask builds a task no ndcrc node can satisfy, so it exhausts its
+// retries and ends TaskFailed.
+func failingTask(id int) *Task {
+	return simpleTask(id, 10, 50*1024) // 50GB > any node
+}
+
+// Regression: submitting a task whose dependency already failed used to
+// register it as a waiter on a task that would never notify again, leaving it
+// TaskWaiting forever.
+func TestSubmitAfterDependencyFailed(t *testing.T) {
+	cfg := quickCfg(&alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 100, DiskMB: 10}})
+	cfg.MaxRetries = 1
+	eng, m := testRig(t, 1, cfg)
+	tr := &Trace{}
+	m.SetTrace(tr)
+	a := failingTask(1)
+	b := simpleTask(2, 5, 100)
+	b.DependsOn = []*Task{a}
+	var done []int
+	m.OnTaskDone(func(tk *Task) { done = append(done, tk.ID) })
+	eng.At(0, func() { m.Submit(a) })
+	eng.At(100, func() {
+		if a.State != TaskFailed {
+			t.Errorf("a state = %v at submit time, want failed", a.State)
+		}
+		m.Submit(b)
+	})
+	eng.Run()
+	if b.State != TaskFailed {
+		t.Fatalf("b state = %v, want failed (dependency failed before submit)", b.State)
+	}
+	if b.Attempts != 0 {
+		t.Fatalf("b attempts = %d, want 0 (never executed)", b.Attempts)
+	}
+	if len(done) != 2 || done[1] != 2 {
+		t.Fatalf("done callbacks = %v, want [1 2]", done)
+	}
+	if m.Stats().DepFailed != 1 || m.Stats().Failed != 2 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	var found bool
+	for _, e := range tr.Filter(EventFail) {
+		if e.Task == 2 && e.Detail == "dependency failed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no fail event with dependency detail: %+v", tr.Filter(EventFail))
+	}
+}
+
+// Regression: dependents of a failed task used to be released and executed as
+// if the dependency had succeeded. They must fail without executing, and the
+// failure must cascade through the DAG.
+func TestDependentsOfFailedTaskFail(t *testing.T) {
+	cfg := quickCfg(&alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 100, DiskMB: 10}})
+	cfg.MaxRetries = 1
+	eng, m := testRig(t, 1, cfg)
+	tr := &Trace{}
+	m.SetTrace(tr)
+	a := failingTask(1)
+	b := simpleTask(2, 5, 100)
+	b.DependsOn = []*Task{a}
+	c := simpleTask(3, 5, 100)
+	c.DependsOn = []*Task{b}
+	eng.At(0, func() {
+		m.Submit(a)
+		m.Submit(b)
+		m.Submit(c)
+	})
+	eng.Run()
+	for _, tk := range []*Task{b, c} {
+		if tk.State != TaskFailed {
+			t.Fatalf("task %d state = %v, want failed", tk.ID, tk.State)
+		}
+		if tk.Attempts != 0 {
+			t.Fatalf("task %d attempts = %d, want 0", tk.ID, tk.Attempts)
+		}
+	}
+	for _, e := range tr.Filter(EventStart) {
+		if e.Task != 1 {
+			t.Fatalf("task %d started despite failed dependency", e.Task)
+		}
+	}
+	fails := map[int]string{}
+	for _, e := range tr.Filter(EventFail) {
+		fails[e.Task] = e.Detail
+	}
+	if fails[2] != "dependency failed" || fails[3] != "dependency failed" {
+		t.Fatalf("fail events = %v", fails)
+	}
+	if m.Stats().DepFailed != 2 || m.Stats().Failed != 3 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	if m.QueueLen() != 0 {
+		t.Fatalf("ready queue = %d, want drained", m.QueueLen())
+	}
+}
+
+// A dependent of several failed tasks fails exactly once, and a dependency
+// that is still pending when another one fails must not resurrect it.
+func TestDependentFailsOnceWithMixedDeps(t *testing.T) {
+	cfg := quickCfg(&alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 100, DiskMB: 10}})
+	cfg.MaxRetries = 1
+	eng, m := testRig(t, 1, cfg)
+	bad1, bad2 := failingTask(1), failingTask(2)
+	slow := simpleTask(3, 200, 100)
+	d := simpleTask(4, 5, 100)
+	d.DependsOn = []*Task{bad1, bad2, slow}
+	var dDone int
+	m.OnTaskDone(func(tk *Task) {
+		if tk == d {
+			dDone++
+		}
+	})
+	eng.At(0, func() {
+		m.Submit(slow)
+		m.Submit(bad1)
+		m.Submit(bad2)
+		m.Submit(d)
+	})
+	eng.Run()
+	if d.State != TaskFailed || d.Attempts != 0 {
+		t.Fatalf("d state = %v attempts = %d", d.State, d.Attempts)
+	}
+	if dDone != 1 {
+		t.Fatalf("d reported done %d times, want 1", dDone)
+	}
+	if slow.State != TaskDone {
+		t.Fatalf("slow state = %v, want done (unrelated to d's failure)", slow.State)
+	}
+	if m.Stats().DepFailed != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}

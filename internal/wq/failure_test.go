@@ -231,3 +231,95 @@ func TestAutoscalerSurfacesProvisionError(t *testing.T) {
 		t.Fatal("over-capacity provisioning error not surfaced")
 	}
 }
+
+func TestPiggybackedStagingSurvivesWorkerLoss(t *testing.T) {
+	// Two packed tasks share one in-flight transfer of a cacheable input;
+	// the worker dies mid-transfer. Both attempts must be charged as lost
+	// (not retries), both tasks requeued, and both must complete once a
+	// replacement worker arrives.
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 0
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	m := NewMaster(eng, quickCfg(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 100, DiskMB: 10}}}))
+	if err := cl.Provision(1, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+		t.Fatal(err)
+	}
+	env := &File{Name: "env.tar", SizeBytes: 10e9, Cacheable: true} // ~8s transfer
+	a := simpleTask(1, 5, 100)
+	b := simpleTask(2, 5, 100)
+	a.Inputs = []*File{env}
+	b.Inputs = []*File{env}
+	eng.At(0, func() {
+		m.Submit(a)
+		m.Submit(b)
+	})
+	eng.At(1, func() {
+		if m.workers[0].running != 2 {
+			t.Errorf("running = %d, want both tasks staging on the worker", m.workers[0].running)
+		}
+		m.RemoveWorker(m.workers[0])
+	})
+	eng.At(50, func() {
+		if err := cl.Provision(1, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	for _, tk := range []*Task{a, b} {
+		if tk.State != TaskDone {
+			t.Fatalf("task %d state = %v, want done", tk.ID, tk.State)
+		}
+		if tk.Attempts != 1 {
+			t.Fatalf("task %d attempts = %d, want 1 (lost attempts don't count)", tk.ID, tk.Attempts)
+		}
+		if tk.StartedAt < 50 {
+			t.Fatalf("task %d started at %v, want after replacement", tk.ID, tk.StartedAt)
+		}
+	}
+	if m.Stats().LostTasks != 2 {
+		t.Fatalf("lost = %d, want 2 (holder and piggybacked waiter)", m.Stats().LostTasks)
+	}
+	if m.Stats().Retries != 0 {
+		t.Fatalf("retries = %d, want 0", m.Stats().Retries)
+	}
+	if m.QueueLen() != 0 {
+		t.Fatalf("ready queue = %d, want drained", m.QueueLen())
+	}
+}
+
+func TestStagingWaitersNotStuckWithoutReplacement(t *testing.T) {
+	// Same mid-transfer loss, but no replacement ever arrives: the tasks
+	// must land back in the ready queue (not vanish into a dead worker's
+	// staging map) and the simulation must drain.
+	eng, m := testRig(t, 1, quickCfg(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 100, DiskMB: 10}}}))
+	env := &File{Name: "env.tar", SizeBytes: 10e9, Cacheable: true}
+	a := simpleTask(1, 5, 100)
+	b := simpleTask(2, 5, 100)
+	a.Inputs = []*File{env}
+	b.Inputs = []*File{env}
+	eng.At(0, func() {
+		m.Submit(a)
+		m.Submit(b)
+	})
+	eng.At(1, func() { m.RemoveWorker(m.workers[0]) })
+	eng.Run()
+	if a.State != TaskReady || b.State != TaskReady {
+		t.Fatalf("states = %v %v, want both ready (requeued)", a.State, b.State)
+	}
+	if m.QueueLen() != 2 {
+		t.Fatalf("ready queue = %d, want 2", m.QueueLen())
+	}
+	if m.Stats().LostTasks != 2 {
+		t.Fatalf("lost = %d", m.Stats().LostTasks)
+	}
+	if a.Attempts != 0 || b.Attempts != 0 {
+		t.Fatalf("attempts = %d %d, want 0 0", a.Attempts, b.Attempts)
+	}
+	if n := eng.Pending(); n != 0 {
+		t.Fatalf("pending events = %d after drain", n)
+	}
+}

@@ -1,0 +1,207 @@
+package wq
+
+import (
+	"strconv"
+
+	"lfm/internal/metrics"
+	"lfm/internal/sim"
+)
+
+// SetMetrics attaches a metrics registry to the master: pool and queue gauges
+// are registered immediately and the hot paths (placement, staging, transfer,
+// completion) update counters and histograms from then on. Call it before
+// submitting work; nil detaches. Runs without a registry pay only a nil check
+// per hook.
+func (m *Master) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		m.met = nil
+		return
+	}
+	m.met = newMasterMetrics(m, reg)
+}
+
+// masterMetrics holds the master's registry instruments. All on* methods are
+// nil-safe so uninstrumented masters skip straight through.
+type masterMetrics struct {
+	m   *Master
+	reg *metrics.Registry
+
+	placements *metrics.Counter
+	retries    *metrics.Counter
+	lost       *metrics.Counter
+	cacheHits  *metrics.Counter
+	cacheMiss  *metrics.Counter
+	bytesIn    *metrics.Counter
+	bytesOut   *metrics.Counter
+
+	waitSeconds *metrics.Histogram
+	execSeconds *metrics.Histogram
+}
+
+func newMasterMetrics(m *Master, reg *metrics.Registry) *masterMetrics {
+	reg.Help("wq_queue_depth", "ready tasks not yet placed on a worker")
+	reg.Help("wq_workers", "connected pilot workers")
+	reg.Help("wq_tasks_running", "tasks currently executing on workers")
+	reg.Help("wq_cores_allocated", "cores allocated to running tasks across the pool")
+	reg.Help("wq_cores_total", "cores provisioned across the pool")
+	reg.Help("wq_cache_hit_ratio", "fraction of input stagings served from worker caches")
+	reg.Help("wq_tasks_submitted_total", "tasks submitted to the master, by category")
+	reg.Help("wq_tasks_completed_total", "tasks completed successfully, by category")
+	reg.Help("wq_tasks_failed_total", "tasks failed for good, by category")
+	reg.Help("wq_tasks_dep_failed_total", "tasks failed without executing because a dependency failed, by category")
+	reg.Help("wq_placements_total", "task attempts started on workers")
+	reg.Help("wq_retries_total", "resource-exhaustion retries")
+	reg.Help("wq_tasks_lost_total", "task attempts lost to disconnected workers")
+	reg.Help("wq_bytes_in_total", "bytes transferred master to workers")
+	reg.Help("wq_bytes_out_total", "bytes transferred workers to master")
+	reg.Help("wq_task_wait_seconds", "submit to first-execution latency")
+	reg.Help("wq_task_exec_seconds", "wall time of successful attempts")
+	reg.Help("wq_worker_cores_used", "cores allocated on one worker")
+	reg.Help("wq_worker_cores_free", "cores free on one worker")
+
+	reg.GaugeFunc("wq_queue_depth", func() float64 { return float64(len(m.ready)) })
+	reg.GaugeFunc("wq_workers", func() float64 { return float64(len(m.workers)) })
+	reg.GaugeFunc("wq_tasks_running", func() float64 {
+		n := 0
+		for _, w := range m.workers {
+			n += w.running
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("wq_cores_allocated", func() float64 {
+		var c float64
+		for _, w := range m.workers {
+			c += w.usedCores
+		}
+		return c
+	})
+	reg.GaugeFunc("wq_cores_total", func() float64 {
+		var c float64
+		for _, w := range m.workers {
+			c += w.Node.Cores
+		}
+		return c
+	})
+	reg.GaugeFunc("wq_cache_hit_ratio", func() float64 {
+		total := m.stats.CacheHits + m.stats.CacheMisses
+		if total == 0 {
+			return 0
+		}
+		return float64(m.stats.CacheHits) / float64(total)
+	})
+
+	return &masterMetrics{
+		m:           m,
+		reg:         reg,
+		placements:  reg.Counter("wq_placements_total"),
+		retries:     reg.Counter("wq_retries_total"),
+		lost:        reg.Counter("wq_tasks_lost_total"),
+		cacheHits:   reg.Counter("wq_cache_hits_total"),
+		cacheMiss:   reg.Counter("wq_cache_misses_total"),
+		bytesIn:     reg.Counter("wq_bytes_in_total"),
+		bytesOut:    reg.Counter("wq_bytes_out_total"),
+		waitSeconds: reg.Histogram("wq_task_wait_seconds", metrics.DefTimeBuckets()),
+		execSeconds: reg.Histogram("wq_task_exec_seconds", metrics.DefTimeBuckets()),
+	}
+}
+
+func categoryLabel(t *Task) metrics.Label {
+	c := t.Category
+	if c == "" {
+		c = "default"
+	}
+	return metrics.L("category", c)
+}
+
+func workerLabel(w *Worker) metrics.Label {
+	return metrics.L("worker", strconv.Itoa(w.Node.ID))
+}
+
+func (mm *masterMetrics) onSubmit(t *Task) {
+	if mm != nil {
+		mm.reg.Counter("wq_tasks_submitted_total", categoryLabel(t)).Inc()
+	}
+}
+
+func (mm *masterMetrics) onDone(t *Task) {
+	if mm != nil {
+		mm.reg.Counter("wq_tasks_completed_total", categoryLabel(t)).Inc()
+	}
+}
+
+func (mm *masterMetrics) onFail(t *Task) {
+	if mm != nil {
+		mm.reg.Counter("wq_tasks_failed_total", categoryLabel(t)).Inc()
+	}
+}
+
+func (mm *masterMetrics) onDepFail(t *Task) {
+	if mm != nil {
+		mm.reg.Counter("wq_tasks_dep_failed_total", categoryLabel(t)).Inc()
+	}
+}
+
+func (mm *masterMetrics) onPlace() {
+	if mm != nil {
+		mm.placements.Inc()
+	}
+}
+
+func (mm *masterMetrics) onStart(t *Task) {
+	if mm != nil {
+		mm.waitSeconds.Observe(float64(t.StartedAt - t.SubmittedAt))
+	}
+}
+
+func (mm *masterMetrics) onExec(wall sim.Time) {
+	if mm != nil {
+		mm.execSeconds.Observe(float64(wall))
+	}
+}
+
+func (mm *masterMetrics) onRetry() {
+	if mm != nil {
+		mm.retries.Inc()
+	}
+}
+
+func (mm *masterMetrics) onLost() {
+	if mm != nil {
+		mm.lost.Inc()
+	}
+}
+
+func (mm *masterMetrics) onCacheHit() {
+	if mm != nil {
+		mm.cacheHits.Inc()
+	}
+}
+
+func (mm *masterMetrics) onTransferIn(bytes int64) {
+	if mm != nil {
+		mm.cacheMiss.Inc()
+		mm.bytesIn.Add(float64(bytes))
+	}
+}
+
+func (mm *masterMetrics) onTransferOut(bytes int64) {
+	if mm != nil {
+		mm.bytesOut.Add(float64(bytes))
+	}
+}
+
+func (mm *masterMetrics) onWorkerJoin(w *Worker) {
+	if mm == nil {
+		return
+	}
+	mm.reg.GaugeFunc("wq_worker_cores_used", func() float64 { return w.usedCores }, workerLabel(w))
+	mm.reg.GaugeFunc("wq_worker_cores_free", func() float64 { return w.free().Cores }, workerLabel(w))
+}
+
+func (mm *masterMetrics) onWorkerLeave(w *Worker) {
+	if mm == nil {
+		return
+	}
+	mm.reg.Unregister("wq_worker_cores_used", workerLabel(w))
+	mm.reg.Unregister("wq_worker_cores_free", workerLabel(w))
+}

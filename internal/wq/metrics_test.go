@@ -1,0 +1,133 @@
+package wq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/metrics"
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+)
+
+func TestMasterMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	eng, m := testRig(t, 2, quickCfg(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 100, DiskMB: 10}}}))
+	m.SetMetrics(reg)
+	env := &File{Name: "env.tar", SizeBytes: 1e9, Cacheable: true}
+	tasks := make([]*Task, 4)
+	for i := range tasks {
+		tasks[i] = simpleTask(i, 10, 100)
+		tasks[i].Inputs = []*File{env}
+		tasks[i].OutputBytes = 1e6
+	}
+	eng.At(0, func() {
+		for _, tk := range tasks {
+			m.Submit(tk)
+		}
+	})
+	eng.Run()
+
+	cat := metrics.L("category", "t")
+	if got := reg.Counter("wq_tasks_submitted_total", cat).Value(); got != 4 {
+		t.Fatalf("submitted = %v", got)
+	}
+	if got := reg.Counter("wq_tasks_completed_total", cat).Value(); got != 4 {
+		t.Fatalf("completed = %v", got)
+	}
+	if got := reg.Counter("wq_placements_total").Value(); got != 4 {
+		t.Fatalf("placements = %v", got)
+	}
+	if got := reg.Counter("wq_bytes_out_total").Value(); got != 4e6 {
+		t.Fatalf("bytes out = %v", got)
+	}
+	// One transfer of env.tar per worker; the rest are cache hits (or
+	// piggybacked onto an in-flight transfer, which also counts as a hit).
+	in := reg.Counter("wq_bytes_in_total").Value()
+	if in != float64(2*env.SizeBytes) {
+		t.Fatalf("bytes in = %v, want 2 transfers", in)
+	}
+	hits := reg.Counter("wq_cache_hits_total").Value()
+	miss := reg.Counter("wq_cache_misses_total").Value()
+	if hits != 2 || miss != 2 {
+		t.Fatalf("cache hits/misses = %v/%v, want 2/2", hits, miss)
+	}
+	if got, want := float64(m.stats.CacheHits), hits; got != want {
+		t.Fatalf("counter %v != stats %v", want, got)
+	}
+
+	// Pool gauges reflect the drained end state.
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := reg.Gauge(name).Value(); got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("wq_queue_depth", 0)
+	check("wq_workers", 2)
+	check("wq_tasks_running", 0)
+	check("wq_cores_allocated", 0)
+	check("wq_cores_total", 16) // 2 ndcrc nodes x 8 cores
+	check("wq_cache_hit_ratio", 0.5)
+
+	if n := reg.Histogram("wq_task_exec_seconds", metrics.DefTimeBuckets()).Count(); n != 4 {
+		t.Fatalf("exec histogram count = %d", n)
+	}
+
+	// Per-worker gauges exist while the worker lives and disappear with it.
+	w := m.workers[0]
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wq_worker_cores_free{") {
+		t.Fatalf("per-worker gauges missing:\n%s", buf.String())
+	}
+	m.RemoveWorker(w)
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "wq_worker_cores_free{") != 1 {
+		t.Fatalf("removed worker's gauges still exported:\n%s", buf.String())
+	}
+}
+
+func TestMasterMetricsSampledTimeline(t *testing.T) {
+	// End-to-end: a sampler over an instrumented master yields a
+	// cores-allocated timeline that rises while tasks run and returns to
+	// zero at the end.
+	reg := metrics.NewRegistry()
+	eng, m := testRig(t, 1, quickCfg(&alloc.Oracle{Peaks: map[string]monitor.Resources{
+		"t": {Cores: 1, MemoryMB: 100, DiskMB: 10}}}))
+	m.SetMetrics(reg)
+	s := metrics.NewSampler(eng, reg, sim.Second)
+	eng.At(0, func() {
+		s.Start()
+		for i := 0; i < 4; i++ {
+			m.Submit(simpleTask(i, 10, 100))
+		}
+	})
+	eng.Run()
+	ts := s.Find("wq_cores_allocated")
+	if ts == nil {
+		t.Fatal("no cores-allocated series")
+	}
+	var peak float64
+	for _, p := range ts.Points {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	if peak != 4 {
+		t.Fatalf("peak allocated = %v, want 4", peak)
+	}
+	if last := ts.Points[len(ts.Points)-1]; last.V != 0 {
+		t.Fatalf("final allocated = %v, want 0", last.V)
+	}
+	if s.Samples < 10 {
+		t.Fatalf("samples = %d, want full run coverage", s.Samples)
+	}
+}

@@ -95,9 +95,12 @@ func DefaultConfig() Config {
 
 // Stats aggregates a run's outcomes.
 type Stats struct {
-	Submitted   int
-	Completed   int
-	Failed      int
+	Submitted int
+	Completed int
+	Failed    int
+	// DepFailed counts tasks failed without executing because a dependency
+	// failed (included in Failed).
+	DepFailed   int
 	Retries     int
 	BytesIn     int64 // transferred master -> workers
 	BytesOut    int64 // transferred workers -> master
@@ -172,6 +175,8 @@ type Master struct {
 	trace *Trace
 	// categories aggregates per-category monitor reports.
 	categories categoryTracker
+	// met, if set, updates registry instruments on the hot paths.
+	met *masterMetrics
 
 	scheduling bool
 
@@ -261,6 +266,7 @@ func (m *Master) AddWorker(node *cluster.Node) *Worker {
 		executions: make(map[*Task]*monitor.Execution),
 	}
 	m.workers = append(m.workers, w)
+	m.met.onWorkerJoin(w)
 	m.record(EventWorkerJoin, nil, w, "")
 	m.schedule()
 	return w
@@ -276,6 +282,7 @@ func (m *Master) RemoveWorker(w *Worker) {
 	}
 	m.account()
 	w.alive = false
+	m.met.onWorkerLeave(w)
 	m.record(EventWorkerLeave, nil, w, "")
 	for i, other := range m.workers {
 		if other == w {
@@ -288,6 +295,7 @@ func (m *Master) RemoveWorker(w *Worker) {
 		delete(w.executions, t)
 		t.Attempts-- // a lost worker is not the task's fault
 		m.stats.LostTasks++
+		m.met.onLost()
 		m.record(EventLost, t, w, "")
 		m.makeReady(t)
 	}
@@ -295,20 +303,45 @@ func (m *Master) RemoveWorker(w *Worker) {
 }
 
 // Submit enqueues a task; it becomes ready once its dependencies complete.
+// A task whose dependency has already failed fails immediately without
+// executing, exactly as if the failure were observed later.
 func (m *Master) Submit(t *Task) {
 	t.SubmittedAt = m.Eng.Now()
 	t.State = TaskWaiting
 	m.stats.Submitted++
+	m.met.onSubmit(t)
 	m.record(EventSubmit, t, nil, "")
+	depFailed := false
 	for _, dep := range t.DependsOn {
-		if dep.State != TaskDone {
+		switch dep.State {
+		case TaskDone:
+			// Satisfied; nothing to wait for.
+		case TaskFailed:
+			// Terminal: registering as a waiter would leave waitingOn
+			// positive forever, since a failed task never notifies again.
+			depFailed = true
+		default:
 			t.waitingOn++
 			dep.waiters = append(dep.waiters, t)
 		}
 	}
+	if depFailed {
+		m.failDependent(t)
+		return
+	}
 	if t.waitingOn == 0 {
 		m.makeReady(t)
 	}
+}
+
+// failDependent fails a waiting task whose dependency failed, without ever
+// executing it — the DependencyError semantics of DAG frameworks. complete()
+// propagates the failure transitively to the task's own dependents.
+func (m *Master) failDependent(t *Task) {
+	m.stats.DepFailed++
+	m.met.onDepFail(t)
+	m.record(EventFail, t, nil, "dependency failed")
+	m.complete(t, TaskFailed)
 }
 
 func (m *Master) makeReady(t *Task) {
@@ -397,6 +430,7 @@ func effectiveRequest(w *Worker, dec alloc.Decision) monitor.Resources {
 func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 	t.State = TaskRunning
 	t.Attempts++
+	m.met.onPlace()
 	req := effectiveRequest(w, dec)
 	m.account()
 	w.usedCores += req.Cores
@@ -412,6 +446,7 @@ func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 			// The worker vanished while inputs were in flight.
 			t.Attempts--
 			m.stats.LostTasks++
+			m.met.onLost()
 			m.record(EventLost, t, w, "staging")
 			m.makeReady(t)
 			return
@@ -419,6 +454,7 @@ func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 		t.StartedAt = m.Eng.Now()
 		m.record(EventStart, t, w, "")
 		m.stats.WaitTimes.Add(float64(t.StartedAt - t.SubmittedAt))
+		m.met.onStart(t)
 		limits := monitor.Resources{}
 		if !dec.Monitorless {
 			limits = req
@@ -454,6 +490,7 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 	cont := func() { m.stageInputs(t, w, i+1, done) }
 	if w.cache[f.Name] {
 		m.stats.CacheHits++
+		m.met.onCacheHit()
 		cont()
 		return
 	}
@@ -462,6 +499,7 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 			// Another task is already pulling this file to the worker;
 			// piggyback on its transfer.
 			m.stats.CacheHits++
+			m.met.onCacheHit()
 			w.staging[f.Name] = append(waiters, cont)
 			return
 		}
@@ -469,6 +507,7 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 	}
 	m.stats.CacheMisses++
 	m.stats.BytesIn += f.SizeBytes
+	m.met.onTransferIn(f.SizeBytes)
 	m.record(EventFileTransfer, t, w, f.Name)
 	m.link.Transfer(float64(f.SizeBytes), func() {
 		w.Node.Disk.Write(f.SizeBytes, func() {
@@ -499,6 +538,7 @@ func (m *Master) sendOutputs(t *Task, completed bool, done func()) {
 		return
 	}
 	m.stats.BytesOut += t.OutputBytes
+	m.met.onTransferOut(t.OutputBytes)
 	m.link.Transfer(float64(t.OutputBytes), done)
 }
 
@@ -506,6 +546,7 @@ func (m *Master) sendOutputs(t *Task, completed bool, done func()) {
 func (m *Master) finishAttempt(t *Task, rep monitor.Report) {
 	if rep.Completed {
 		m.stats.ExecTimes.Add(float64(rep.WallTime))
+		m.met.onExec(rep.WallTime)
 		m.record(EventComplete, t, nil, "")
 		m.complete(t, TaskDone)
 		return
@@ -518,6 +559,7 @@ func (m *Master) finishAttempt(t *Task, rep monitor.Report) {
 		return
 	}
 	m.stats.Retries++
+	m.met.onRetry()
 	dec := m.Cfg.Strategy.Retry(t.Category, t.Attempts)
 	t.retryNext = &dec
 	m.makeReady(t)
@@ -528,15 +570,23 @@ func (m *Master) complete(t *Task, state TaskState) {
 	t.FinishedAt = m.Eng.Now()
 	if state == TaskDone {
 		m.stats.Completed++
+		m.met.onDone(t)
 	} else {
 		m.stats.Failed++
+		m.met.onFail(t)
 	}
-	// Release dependents.
+	// Release dependents — or, if this task failed, fail them without
+	// executing (cascading through complete() for their own dependents).
 	waiters := t.waiters
 	t.waiters = nil
 	for _, dep := range waiters {
 		dep.waitingOn--
-		if dep.waitingOn == 0 && dep.State == TaskWaiting {
+		if dep.State != TaskWaiting {
+			continue // already failed via another failed dependency
+		}
+		if state == TaskFailed {
+			m.failDependent(dep)
+		} else if dep.waitingOn == 0 {
 			m.makeReady(dep)
 		}
 	}

@@ -36,6 +36,7 @@ import (
 	"lfm/internal/deps"
 	"lfm/internal/envpack"
 	"lfm/internal/experiments"
+	"lfm/internal/metrics"
 	"lfm/internal/monitor"
 	"lfm/internal/parsl"
 	"lfm/internal/procmon"
@@ -47,6 +48,9 @@ import (
 )
 
 // ---- Resource model ----
+
+// Time is simulated time in seconds.
+type Time = sim.Time
 
 // Resources is a cores/memory/disk resource vector.
 type Resources = monitor.Resources
@@ -281,6 +285,33 @@ type ExecutionTrace = wq.Trace
 
 // CategorySummary aggregates monitored behaviour for one task category.
 type CategorySummary = wq.CategorySummary
+
+// ---- Metrics & observability ----
+
+// MetricsRegistry holds named counters, gauges, and histograms. Attach one
+// to a RunConfig to instrument a whole simulated run (scheduler, monitors,
+// cluster, filesystem, allocation strategy).
+type MetricsRegistry = metrics.Registry
+
+// MetricsLabel is one key=value dimension on an instrument.
+type MetricsLabel = metrics.Label
+
+// MetricsSampler records counter and gauge timelines at a fixed
+// simulated-clock resolution; an instrumented run's Outcome carries one.
+type MetricsSampler = metrics.Sampler
+
+// MetricsSeries is the sampled history of one instrument.
+type MetricsSeries = metrics.TimeSeries
+
+// MetricsHistogram is a fixed-bucket distribution instrument.
+type MetricsHistogram = metrics.Histogram
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsTimeBuckets returns the default latency histogram bounds
+// (exponential, 0.05s–~27min) used by the built-in instrumentation.
+func MetricsTimeBuckets() []float64 { return metrics.DefTimeBuckets() }
 
 // ---- Experiment reproduction ----
 
