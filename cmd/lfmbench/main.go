@@ -5,6 +5,7 @@
 //
 //	lfmbench [-quick] [-seed N] [experiment ...]
 //	lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]
+//	lfmbench -trace-out FILE [-trace-format json|perfetto]
 //
 // With no arguments every experiment runs in the paper's order. Experiment
 // IDs: fig4 fig5 table1 table2 table3 fig6 fig7 fig8 fig9.
@@ -14,6 +15,11 @@
 // values in Prometheus text exposition format ("-" for stdout);
 // -metrics-timeline additionally writes the sampled per-metric timelines as
 // JSON. Experiments named on the command line still run afterwards.
+//
+// The -trace-out form runs the same HEP workload with span tracing enabled
+// and writes the trace: format "json" (the default) is the lfm-trace span
+// store consumed by cmd/lfmtrace, "perfetto" is Chrome trace-event JSON
+// loadable at https://ui.perfetto.dev. Both forms may be combined.
 package main
 
 import (
@@ -34,9 +40,12 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "run an instrumented HEP benchmark and write Prometheus text to this file (- for stdout)")
 	metricsTimeline := flag.String("metrics-timeline", "", "with -metrics-out: also write sampled metric timelines as JSON to this file (- for stdout)")
 	metricsRes := flag.Float64("metrics-resolution", 1, "sampling resolution in simulated seconds for -metrics-timeline")
+	traceOut := flag.String("trace-out", "", "run a traced HEP benchmark and write the span trace to this file (- for stdout)")
+	traceFormat := flag.String("trace-format", "json", "trace export format: json (lfm-trace store) or perfetto (Chrome trace-event)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]\n")
+		fmt.Fprintf(os.Stderr, "       lfmbench -trace-out FILE [-trace-format json|perfetto]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(lfm.ExperimentIDs(), " "))
 		flag.PrintDefaults()
 	}
@@ -58,9 +67,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
 			os.Exit(1)
 		}
-		if flag.NArg() == 0 {
-			return
+	}
+	if *traceOut != "" {
+		if err := runTraced(*seed, *traceOut, *traceFormat); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
 		}
+	}
+	if (*metricsOut != "" || *traceOut != "") && flag.NArg() == 0 {
+		return
 	}
 
 	ids := flag.Args()
@@ -106,6 +121,51 @@ func runInstrumented(seed int64, resolution float64, promPath, timelinePath stri
 		if err := writeTo(timelinePath, func(f io.Writer) error { return out.Sampler.WriteJSON(f) }); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runTraced executes the same HEP benchmark point with span tracing enabled
+// and writes the trace in the requested format.
+func runTraced(seed int64, path, format string) error {
+	if format != "json" && format != "perfetto" {
+		return fmt.Errorf("unknown -trace-format %q (want json or perfetto)", format)
+	}
+	w := lfm.HEPWorkload(seed, 200)
+	strategy, err := lfm.StrategyFor("auto", w)
+	if err != nil {
+		return err
+	}
+	tr := &lfm.ExecutionTrace{}
+	out, err := lfm.RunWorkload(w, lfm.RunConfig{
+		SiteName: "ndcrc", Workers: 20,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: strategy, Seed: seed, NoBatchLatency: true,
+		Trace: tr,
+	})
+	if err != nil {
+		return err
+	}
+	// Status lines go to stderr when the trace itself goes to stdout.
+	msg := io.Writer(os.Stdout)
+	if path == "-" {
+		msg = os.Stderr
+	}
+	st := tr.Store()
+	fmt.Fprintf(msg, "traced %s run: %d tasks, makespan %.0fs, %d spans recorded\n",
+		out.Workload, out.TaskCount, float64(out.Makespan), st.Len())
+	if err := writeTo(path, func(f io.Writer) error {
+		if format == "perfetto" {
+			return st.WritePerfetto(f)
+		}
+		return st.WriteJSON(f)
+	}); err != nil {
+		return err
+	}
+	if format == "perfetto" {
+		fmt.Fprintf(msg, "open the trace at https://ui.perfetto.dev (or chrome://tracing)\n")
+	} else {
+		fmt.Fprintf(msg, "analyze with: lfmtrace %s\n", path)
 	}
 	return nil
 }

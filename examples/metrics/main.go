@@ -96,4 +96,8 @@ func main() {
 		"queue wait", wait.Quantile(0.5), wait.Quantile(0.9), wait.Max())
 	fmt.Printf("  %-18s p50 %6.1f   p90 %6.1f   max %6.1f\n",
 		"task execution", exec.Quantile(0.5), exec.Quantile(0.9), exec.Max())
+
+	fmt.Println("\nfor a per-task timeline of the same run, export a span trace with" +
+		"\n`lfmbench -trace-out t.json -trace-format perfetto` and open it at" +
+		"\nhttps://ui.perfetto.dev (or analyze t.json with cmd/lfmtrace)")
 }

@@ -47,29 +47,56 @@ func main() {
 	if len(spans) > 16 {
 		spans = spans[:16]
 	}
+	// The axis runs to the latest span edge; open spans (End == -1) only
+	// contribute their start.
 	var maxEnd float64
 	for _, sp := range spans {
+		if float64(sp.Start) > maxEnd {
+			maxEnd = float64(sp.Start)
+		}
 		if float64(sp.End) > maxEnd {
 			maxEnd = float64(sp.End)
 		}
 	}
 	const width = 60
+	if maxEnd <= 0 {
+		fmt.Println("\nno attempts with nonzero extent to chart")
+		return
+	}
 	fmt.Printf("\nfirst %d attempts (one row per attempt, %c = running):\n",
 		len(spans), '#')
 	for _, sp := range spans {
 		start := int(float64(sp.Start) / maxEnd * width)
-		end := int(float64(sp.End) / maxEnd * width)
+		end := width // still running: the bar extends to the chart's edge
+		if sp.End >= 0 {
+			end = int(float64(sp.End) / maxEnd * width)
+		}
 		if end <= start {
 			end = start + 1
 		}
+		if end > width {
+			end = width
+		}
 		bar := strings.Repeat(" ", start) + strings.Repeat("#", end-start)
 		marker := " "
-		if sp.Outcome == "exhausted" || sp.Outcome == "lost" {
+		switch {
+		case sp.Outcome == "exhausted" || sp.Outcome == "lost":
 			marker = "x"
+		case sp.End < 0:
+			marker = ">"
 		}
 		fmt.Printf("  task %3d w%d |%-*s|%s\n", sp.Task, sp.Worker, width, bar, marker)
 	}
 	fmt.Println("\nrows ending in x were killed (limit exceeded) or lost (worker died)")
 	fmt.Printf("and resubmitted; %d attempts were lost to churn in total.\n",
 		out.Stats.LostTasks)
+
+	// The full span tree has far more to say than this chart: per-phase
+	// critical-path analysis and an interactive timeline.
+	if cp := trace.Store().CriticalPath(); cp != nil && len(cp.Phases) > 0 {
+		fmt.Printf("\ncritical path: %.0fs across %d steps; dominant phase: %s (%.0f%%)\n",
+			float64(cp.Total()), len(cp.Steps), cp.Phases[0].Kind, 100*cp.Phases[0].Fraction)
+	}
+	fmt.Println("for the interactive view, export with `lfmbench -trace-out t.json " +
+		"-trace-format perfetto` and open it at https://ui.perfetto.dev")
 }

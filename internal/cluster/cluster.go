@@ -9,6 +9,7 @@ import (
 	"lfm/internal/metrics"
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 )
 
 // Site describes one cluster's hardware and scheduling characteristics.
@@ -123,6 +124,14 @@ type Cluster struct {
 	delivered   int
 	rng         *sim.RNG
 	met         *clusterMetrics
+	tr          *trace.Store
+}
+
+// SetTrace attaches a span store: every pilot-job request becomes a provision
+// span covering its batch-queue wait. Nil detaches.
+func (c *Cluster) SetTrace(st *trace.Store) {
+	c.tr = st
+	c.FS.SetTrace(st)
 }
 
 // SetMetrics attaches a metrics registry to the cluster and its shared
@@ -201,9 +210,14 @@ func (c *Cluster) Provision(n int, ready func(*Node)) error {
 		if c.Site.Jitter > 0 {
 			wait += c.rng.UniformTime(0, c.Site.Jitter)
 		}
+		psp := c.tr.Begin(trace.Span{
+			Kind: trace.KindProvision, Task: -1, Worker: id,
+			Detail: c.Site.Name, Start: c.Eng.Now(),
+		})
 		c.Eng.After(wait, func() {
 			c.delivered++
 			c.met.onDeliver(wait)
+			c.tr.End(psp, c.Eng.Now(), trace.OutcomeOK, "")
 			node := &Node{
 				ID:       id,
 				Site:     &c.Site,

@@ -125,6 +125,9 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	master := wq.NewMaster(eng, mcfg)
 	if cfg.Trace != nil {
 		master.SetTrace(cfg.Trace)
+		// Provisioning and filesystem activity record into the same store,
+		// so exports show batch-queue waits alongside task phases.
+		cl.SetTrace(cfg.Trace.Store())
 	}
 	var sampler *metrics.Sampler
 	if cfg.Metrics != nil {

@@ -3,6 +3,7 @@ package monitor
 import (
 	"lfm/internal/metrics"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 )
 
 // Report is the outcome of one monitored task execution.
@@ -169,6 +170,14 @@ type run struct {
 	pollEv   *sim.Event
 	endEv    *sim.Event
 	procEvs  []*sim.Event
+
+	// Span recording (nil/NoSpan when the run is untraced): parent is the
+	// caller's execute span; ovSpan covers the monitor's setup overhead.
+	tr        *trace.Store
+	parent    trace.SpanID
+	ovSpan    trace.SpanID
+	trTask    int
+	trWorker  int
 }
 
 // Execution is a handle to an in-flight monitored run. Aborting it (e.g.
@@ -193,6 +202,7 @@ func (e *Execution) Abort() {
 		// fabricating a report whose Start would be zero and whose WallTime
 		// would span back to the epoch.
 		r.m.Eng.Cancel(e.startEv)
+		r.tr.End(r.ovSpan, r.m.Eng.Now(), trace.OutcomeAborted, "")
 		r.finished = true
 		r.done = nil
 		return
@@ -207,10 +217,29 @@ func (e *Execution) Abort() {
 // unseen, exactly as with a real polling monitor. The returned handle can
 // abort the execution.
 func (m *LFM) Run(spec ProcSpec, limits Resources, done func(Report)) *Execution {
-	r := &run{m: m, spec: spec, limits: limits, done: done}
+	return m.RunTraced(spec, limits, nil, trace.NoSpan, done)
+}
+
+// RunTraced is Run with span recording: the monitor's setup overhead becomes
+// an lfm-overhead child of parent, and every poll, fork/exit measurement, and
+// kill is recorded as an instant under it. Recording is passive — a traced
+// run schedules exactly the same simulation events as an untraced one.
+func (m *LFM) RunTraced(spec ProcSpec, limits Resources, tr *trace.Store, parent trace.SpanID, done func(Report)) *Execution {
+	r := &run{m: m, spec: spec, limits: limits, done: done,
+		tr: tr, parent: parent, ovSpan: trace.NoSpan, trTask: -1, trWorker: -1}
+	if tr != nil {
+		psp := tr.Span(parent)
+		r.trTask, r.trWorker = psp.Task, psp.Worker
+		r.ovSpan = tr.Begin(trace.Span{
+			Kind: trace.KindLFMOverhead, Parent: parent,
+			Task: r.trTask, Category: psp.Category, Worker: r.trWorker,
+			Start: m.Eng.Now(),
+		})
+	}
 	ex := &Execution{r: r}
 	m.met.onRun()
 	ex.startEv = m.Eng.After(m.Cfg.Overhead, func() {
+		r.tr.End(r.ovSpan, m.Eng.Now(), trace.OutcomeOK, "")
 		r.start = m.Eng.Now()
 		r.rep.Start = r.start
 		r.rep.Procs = spec.countProcs()
@@ -250,12 +279,14 @@ func (r *run) measure(src measureSource) {
 	case byPoll:
 		r.rep.Polls++
 		r.m.met.onPoll()
+		r.traceInstant(trace.KindPoll, "")
 		if cb := r.m.Cfg.Callback; cb != nil {
 			cb(now, u)
 		}
 	case byProcEvent:
 		r.rep.ProcEvents++
 		r.m.met.onProcEvent()
+		r.traceInstant(trace.KindProcEvent, "")
 		fromEvent = true
 	case atCompletion:
 		// The final measurement is the root process's exit: it is a process
@@ -299,10 +330,22 @@ func (r *run) scheduleProcEvents(spec ProcSpec, base sim.Time) {
 	}
 }
 
+// traceInstant records a monitor measurement under the caller's execute span.
+func (r *run) traceInstant(kind trace.Kind, detail string) {
+	if r.tr == nil {
+		return
+	}
+	r.tr.Instant(trace.Span{
+		Kind: kind, Parent: r.parent, Task: r.trTask, Worker: r.trWorker,
+		Detail: detail,
+	}, r.m.Eng.Now())
+}
+
 func (r *run) kill(kind Kind) {
 	r.rep.Killed = true
 	r.rep.Exhausted = kind
 	r.m.met.onKill(kind)
+	r.traceInstant(trace.KindKill, string(kind))
 	r.finish(false)
 }
 

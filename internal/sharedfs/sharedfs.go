@@ -16,8 +16,11 @@
 package sharedfs
 
 import (
+	"fmt"
+
 	"lfm/internal/metrics"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 )
 
 // Config parameterizes a shared filesystem.
@@ -61,6 +64,26 @@ type FS struct {
 	MetaOpsIssued int64
 
 	met *fsMetrics
+	tr  *trace.Store
+}
+
+// SetTrace attaches a span store: every metadata batch, read, and write
+// becomes an fs span covering its queueing and transfer time. Nil detaches.
+func (fs *FS) SetTrace(st *trace.Store) { fs.tr = st }
+
+// traced wraps a completion continuation so it closes an fs span first. With
+// tracing detached it returns done unchanged.
+func (fs *FS) traced(kind trace.Kind, detail string, done func()) func() {
+	if fs.tr == nil {
+		return done
+	}
+	sp := fs.tr.Begin(trace.Span{
+		Kind: kind, Task: -1, Worker: -1, Detail: detail, Start: fs.eng.Now(),
+	})
+	return func() {
+		fs.tr.End(sp, fs.eng.Now(), trace.OutcomeOK, "")
+		done()
+	}
 }
 
 // SetMetrics attaches a metrics registry: queue and bandwidth-share gauges
@@ -164,18 +187,21 @@ func (fs *FS) Metadata(ops int, done func()) {
 	}
 	fs.MetaOpsIssued += int64(ops)
 	fs.met.onMeta(ops)
+	done = fs.traced(trace.KindFSMeta, fmt.Sprintf("%d ops", ops), done)
 	fs.meta.Request(sim.Time(ops)*fs.Config.MetaOpTime, done)
 }
 
 // Read transfers n bytes from the filesystem to one client.
 func (fs *FS) Read(n int64, done func()) {
 	fs.met.onRead(n)
+	done = fs.traced(trace.KindFSRead, fmt.Sprintf("%d B", n), done)
 	fs.read.Transfer(float64(n), done)
 }
 
 // Write transfers n bytes from one client to the filesystem.
 func (fs *FS) Write(n int64, done func()) {
 	fs.met.onWrite(n)
+	done = fs.traced(trace.KindFSWrite, fmt.Sprintf("%d B", n), done)
 	fs.write.Transfer(float64(n), done)
 }
 

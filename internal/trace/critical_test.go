@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"lfm/internal/sim"
+)
+
+func TestCriticalPathTwoTaskChain(t *testing.T) {
+	s := buildTwoTaskStore()
+	cp := s.CriticalPath()
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	if cp.Start != 0 || cp.End != 18 {
+		t.Fatalf("path bounds = [%v, %v]", cp.Start, cp.End)
+	}
+	// Contiguity: the steps partition [0, 18], so durations sum to the total.
+	if math.Abs(float64(cp.Sum()-cp.Total())) > 1e-9 {
+		t.Fatalf("sum %v != total %v", cp.Sum(), cp.Total())
+	}
+	for i := 1; i < len(cp.Steps); i++ {
+		if cp.Steps[i].Start != cp.Steps[i-1].End {
+			t.Fatalf("gap between steps %d and %d: %+v -> %+v",
+				i-1, i, cp.Steps[i-1], cp.Steps[i])
+		}
+	}
+	// The walk must hop from B's attempt back through A's full lifecycle and
+	// must not include B's dep-wait (it overlaps A entirely).
+	wantKinds := []Kind{
+		KindDepWait, KindReadyQueue, KindStage, KindExecute, KindOutput, // A
+		KindReadyQueue, KindStage, KindExecute, KindOutput, // B
+	}
+	if len(cp.Steps) != len(wantKinds) {
+		t.Fatalf("steps = %d, want %d: %+v", len(cp.Steps), len(wantKinds), cp.Steps)
+	}
+	for i, k := range wantKinds {
+		if cp.Steps[i].Kind != k {
+			t.Fatalf("step %d kind = %v, want %v", i, cp.Steps[i].Kind, k)
+		}
+	}
+	if cp.Steps[0].Task != 0 || cp.Steps[len(cp.Steps)-1].Task != 1 {
+		t.Fatalf("path tasks: first %d last %d", cp.Steps[0].Task, cp.Steps[len(cp.Steps)-1].Task)
+	}
+}
+
+func TestCriticalPathPhaseShares(t *testing.T) {
+	s := buildTwoTaskStore()
+	cp := s.CriticalPath()
+	get := func(k Kind) sim.Time {
+		for _, p := range cp.Phases {
+			if p.Kind == k {
+				return p.Duration
+			}
+		}
+		return 0
+	}
+	// Execute: A 6s + B 5s; queue: 1s + 1s; env staging 2s, input staging 1s;
+	// output 1s + 1s; dep-wait 0 (B's was dropped, A's is zero-length).
+	if get(KindExecute) != 11 || get(KindReadyQueue) != 2 ||
+		get(KindStageEnv) != 2 || get(KindStageInput) != 1 || get(KindOutput) != 2 {
+		t.Fatalf("phases = %+v", cp.Phases)
+	}
+	// Stage wrappers were fully covered by their file children.
+	if get(KindStage) != 0 {
+		t.Fatalf("stage residue = %v", get(KindStage))
+	}
+	var frac float64
+	for _, p := range cp.Phases {
+		frac += p.Fraction
+	}
+	if math.Abs(frac-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", frac)
+	}
+	// Longest first.
+	for i := 1; i < len(cp.Phases); i++ {
+		if cp.Phases[i].Duration > cp.Phases[i-1].Duration {
+			t.Fatalf("phases not sorted: %+v", cp.Phases)
+		}
+	}
+}
+
+// A task whose dependency finished before it was submitted anchors the path
+// at its own submission rather than walking into the dependency.
+func TestCriticalPathStopsAtLateSubmission(t *testing.T) {
+	s := NewStore()
+	a := s.Begin(Span{Kind: KindTask, Task: 0, Worker: -1, Start: 0})
+	aw := s.Begin(Span{Kind: KindDepWait, Parent: a, Task: 0, Worker: -1, Start: 0})
+	s.End(aw, 0, OutcomeOK, "")
+	at := s.Begin(Span{Kind: KindAttempt, Parent: a, Task: 0, Worker: 0, Start: 0, Attempt: 1})
+	ax := s.Begin(Span{Kind: KindExecute, Parent: at, Task: 0, Worker: 0, Start: 0})
+	s.End(ax, 5, OutcomeOK, "")
+	s.End(at, 5, OutcomeOK, "")
+	s.End(a, 5, OutcomeDone, "")
+
+	// B submitted at 20, long after A finished: its dep-wait is instant.
+	b := s.Begin(Span{Kind: KindTask, Task: 1, Worker: -1, Start: 20})
+	bw := s.Begin(Span{Kind: KindDepWait, Parent: b, Task: 1, Worker: -1, Start: 20})
+	s.End(bw, 20, OutcomeOK, "")
+	bt := s.Begin(Span{Kind: KindAttempt, Parent: b, Task: 1, Worker: 0, Start: 20, Attempt: 1})
+	bx := s.Begin(Span{Kind: KindExecute, Parent: bt, Task: 1, Worker: 0, Start: 20})
+	s.End(bx, 30, OutcomeOK, "")
+	s.End(bt, 30, OutcomeOK, "")
+	s.End(b, 30, OutcomeDone, "")
+	s.AddLink(a, b, "dep")
+
+	cp := s.CriticalPath()
+	if cp.Start != 20 || cp.End != 30 {
+		t.Fatalf("path bounds = [%v, %v], want [20, 30]", cp.Start, cp.End)
+	}
+	for _, sp := range cp.Steps {
+		if sp.Task != 1 {
+			t.Fatalf("path crossed into task %d: %+v", sp.Task, cp.Steps)
+		}
+	}
+}
+
+func TestCriticalPathEmptyStore(t *testing.T) {
+	if cp := NewStore().CriticalPath(); cp != nil {
+		t.Fatalf("path on empty store = %+v", cp)
+	}
+}
+
+func TestBottlenecksByCategoryAndWorker(t *testing.T) {
+	s := buildTwoTaskStore()
+	// Add a wasted attempt: task 2 exhausted on worker 1 after 4s.
+	c := s.Begin(Span{Kind: KindTask, Task: 2, Category: "analyze", Worker: -1, Start: 0})
+	cw := s.Begin(Span{Kind: KindDepWait, Parent: c, Task: 2, Category: "analyze", Worker: -1, Start: 0})
+	s.End(cw, 0, OutcomeOK, "")
+	ct := s.Begin(Span{Kind: KindAttempt, Parent: c, Task: 2, Category: "analyze", Worker: 1, Start: 0, Attempt: 1})
+	s.End(ct, 4, OutcomeExhausted, "memory")
+	s.End(c, 4, OutcomeFailed, "retries exhausted")
+
+	byCat := s.Bottlenecks(false)
+	var analyze *Bucket
+	for i := range byCat {
+		if byCat[i].Group == "analyze" {
+			analyze = &byCat[i]
+		}
+	}
+	if analyze == nil {
+		t.Fatalf("no analyze bucket: %+v", byCat)
+	}
+	if analyze.Attempts != 2 || analyze.Wasted != 1 || analyze.Waste != 4 {
+		t.Fatalf("analyze bucket = %+v", analyze)
+	}
+	if analyze.Exec != 5 || analyze.Queue != 1 || analyze.Stage != 1 || analyze.Output != 1 {
+		t.Fatalf("analyze phases = %+v", analyze)
+	}
+	if analyze.DepWait != 10 {
+		t.Fatalf("analyze dep-wait = %v", analyze.DepWait)
+	}
+
+	byWorker := s.Bottlenecks(true)
+	var w1 *Bucket
+	for i := range byWorker {
+		if byWorker[i].Group == "worker 1" {
+			w1 = &byWorker[i]
+		}
+	}
+	if w1 == nil || w1.Attempts != 2 || w1.Wasted != 1 {
+		t.Fatalf("worker 1 bucket = %+v", w1)
+	}
+	// Sorted by descending total.
+	for i := 1; i < len(byCat); i++ {
+		if byCat[i].Total() > byCat[i-1].Total() {
+			t.Fatalf("buckets not sorted: %+v", byCat)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// validatePerfetto decodes Chrome trace-event JSON and checks the format's
+// required fields; it returns the decoded events for further assertions.
+func validatePerfetto(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	allowedPh := map[string]bool{"X": true, "M": true, "i": true, "s": true, "f": true}
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		if !allowedPh[ph] {
+			t.Fatalf("event %d has unknown ph %q", i, ph)
+		}
+		switch ph {
+		case "X":
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				t.Fatalf("event %d ts = %v", i, ev["ts"])
+			}
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("event %d dur = %v", i, ev["dur"])
+			}
+		case "s", "f":
+			if _, ok := ev["id"].(float64); !ok {
+				t.Fatalf("flow event %d missing id: %v", i, ev)
+			}
+		case "i":
+			if ev["s"] != "t" {
+				t.Fatalf("instant event %d scope = %v", i, ev["s"])
+			}
+		}
+	}
+	return doc.TraceEvents
+}
+
+func TestPerfettoExport(t *testing.T) {
+	s := buildTwoTaskStore()
+	var buf bytes.Buffer
+	if err := s.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := validatePerfetto(t, buf.Bytes())
+
+	var flows, slices, instants, metas int
+	pids := map[float64]bool{}
+	for _, ev := range evs {
+		switch ev["ph"] {
+		case "s", "f":
+			flows++
+		case "X":
+			slices++
+			pids[ev["pid"].(float64)] = true
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	// One dep edge -> one balanced s/f pair.
+	if flows != 2 {
+		t.Fatalf("flow events = %d, want 2", flows)
+	}
+	if instants != 1 { // the single poll
+		t.Fatalf("instants = %d, want 1", instants)
+	}
+	if metas == 0 {
+		t.Fatal("no process/thread name metadata")
+	}
+	// Master track plus per-worker tracks (workers 1 and 2).
+	for _, pid := range []float64{pidMaster, pidWorkerBase + 1, pidWorkerBase + 2} {
+		if !pids[pid] {
+			t.Fatalf("no slices on pid %v (have %v)", pid, pids)
+		}
+	}
+}
+
+func TestPerfettoClipsOpenSpans(t *testing.T) {
+	s := NewStore()
+	id := s.Begin(Span{Kind: KindWorker, Task: -1, Worker: 0, Start: 2})
+	_ = id // never closed
+	done := s.Begin(Span{Kind: KindTask, Task: 0, Worker: -1, Start: 0})
+	s.End(done, 10, OutcomeDone, "")
+	var buf bytes.Buffer
+	if err := s.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range validatePerfetto(t, buf.Bytes()) {
+		if ev["ph"] == "X" {
+			if dur := ev["dur"].(float64); dur < 0 {
+				t.Fatalf("negative dur %v in %v", dur, ev)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package wq
+
+import (
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/monitor"
+	"lfm/internal/trace"
+)
+
+// findTaskSpan returns the task-kind span for the given task ID.
+func findTaskSpan(t *testing.T, st *trace.Store, task int) trace.Span {
+	t.Helper()
+	for _, sp := range st.Spans() {
+		if sp.Kind == trace.KindTask && sp.Task == task {
+			return sp
+		}
+	}
+	t.Fatalf("no task span for task %d", task)
+	return trace.Span{}
+}
+
+// attempts returns the attempt-kind children of a task span, creation order.
+func attempts(st *trace.Store, taskSpan trace.SpanID) []trace.Span {
+	var out []trace.Span
+	for _, sp := range st.Children(taskSpan) {
+		if sp.Kind == trace.KindAttempt {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func TestSpanReconstructionRetries(t *testing.T) {
+	g := &alloc.Guess{Fixed: monitor.Resources{Cores: 1, MemoryMB: 200, DiskMB: 100}}
+	eng, m := testRig(t, 1, quickCfg(g))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	task := simpleTask(1, 10, 800) // exceeds the 200MB guess -> kill + retry
+	eng.At(0, func() { m.Submit(task) })
+	eng.Run()
+
+	st := tr.Store()
+	tsp := findTaskSpan(t, st, 1)
+	if tsp.Outcome != trace.OutcomeDone {
+		t.Fatalf("task span outcome = %q", tsp.Outcome)
+	}
+
+	// One attempt span per placement attempt, numbered from 1, all parented
+	// by the task span.
+	att := attempts(st, tsp.ID)
+	if len(att) != 2 {
+		t.Fatalf("attempt spans = %d, want 2: %+v", len(att), att)
+	}
+	for i, a := range att {
+		if a.Attempt != i+1 {
+			t.Errorf("attempt %d numbered %d", i, a.Attempt)
+		}
+		if a.Parent != tsp.ID {
+			t.Errorf("attempt %d parent = %d, want task span %d", i, a.Parent, tsp.ID)
+		}
+		if a.Open() {
+			t.Errorf("attempt %d left open", i)
+		}
+	}
+	if att[0].Outcome != trace.OutcomeExhausted || att[0].Detail != "memory" {
+		t.Fatalf("attempt 1 = %q/%q, want exhausted/memory", att[0].Outcome, att[0].Detail)
+	}
+	if att[1].Outcome != trace.OutcomeOK {
+		t.Fatalf("attempt 2 outcome = %q", att[1].Outcome)
+	}
+	if att[1].Start < att[0].End {
+		t.Fatalf("attempt 2 starts %.3f before attempt 1 ends %.3f",
+			float64(att[1].Start), float64(att[0].End))
+	}
+
+	// Each attempt carries its own execute phase child.
+	for i, a := range att {
+		var execs int
+		for _, c := range st.Children(a.ID) {
+			if c.Kind == trace.KindExecute {
+				execs++
+			}
+		}
+		if execs != 1 {
+			t.Errorf("attempt %d has %d execute spans, want 1", i+1, execs)
+		}
+	}
+}
+
+func TestSpanReconstructionLostWorker(t *testing.T) {
+	eng, m := testRig(t, 2, quickCfg(&alloc.Unmanaged{}))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	task := simpleTask(1, 20, 100)
+	eng.At(0, func() {
+		m.Submit(task)
+		m.Submit(simpleTask(2, 20, 100))
+	})
+	eng.At(5, func() { m.RemoveWorker(m.workers[0]) })
+	eng.Run()
+
+	// Exactly one attempt across all tasks closed as lost, at the instant the
+	// worker died, and the task it belonged to still completed via a fresh
+	// attempt with a higher attempt number on the surviving worker.
+	st := tr.Store()
+	var lost []trace.Span
+	for _, sp := range st.Spans() {
+		if sp.Kind == trace.KindAttempt && sp.Outcome == trace.OutcomeLost {
+			lost = append(lost, sp)
+		}
+	}
+	if len(lost) != 1 {
+		t.Fatalf("lost attempt spans = %d, want 1", len(lost))
+	}
+	if lost[0].End != 5 {
+		t.Fatalf("lost attempt ends at %.3f, want 5 (worker removal)", float64(lost[0].End))
+	}
+	victim := lost[0].Task
+	tsp := findTaskSpan(t, st, victim)
+	if tsp.Outcome != trace.OutcomeDone {
+		t.Fatalf("victim task span outcome = %q", tsp.Outcome)
+	}
+	att := attempts(st, tsp.ID)
+	if len(att) != 2 {
+		t.Fatalf("victim attempts = %d, want 2", len(att))
+	}
+	if att[1].Attempt != att[0].Attempt+1 {
+		t.Fatalf("retry numbered %d after %d", att[1].Attempt, att[0].Attempt)
+	}
+	if att[1].Worker == lost[0].Worker {
+		t.Fatalf("retry placed back on dead worker %d", att[1].Worker)
+	}
+	if att[1].Outcome != trace.OutcomeOK {
+		t.Fatalf("retry outcome = %q", att[1].Outcome)
+	}
+
+	// The dead worker's span closed when it left; the survivor's stays open.
+	var workerSpans []trace.Span
+	for _, sp := range st.Spans() {
+		if sp.Kind == trace.KindWorker {
+			workerSpans = append(workerSpans, sp)
+		}
+	}
+	if len(workerSpans) != 2 {
+		t.Fatalf("worker spans = %d, want 2", len(workerSpans))
+	}
+	var closed, open int
+	for _, w := range workerSpans {
+		if w.Open() {
+			open++
+		} else {
+			closed++
+		}
+	}
+	if closed != 1 || open != 1 {
+		t.Fatalf("worker spans closed/open = %d/%d, want 1/1", closed, open)
+	}
+}
+
+func TestSpanDependencyLinks(t *testing.T) {
+	eng, m := testRig(t, 1, quickCfg(&alloc.Unmanaged{}))
+	tr := &Trace{}
+	m.SetTrace(tr)
+	a := simpleTask(1, 10, 100)
+	b := simpleTask(2, 5, 100)
+	b.DependsOn = []*Task{a}
+	eng.At(0, func() {
+		m.Submit(a)
+		m.Submit(b)
+	})
+	eng.Run()
+
+	st := tr.Store()
+	sa := findTaskSpan(t, st, 1)
+	sb := findTaskSpan(t, st, 2)
+
+	// The DAG edge a -> b is recorded as a causal link between task spans.
+	var found bool
+	for _, l := range st.Links() {
+		if l.Kind == "dep" && l.From == sa.ID && l.To == sb.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dep link %d -> %d in %+v", sa.ID, sb.ID, st.Links())
+	}
+
+	// b's dep-wait span covers exactly [submit, a's completion].
+	var depWait trace.Span
+	for _, c := range st.Children(sb.ID) {
+		if c.Kind == trace.KindDepWait {
+			depWait = c
+		}
+	}
+	if depWait.ID == trace.NoSpan {
+		t.Fatal("no dep-wait span under dependent task")
+	}
+	if depWait.Start != 0 || depWait.End != sa.End {
+		t.Fatalf("dep-wait [%v, %v], want [0, %v]", depWait.Start, depWait.End, sa.End)
+	}
+
+	// With tracing enabled the critical path must span the whole run and be
+	// contiguous (steps sum to the path extent).
+	cp := st.CriticalPath()
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	if got, want := cp.Sum(), cp.Total(); got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("critical path sum %.6f != total %.6f", float64(got), float64(want))
+	}
+	if cp.End != st.EndTime() {
+		t.Fatalf("critical path ends %.3f, trace ends %.3f",
+			float64(cp.End), float64(st.EndTime()))
+	}
+}

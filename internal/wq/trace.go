@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
+	"lfm/internal/monitor"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 )
 
 // EventKind labels one trace event.
@@ -39,41 +42,312 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Trace records scheduler events when attached to a master via SetTrace.
+// Trace records a run's scheduler activity when attached to a master via
+// SetTrace. It is a facade over a trace.Store of hierarchical spans: the
+// store is the single source of truth, and the flat Event API of earlier
+// versions is derived from it on demand.
 type Trace struct {
-	Events []Event
+	st *trace.Store
 }
+
+// store returns the backing span store, creating it on first use so a
+// zero-valued &Trace{} works. A nil *Trace yields a nil store, which absorbs
+// all recording calls.
+func (t *Trace) store() *trace.Store {
+	if t == nil {
+		return nil
+	}
+	if t.st == nil {
+		t.st = trace.NewStore()
+	}
+	return t.st
+}
+
+// Store exposes the underlying span store for critical-path analysis,
+// bottleneck reports, and Perfetto/JSON export.
+func (t *Trace) Store() *trace.Store { return t.store() }
 
 // SetTrace attaches a trace recorder (nil detaches).
 func (m *Master) SetTrace(tr *Trace) { m.trace = tr }
 
-// record appends an event if tracing is enabled.
-func (m *Master) record(kind EventKind, task *Task, w *Worker, detail string) {
-	if m.trace == nil {
-		return
-	}
-	ev := Event{At: m.Eng.Now(), Kind: kind, Task: -1, Worker: -1, Detail: detail}
-	if task != nil {
-		ev.Task = task.ID
-		ev.Category = task.Category
-	}
-	if w != nil {
-		ev.Worker = w.Node.ID
-	}
-	m.trace.Events = append(m.trace.Events, ev)
+// st is the master's recording handle; nil when tracing is detached.
+func (m *Master) st() *trace.Store { return m.trace.store() }
+
+// taskSpans tracks one task's open spans while it moves through the queue.
+// The zero value (all NoSpan) marks an untraced task.
+type taskSpans struct {
+	task    trace.SpanID // whole-lifecycle root span
+	depWait trace.SpanID // open until the task first becomes ready
+	attempt trace.SpanID // current placement attempt
+	phase   trace.SpanID // current phase child of the attempt
+	seq     int          // attempt spans created so far
+	// failDetail is stamped on the task span when it closes as failed.
+	failDetail string
 }
 
-// WriteJSON emits the trace as a JSON array.
+func (m *Master) traceSubmit(t *Task) {
+	st := m.st()
+	if st == nil {
+		return
+	}
+	now := m.Eng.Now()
+	t.spans.task = st.Begin(trace.Span{
+		Kind: trace.KindTask, Task: t.ID, Category: t.Category, Worker: -1, Start: now,
+	})
+	t.spans.depWait = st.Begin(trace.Span{
+		Kind: trace.KindDepWait, Parent: t.spans.task,
+		Task: t.ID, Category: t.Category, Worker: -1, Start: now,
+	})
+	for _, dep := range t.DependsOn {
+		st.AddLink(dep.spans.task, t.spans.task, "dep")
+	}
+}
+
+// traceDepFailed closes the dependency wait of a task that will never run
+// because a dependency failed.
+func (m *Master) traceDepFailed(t *Task) {
+	if t.spans.task == trace.NoSpan {
+		return
+	}
+	m.st().End(t.spans.depWait, m.Eng.Now(), trace.OutcomeFailed, "dependency failed")
+	t.spans.failDetail = "dependency failed"
+}
+
+// traceReady closes the dependency wait (first time only) and opens a new
+// attempt with its ready-queue phase.
+func (m *Master) traceReady(t *Task) {
+	st := m.st()
+	if st == nil || t.spans.task == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(t.spans.depWait, now, trace.OutcomeOK, "")
+	t.spans.seq++
+	t.spans.attempt = st.Begin(trace.Span{
+		Kind: trace.KindAttempt, Parent: t.spans.task,
+		Task: t.ID, Category: t.Category, Worker: -1, Attempt: t.spans.seq, Start: now,
+	})
+	t.spans.phase = st.Begin(trace.Span{
+		Kind: trace.KindReadyQueue, Parent: t.spans.attempt,
+		Task: t.ID, Category: t.Category, Worker: -1, Start: now,
+	})
+}
+
+// tracePlaced closes the ready-queue phase, stamps the chosen worker on the
+// attempt, and opens the staging phase.
+func (m *Master) tracePlaced(t *Task, w *Worker) {
+	st := m.st()
+	if st == nil || t.spans.attempt == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(t.spans.phase, now, trace.OutcomeOK, "")
+	st.SetWorker(t.spans.attempt, w.Node.ID)
+	t.spans.phase = st.Begin(trace.Span{
+		Kind: trace.KindStage, Parent: t.spans.attempt,
+		Task: t.ID, Category: t.Category, Worker: w.Node.ID, Start: now,
+	})
+}
+
+// traceStagingLost closes the attempt of a task whose worker vanished while
+// inputs were in flight.
+func (m *Master) traceStagingLost(t *Task) {
+	st := m.st()
+	if st == nil || t.spans.attempt == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(t.spans.phase, now, trace.OutcomeLost, "staging")
+	st.End(t.spans.attempt, now, trace.OutcomeLost, "staging")
+}
+
+// traceExecStart closes the staging phase and opens the execute phase. It
+// returns the recording handle for the LFM (nil/NoSpan when untraced).
+func (m *Master) traceExecStart(t *Task, w *Worker) (*trace.Store, trace.SpanID) {
+	st := m.st()
+	if st == nil || t.spans.attempt == trace.NoSpan {
+		return nil, trace.NoSpan
+	}
+	now := m.Eng.Now()
+	st.End(t.spans.phase, now, trace.OutcomeOK, "")
+	t.spans.phase = st.Begin(trace.Span{
+		Kind: trace.KindExecute, Parent: t.spans.attempt,
+		Task: t.ID, Category: t.Category, Worker: w.Node.ID, Start: now,
+	})
+	return st, t.spans.phase
+}
+
+// traceExecEnd closes the execute phase with the monitor's verdict and opens
+// the output-retrieval phase.
+func (m *Master) traceExecEnd(t *Task, w *Worker, rep monitor.Report) {
+	st := m.st()
+	if st == nil || t.spans.attempt == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	if rep.Completed {
+		st.End(t.spans.phase, now, trace.OutcomeOK, "")
+	} else {
+		st.End(t.spans.phase, now, trace.OutcomeExhausted, string(rep.Exhausted))
+	}
+	t.spans.phase = st.Begin(trace.Span{
+		Kind: trace.KindOutput, Parent: t.spans.attempt,
+		Task: t.ID, Category: t.Category, Worker: w.Node.ID, Start: now,
+	})
+}
+
+// traceAttemptDone closes the output phase and the attempt itself once
+// outputs have been retrieved.
+func (m *Master) traceAttemptDone(t *Task, rep monitor.Report) {
+	st := m.st()
+	if st == nil || t.spans.attempt == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(t.spans.phase, now, trace.OutcomeOK, "")
+	if rep.Completed {
+		st.End(t.spans.attempt, now, trace.OutcomeOK, "")
+	} else {
+		st.End(t.spans.attempt, now, trace.OutcomeExhausted, string(rep.Exhausted))
+	}
+}
+
+// traceExecLost closes the execute phase and attempt of a task whose worker
+// disconnected mid-run.
+func (m *Master) traceExecLost(t *Task) {
+	st := m.st()
+	if st == nil || t.spans.attempt == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(t.spans.phase, now, trace.OutcomeLost, "")
+	st.End(t.spans.attempt, now, trace.OutcomeLost, "")
+}
+
+// traceComplete closes the task's root span.
+func (m *Master) traceComplete(t *Task, state TaskState) {
+	st := m.st()
+	if st == nil || t.spans.task == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	if state == TaskDone {
+		st.End(t.spans.task, now, trace.OutcomeDone, "")
+	} else {
+		st.End(t.spans.task, now, trace.OutcomeFailed, t.spans.failDetail)
+	}
+}
+
+func (m *Master) traceWorkerJoin(w *Worker) {
+	w.span = m.st().Begin(trace.Span{
+		Kind: trace.KindWorker, Task: -1, Worker: w.Node.ID, Start: m.Eng.Now(),
+	})
+}
+
+func (m *Master) traceWorkerLeave(w *Worker) {
+	m.st().End(w.span, m.Eng.Now(), trace.OutcomeOK, "")
+}
+
+// stageKind classifies a file transfer: packed environments (anything with an
+// unpack step) stage as env-stage, plain data as input-stage.
+func stageKind(f *File) trace.Kind {
+	if f.UnpackTime > 0 {
+		return trace.KindStageEnv
+	}
+	return trace.KindStageInput
+}
+
+// Events derives the flat, time-ordered scheduler event stream of earlier
+// versions from the span store. Each task's events are generated in lifecycle
+// order by walking its span tree (submit, then per attempt its transfers,
+// start, and termination, then the task's completion or failure) and worker
+// lifetimes are generated first, so a stable sort by timestamp reproduces the
+// scheduler's emission order even when several steps share an instant.
+func (t *Trace) Events() []Event {
+	st := t.store()
+	if st == nil {
+		return nil
+	}
+	spans := st.Spans()
+	children := make(map[trace.SpanID][]trace.Span)
+	for _, sp := range spans {
+		if sp.Parent != trace.NoSpan {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+	var evs []Event
+	add := func(at sim.Time, kind EventKind, task int, category string, worker int, detail string) {
+		evs = append(evs, Event{
+			At: at, Kind: kind, Task: task, Category: category, Worker: worker, Detail: detail,
+		})
+	}
+	for _, sp := range spans {
+		if sp.Kind != trace.KindWorker {
+			continue
+		}
+		add(sp.Start, EventWorkerJoin, -1, "", sp.Worker, "")
+		if !sp.Open() {
+			add(sp.End, EventWorkerLeave, -1, "", sp.Worker, "")
+		}
+	}
+	for _, sp := range spans {
+		if sp.Kind != trace.KindTask {
+			continue
+		}
+		add(sp.Start, EventSubmit, sp.Task, sp.Category, -1, "")
+		for _, at := range children[sp.ID] {
+			if at.Kind != trace.KindAttempt {
+				continue
+			}
+			for _, ph := range children[at.ID] {
+				switch ph.Kind {
+				case trace.KindStage:
+					for _, f := range children[ph.ID] {
+						// Only actual transfers count; cache hits and
+						// piggybacked copies moved no bytes over the link.
+						if (f.Kind == trace.KindStageEnv || f.Kind == trace.KindStageInput) &&
+							f.Outcome != trace.OutcomeCacheHit && f.Outcome != trace.OutcomeShared {
+							add(f.Start, EventFileTransfer, f.Task, f.Category, f.Worker, f.Detail)
+						}
+					}
+				case trace.KindExecute:
+					add(ph.Start, EventStart, ph.Task, ph.Category, ph.Worker, "")
+				}
+			}
+			if !at.Open() {
+				switch at.Outcome {
+				case trace.OutcomeExhausted:
+					add(at.End, EventExhausted, at.Task, at.Category, -1, at.Detail)
+				case trace.OutcomeLost:
+					add(at.End, EventLost, at.Task, at.Category, at.Worker, at.Detail)
+				}
+			}
+		}
+		if !sp.Open() {
+			switch sp.Outcome {
+			case trace.OutcomeDone:
+				add(sp.End, EventComplete, sp.Task, sp.Category, -1, "")
+			case trace.OutcomeFailed:
+				add(sp.End, EventFail, sp.Task, sp.Category, -1, sp.Detail)
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// WriteJSON emits the derived event stream as a JSON array. Use
+// Store().WriteJSON for the full span tree.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(t.Events)
+	return enc.Encode(t.Events())
 }
 
 // Filter returns the events of one kind.
 func (t *Trace) Filter(kind EventKind) []Event {
 	var out []Event
-	for _, e := range t.Events {
+	for _, e := range t.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -96,7 +370,7 @@ type TaskSpan struct {
 func (t *Trace) Spans() []TaskSpan {
 	var spans []TaskSpan
 	open := map[int]int{} // task -> index into spans of the open span
-	for _, e := range t.Events {
+	for _, e := range t.Events() {
 		switch e.Kind {
 		case EventStart:
 			open[e.Task] = len(spans)
@@ -115,13 +389,16 @@ func (t *Trace) Spans() []TaskSpan {
 	return spans
 }
 
-// Summary renders one line per kind with counts.
+// Summary renders one line with per-kind counts.
 func (t *Trace) Summary() string {
 	counts := map[EventKind]int{}
-	for _, e := range t.Events {
+	evs := t.Events()
+	for _, e := range evs {
 		counts[e.Kind]++
 	}
-	return fmt.Sprintf("trace: %d events (%d submits, %d starts, %d completes, %d exhausted, %d lost)",
-		len(t.Events), counts[EventSubmit], counts[EventStart],
-		counts[EventComplete], counts[EventExhausted], counts[EventLost])
+	return fmt.Sprintf("trace: %d events (%d submits, %d starts, %d completes, "+
+		"%d exhausted, %d fails, %d lost, %d worker-joins, %d worker-leaves, %d file-transfers)",
+		len(evs), counts[EventSubmit], counts[EventStart], counts[EventComplete],
+		counts[EventExhausted], counts[EventFail], counts[EventLost],
+		counts[EventWorkerJoin], counts[EventWorkerLeave], counts[EventFileTransfer])
 }

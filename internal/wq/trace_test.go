@@ -29,7 +29,7 @@ func TestTraceRecordsLifecycle(t *testing.T) {
 	}
 	// Event ordering for the task: submit <= transfer <= start <= complete.
 	var submit, start, complete Event
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		switch e.Kind {
 		case EventSubmit:
 			submit = e
@@ -107,8 +107,8 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if len(decoded) != len(tr.Events) {
-		t.Fatalf("decoded %d events, want %d", len(decoded), len(tr.Events))
+	if len(decoded) != len(tr.Events()) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(tr.Events()))
 	}
 	if !strings.Contains(tr.Summary(), "events") {
 		t.Fatalf("summary = %q", tr.Summary())

@@ -15,6 +15,7 @@ import (
 	"lfm/internal/cluster"
 	"lfm/internal/monitor"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 )
 
 // File is a named transferable input, e.g. a packed environment or a data
@@ -66,6 +67,7 @@ type Task struct {
 	waitingOn int
 	waiters   []*Task
 	retryNext *alloc.Decision
+	spans     taskSpans
 }
 
 // Config parameterizes a master.
@@ -131,6 +133,8 @@ type Worker struct {
 	// staging holds continuations waiting on an in-flight transfer of a
 	// cacheable file to this worker, so concurrent tasks share one copy.
 	staging map[string][]func()
+	// span covers the worker's connected lifetime when tracing is on.
+	span trace.SpanID
 }
 
 // Alive reports whether the worker is still connected.
@@ -267,7 +271,7 @@ func (m *Master) AddWorker(node *cluster.Node) *Worker {
 	}
 	m.workers = append(m.workers, w)
 	m.met.onWorkerJoin(w)
-	m.record(EventWorkerJoin, nil, w, "")
+	m.traceWorkerJoin(w)
 	m.schedule()
 	return w
 }
@@ -283,7 +287,7 @@ func (m *Master) RemoveWorker(w *Worker) {
 	m.account()
 	w.alive = false
 	m.met.onWorkerLeave(w)
-	m.record(EventWorkerLeave, nil, w, "")
+	m.traceWorkerLeave(w)
 	for i, other := range m.workers {
 		if other == w {
 			m.workers = append(m.workers[:i], m.workers[i+1:]...)
@@ -296,7 +300,7 @@ func (m *Master) RemoveWorker(w *Worker) {
 		t.Attempts-- // a lost worker is not the task's fault
 		m.stats.LostTasks++
 		m.met.onLost()
-		m.record(EventLost, t, w, "")
+		m.traceExecLost(t)
 		m.makeReady(t)
 	}
 	m.schedule()
@@ -310,7 +314,7 @@ func (m *Master) Submit(t *Task) {
 	t.State = TaskWaiting
 	m.stats.Submitted++
 	m.met.onSubmit(t)
-	m.record(EventSubmit, t, nil, "")
+	m.traceSubmit(t)
 	depFailed := false
 	for _, dep := range t.DependsOn {
 		switch dep.State {
@@ -340,12 +344,13 @@ func (m *Master) Submit(t *Task) {
 func (m *Master) failDependent(t *Task) {
 	m.stats.DepFailed++
 	m.met.onDepFail(t)
-	m.record(EventFail, t, nil, "dependency failed")
+	m.traceDepFailed(t)
 	m.complete(t, TaskFailed)
 }
 
 func (m *Master) makeReady(t *Task) {
 	t.State = TaskReady
+	m.traceReady(t)
 	m.ready = append(m.ready, t)
 	if m.onReady != nil {
 		m.onReady()
@@ -441,29 +446,31 @@ func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 		m.stats.PeakCoresUsed = w.usedCores
 	}
 
+	m.tracePlaced(t, w)
 	m.stageInputs(t, w, 0, func() {
 		if !w.alive {
 			// The worker vanished while inputs were in flight.
 			t.Attempts--
 			m.stats.LostTasks++
 			m.met.onLost()
-			m.record(EventLost, t, w, "staging")
+			m.traceStagingLost(t)
 			m.makeReady(t)
 			return
 		}
 		t.StartedAt = m.Eng.Now()
-		m.record(EventStart, t, w, "")
 		m.stats.WaitTimes.Add(float64(t.StartedAt - t.SubmittedAt))
 		m.met.onStart(t)
 		limits := monitor.Resources{}
 		if !dec.Monitorless {
 			limits = req
 		}
-		w.executions[t] = m.lfm.Run(t.Spec, limits, func(rep monitor.Report) {
+		tst, execSpan := m.traceExecStart(t, w)
+		w.executions[t] = m.lfm.RunTraced(t.Spec, limits, tst, execSpan, func(rep monitor.Report) {
 			delete(w.executions, t)
 			t.Report = rep
 			m.Cfg.Strategy.Observe(t.Category, rep)
 			m.categories.observe(t.Category, rep)
+			m.traceExecEnd(t, w, rep)
 			m.sendOutputs(t, rep.Completed, func() {
 				m.account()
 				if rep.Completed {
@@ -473,6 +480,7 @@ func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 				w.usedMemMB -= req.MemoryMB
 				w.usedDiskMB -= req.DiskMB
 				w.running--
+				m.traceAttemptDone(t, rep)
 				m.finishAttempt(t, rep)
 				m.schedule()
 			})
@@ -487,10 +495,18 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 		return
 	}
 	f := t.Inputs[i]
+	st := m.st()
 	cont := func() { m.stageInputs(t, w, i+1, done) }
 	if w.cache[f.Name] {
 		m.stats.CacheHits++
 		m.met.onCacheHit()
+		if t.spans.phase != trace.NoSpan {
+			st.Instant(trace.Span{
+				Kind: stageKind(f), Parent: t.spans.phase,
+				Task: t.ID, Category: t.Category, Worker: w.Node.ID,
+				Outcome: trace.OutcomeCacheHit, Detail: f.Name,
+			}, m.Eng.Now())
+		}
 		cont()
 		return
 	}
@@ -500,7 +516,19 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 			// piggyback on its transfer.
 			m.stats.CacheHits++
 			m.met.onCacheHit()
-			w.staging[f.Name] = append(waiters, cont)
+			wake := cont
+			if t.spans.phase != trace.NoSpan {
+				shared := st.Begin(trace.Span{
+					Kind: stageKind(f), Parent: t.spans.phase,
+					Task: t.ID, Category: t.Category, Worker: w.Node.ID,
+					Detail: f.Name, Start: m.Eng.Now(),
+				})
+				wake = func() {
+					st.End(shared, m.Eng.Now(), trace.OutcomeShared, "")
+					cont()
+				}
+			}
+			w.staging[f.Name] = append(waiters, wake)
 			return
 		}
 		w.staging[f.Name] = nil
@@ -508,10 +536,18 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 	m.stats.CacheMisses++
 	m.stats.BytesIn += f.SizeBytes
 	m.met.onTransferIn(f.SizeBytes)
-	m.record(EventFileTransfer, t, w, f.Name)
+	fsp := trace.NoSpan
+	if t.spans.phase != trace.NoSpan {
+		fsp = st.Begin(trace.Span{
+			Kind: stageKind(f), Parent: t.spans.phase,
+			Task: t.ID, Category: t.Category, Worker: w.Node.ID,
+			Detail: f.Name, Start: m.Eng.Now(),
+		})
+	}
 	m.link.Transfer(float64(f.SizeBytes), func() {
 		w.Node.Disk.Write(f.SizeBytes, func() {
 			after := func() {
+				st.End(fsp, m.Eng.Now(), trace.OutcomeOK, "")
 				if f.Cacheable {
 					w.cache[f.Name] = true
 					w.cacheBytes += f.SizeBytes
@@ -547,14 +583,12 @@ func (m *Master) finishAttempt(t *Task, rep monitor.Report) {
 	if rep.Completed {
 		m.stats.ExecTimes.Add(float64(rep.WallTime))
 		m.met.onExec(rep.WallTime)
-		m.record(EventComplete, t, nil, "")
 		m.complete(t, TaskDone)
 		return
 	}
 	// Resource exhaustion: ask the strategy for a bigger allocation.
-	m.record(EventExhausted, t, nil, string(rep.Exhausted))
 	if t.Attempts > m.Cfg.MaxRetries {
-		m.record(EventFail, t, nil, "retries exhausted")
+		t.spans.failDetail = "retries exhausted"
 		m.complete(t, TaskFailed)
 		return
 	}
@@ -568,6 +602,7 @@ func (m *Master) finishAttempt(t *Task, rep monitor.Report) {
 func (m *Master) complete(t *Task, state TaskState) {
 	t.State = state
 	t.FinishedAt = m.Eng.Now()
+	m.traceComplete(t, state)
 	if state == TaskDone {
 		m.stats.Completed++
 		m.met.onDone(t)

@@ -43,6 +43,7 @@ import (
 	"lfm/internal/pyast"
 	"lfm/internal/pypkg"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 	"lfm/internal/workloads"
 	"lfm/internal/wq"
 )
@@ -278,10 +279,32 @@ func RunFaaSBatch(seed int64, site string, workers, tasks int, strategy string) 
 	return core.RunFuncXBatch(seed, site, workers, tasks, strategy)
 }
 
-// ExecutionTrace records scheduler events (task submit/start/complete,
-// worker join/leave, transfers) when attached to a RunConfig; its Spans
-// method reconstructs per-attempt Gantt spans.
+// ExecutionTrace records a run's scheduler activity when attached to a
+// RunConfig. It is a facade over a TraceStore of hierarchical, causally
+// linked spans covering every task's full lifecycle (dependency wait, ready
+// queue, staging, execution with monitor overhead, output retrieval); the
+// flat Events/Spans API of earlier versions is derived from the store.
 type ExecutionTrace = wq.Trace
+
+// TraceStore is the span store behind an ExecutionTrace: hierarchical spans,
+// causal DAG links, critical-path and bottleneck analysis, and JSON/Perfetto
+// export. Obtain one with ExecutionTrace.Store or load a saved trace with
+// ReadTrace.
+type TraceStore = trace.Store
+
+// TraceSpan is one recorded interval (a task phase, a monitor measurement, a
+// worker lifetime).
+type TraceSpan = trace.Span
+
+// TraceCriticalPath is the chain of phase spans that determined a run's
+// makespan, with a per-phase time breakdown.
+type TraceCriticalPath = trace.CriticalPath
+
+// TraceBucket aggregates where one task category's or worker's time went.
+type TraceBucket = trace.Bucket
+
+// ReadTrace loads a span store saved with TraceStore.WriteJSON.
+func ReadTrace(r io.Reader) (*TraceStore, error) { return trace.ReadJSON(r) }
 
 // CategorySummary aggregates monitored behaviour for one task category.
 type CategorySummary = wq.CategorySummary

@@ -231,7 +231,7 @@ func TestTraceThroughRunConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Events) == 0 {
+	if len(tr.Events()) == 0 {
 		t.Fatal("no events recorded")
 	}
 	if len(tr.Spans()) < w.TaskCount() {
