@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race
+.PHONY: check build vet test test-race chaos
 
 check: build vet test-race
 
@@ -18,3 +18,10 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Deterministic chaos soak: drive the fault-injection engine, the hardening
+# features, and the invariant checker under the race detector, then survive
+# a full storm schedule end to end via the CLI.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Resilience|Speculation|Heartbeat|Quarantine|Staging|KillDelay|CrashW|SlowWorker|ProvisionReject' ./internal/...
+	$(GO) run ./cmd/lfmbench -chaos-profile storm -seed 7

@@ -42,6 +42,9 @@ func main() {
 	metricsRes := flag.Float64("metrics-resolution", 1, "sampling resolution in simulated seconds for -metrics-timeline")
 	traceOut := flag.String("trace-out", "", "run a traced HEP benchmark and write the span trace to this file (- for stdout)")
 	traceFormat := flag.String("trace-format", "json", "trace export format: json (lfm-trace store) or perfetto (Chrome trace-event)")
+	chaosProfile := flag.String("chaos-profile", "", "run an HEP benchmark under a canned fault schedule ("+strings.Join(lfm.ChaosProfiles(), ", ")+") with full resilience enabled; exits nonzero on invariant violations")
+	chaosSeed := flag.Int64("chaos-seed", 0, "with -chaos-profile: seed fault injection independently of -seed (0 uses -seed)")
+	chaosTrace := flag.String("chaos-trace", "", "with -chaos-profile: write the chaos run's span trace to this file (- for stdout)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]\n")
@@ -74,7 +77,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*metricsOut != "" || *traceOut != "") && flag.NArg() == 0 {
+	if *chaosProfile != "" {
+		if err := runChaos(*seed, *chaosSeed, *chaosProfile, *chaosTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "") && flag.NArg() == 0 {
 		return
 	}
 
@@ -166,6 +175,66 @@ func runTraced(seed int64, path, format string) error {
 		fmt.Fprintf(msg, "open the trace at https://ui.perfetto.dev (or chrome://tracing)\n")
 	} else {
 		fmt.Fprintf(msg, "analyze with: lfmtrace %s\n", path)
+	}
+	return nil
+}
+
+// runChaos executes the HEP benchmark point under a canned fault schedule
+// with every hardening feature enabled, prints the survival report, and
+// fails if any scheduler invariant broke.
+func runChaos(seed, chaosSeed int64, profile, tracePath string) error {
+	w := lfm.HEPWorkload(seed, 200)
+	strategy, err := lfm.StrategyFor("auto", w)
+	if err != nil {
+		return err
+	}
+	sched, err := lfm.ChaosProfile(profile, 10*lfm.Minute)
+	if err != nil {
+		return err
+	}
+	var tr *lfm.ExecutionTrace
+	if tracePath != "" {
+		tr = &lfm.ExecutionTrace{}
+	}
+	out, err := lfm.RunWorkload(w, lfm.RunConfig{
+		SiteName: "ndcrc", Workers: 20,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: strategy, Seed: seed, ChaosSeed: chaosSeed, NoBatchLatency: true,
+		Resilience: lfm.ResilienceConfig{
+			HeartbeatInterval:     10,
+			SpeculationMultiplier: 2,
+			QuarantineThreshold:   3,
+			StagingRetries:        3,
+		},
+		Faults: sched,
+		Trace:  tr,
+	})
+	if err != nil {
+		return err
+	}
+	msg := io.Writer(os.Stdout)
+	if tracePath == "-" {
+		msg = os.Stderr
+	}
+	fmt.Fprintf(msg, "chaos %q over %s: %d/%d tasks completed (%d failed), makespan %.0fs\n",
+		profile, out.Workload, out.Stats.Completed, out.TaskCount, out.Failed, float64(out.Makespan))
+	fmt.Fprintf(msg, "  %s\n", out.Chaos.Summary())
+	if rs := out.Stats.Resilience; rs != nil {
+		fmt.Fprintf(msg, "  detections: %d (mean latency %.1fs)  speculation: %d launched / %d won  staging retries: %d  quarantines: %d\n",
+			rs.DetectionDelays.N(), rs.DetectionDelays.Mean(),
+			rs.SpecLaunched, rs.SpecWins, rs.StagingRetries, rs.Quarantines)
+	}
+	if out.ProvisionFailures > 0 {
+		fmt.Fprintf(msg, "  provisioning rejections: %d (last: %s)\n", out.ProvisionFailures, out.ProvisionError)
+	}
+	if tr != nil {
+		if err := writeTo(tracePath, func(f io.Writer) error { return tr.Store().WriteJSON(f) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(msg, "  analyze with: lfmtrace %s\n", tracePath)
+	}
+	if len(out.Chaos.Violations) > 0 {
+		return fmt.Errorf("%d invariant violations: %v", len(out.Chaos.Violations), out.Chaos.Violations)
 	}
 	return nil
 }

@@ -99,6 +99,7 @@ func report(st *lfm.TraceStore, top int) {
 
 	buckets(st, false, "bottlenecks by category:")
 	buckets(st, true, "bottlenecks by worker:")
+	chaosSection(st, cp)
 
 	slow := st.Slowest(top)
 	if len(slow) > 0 {
@@ -112,6 +113,46 @@ func report(st *lfm.TraceStore, top int) {
 		}
 		w.Flush()
 	}
+}
+
+// chaosSection lists injected faults and failure-detection events, flagging
+// those whose window overlaps the critical path — the faults that plausibly
+// cost makespan.
+func chaosSection(st *lfm.TraceStore, cp *lfm.TraceCriticalPath) {
+	var evs []lfm.TraceSpan
+	for _, sp := range st.Spans() {
+		switch sp.Kind {
+		case lfm.TraceKindChaos, lfm.TraceKindSuspect, lfm.TraceKindQuarantine:
+			evs = append(evs, sp)
+		}
+	}
+	if len(evs) == 0 {
+		return
+	}
+	end := st.EndTime()
+	fmt.Printf("\nfailure events (%d):\n", len(evs))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  kind\tstart\tduration\tworker\tdetail\ton critical path")
+	onPath := 0
+	for _, sp := range evs {
+		d := sp.Duration(end)
+		worker := "-"
+		if sp.Worker >= 0 {
+			worker = fmt.Sprintf("%d", sp.Worker)
+		}
+		// A fault overlaps the path if its [start, start+d] window
+		// intersects the path's interval.
+		overlap := sp.Start <= cp.End && sp.Start+d >= cp.Start
+		mark := ""
+		if overlap {
+			mark = "yes"
+			onPath++
+		}
+		fmt.Fprintf(w, "  %s\t%.3fs\t%.3fs\t%s\t%s\t%s\n",
+			sp.Kind, float64(sp.Start), float64(d), worker, sp.Detail, mark)
+	}
+	w.Flush()
+	fmt.Printf("  %d of %d overlap the critical path window\n", onPath, len(evs))
 }
 
 // pathTasks counts distinct tasks on the critical path.

@@ -1,0 +1,88 @@
+// Chaos: will my workflow survive? Run the same HEP workload twice — once on
+// a healthy cluster and once under the "storm" fault schedule (continuous
+// worker churn, targeted crashes, a straggling node, flaky staging, a
+// filesystem brownout, and kill signals that fail) with every hardening
+// feature enabled — and compare what came back. The point of the failure
+// model is that the answer to "did every task finish?" is yes either way;
+// chaos only costs makespan.
+//
+// Run with: go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfm"
+)
+
+func run(faults *lfm.ChaosSchedule) *lfm.Outcome {
+	w := lfm.HEPWorkload(43, 60)
+	s, err := lfm.StrategyFor("auto", w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := lfm.RunWorkload(w, lfm.RunConfig{
+		SiteName: "ndcrc", Workers: 8, Seed: 43, NoBatchLatency: true,
+		Strategy: s,
+		Resilience: lfm.ResilienceConfig{
+			HeartbeatInterval:     10, // suspect a silent worker after 30s
+			SpeculationMultiplier: 2,  // back up tasks running 2x the mean
+			QuarantineThreshold:   3,  // bench a worker after 3 straight failures
+			StagingRetries:        3,  // retry failed transfers under backoff
+		},
+		Faults: faults,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func main() {
+	storm, err := lfm.ChaosProfile("storm", 8*lfm.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	healthy := run(nil)
+	stormy := run(storm)
+
+	fmt.Println("will my workflow survive? HEP, 60 analysis tasks, 8 workers:")
+	fmt.Printf("  %-8s %4d/%d tasks, makespan %s\n",
+		"healthy", healthy.Stats.Completed, healthy.TaskCount, healthy.Makespan.Duration())
+	fmt.Printf("  %-8s %4d/%d tasks, makespan %s (%.1fx slower)\n",
+		"storm", stormy.Stats.Completed, stormy.TaskCount, stormy.Makespan.Duration(),
+		float64(stormy.Makespan)/float64(healthy.Makespan))
+
+	fmt.Printf("\ninjected: %s\n", stormy.Chaos.Summary())
+
+	// Every fault left a fingerprint in the resilience stats.
+	if rs := stormy.Stats.Resilience; rs != nil {
+		fmt.Println("\nhow the run survived:")
+		if n := rs.DetectionDelays.N(); n > 0 {
+			fmt.Printf("  heartbeats   suspected %d silent workers after %.1fs mean silence, recovered their tasks\n",
+				n, rs.DetectionDelays.Mean())
+		}
+		if rs.SpecLaunched > 0 {
+			fmt.Printf("  speculation  launched %d backup copies, %d beat their straggling original\n",
+				rs.SpecLaunched, rs.SpecWins)
+		}
+		if rs.StagingRetries > 0 {
+			fmt.Printf("  staging      retried %d failed transfers under backoff (%d attempts exhausted)\n",
+				rs.StagingRetries, rs.StagingFailures)
+		}
+		if rs.Quarantines > 0 {
+			fmt.Printf("  quarantine   benched failing workers %d times\n", rs.Quarantines)
+		}
+	}
+	fmt.Printf("  churn        %d placements lost to dead workers, all resubmitted\n",
+		stormy.Stats.LostTasks)
+
+	// The invariant checker ran over the wreckage: every submitted task
+	// reached a terminal state and no allocation leaked.
+	if len(stormy.Chaos.Violations) > 0 {
+		fmt.Printf("\nINVARIANT VIOLATIONS: %v\n", stormy.Chaos.Violations)
+	} else {
+		fmt.Println("\ninvariants: clean — every task terminated, nothing leaked")
+	}
+}

@@ -125,7 +125,16 @@ type Cluster struct {
 	rng         *sim.RNG
 	met         *clusterMetrics
 	tr          *trace.Store
+
+	// gate, if set, can reject provisioning requests (fault injection:
+	// batch-system outage windows). Checked before capacity.
+	gate func(n int) error
 }
+
+// SetGate installs (or, with nil, removes) a provisioning admission hook:
+// a non-nil error rejects the whole request, as a batch scheduler refusing
+// submissions would.
+func (c *Cluster) SetGate(fn func(n int) error) { c.gate = fn }
 
 // SetTrace attaches a span store: every pilot-job request becomes a provision
 // span covering its batch-queue wait. Nil detaches.
@@ -198,6 +207,11 @@ func (c *Cluster) Provisioned() int { return c.provisioned }
 // to ready after an independent jittered queue wait. Requests beyond the
 // site's node count fail immediately.
 func (c *Cluster) Provision(n int, ready func(*Node)) error {
+	if c.gate != nil {
+		if err := c.gate(n); err != nil {
+			return err
+		}
+	}
 	if c.provisioned+n > c.Site.Nodes {
 		return fmt.Errorf("cluster: site %s has %d nodes, %d already provisioned, cannot add %d",
 			c.Site.Name, c.Site.Nodes, c.provisioned, n)

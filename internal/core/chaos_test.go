@@ -1,0 +1,279 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"lfm/internal/chaos"
+	"lfm/internal/sim"
+	"lfm/internal/trace"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// fullResilience enables every hardening feature at test-friendly settings.
+func fullResilience() wq.ResilienceConfig {
+	return wq.ResilienceConfig{
+		HeartbeatInterval:     10,
+		SuspicionTimeout:      30,
+		SpeculationMultiplier: 2,
+		QuarantineThreshold:   3,
+		StagingRetries:        3,
+	}
+}
+
+// TestChaosStormCompletes is the headline robustness check: the storm
+// profile throws churn, crashes, staging faults, a filesystem brownout, and
+// zombie kills at an HEP run, and every submitted task must still reach a
+// terminal state with nothing leaked.
+func TestChaosStormCompletes(t *testing.T) {
+	w := workloads.HEP(sim.NewRNG(23), 80)
+	s, _ := StrategyFor("auto", w)
+	sched, err := chaos.Profile("storm", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &wq.Trace{}
+	out, err := Run(w, RunConfig{
+		SiteName: "ndcrc", Workers: 8, Seed: 23, NoBatchLatency: true,
+		Strategy: s, Resilience: fullResilience(), Faults: sched, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chaos == nil {
+		t.Fatal("no chaos report on a faulted run")
+	}
+	if len(out.Chaos.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", out.Chaos.Violations)
+	}
+	if out.Stats.Completed+out.Stats.Failed != w.TaskCount() {
+		t.Fatalf("%d completed + %d failed != %d submitted",
+			out.Stats.Completed, out.Stats.Failed, w.TaskCount())
+	}
+	if len(out.Chaos.Injected) == 0 {
+		t.Fatal("storm injected nothing")
+	}
+	if out.Chaos.Injected[chaos.WorkerCrash] == 0 {
+		t.Fatalf("no crashes injected: %s", out.Chaos.Summary())
+	}
+	// Crashes are detected by heartbeat suspicion, and the latency is
+	// bounded by the configured timeout.
+	rs := out.Stats.Resilience
+	if rs == nil || rs.DetectionDelays.N() == 0 {
+		t.Fatal("crashes injected but no detection latency recorded")
+	}
+	if max := rs.DetectionDelays.Max(); max > 30+1e-9 {
+		t.Fatalf("detection latency %v exceeds suspicion timeout 30", max)
+	}
+	// The trace carries the injected-fault spans.
+	nchaos := 0
+	for _, sp := range tr.Store().Spans() {
+		if sp.Kind == trace.KindChaos {
+			nchaos++
+		}
+	}
+	if nchaos == 0 {
+		t.Fatal("no chaos spans in the trace")
+	}
+}
+
+// TestChaosDeterministic checks replayability: two runs with the same
+// workload, schedule, and seeds produce byte-identical outcome and trace
+// JSON.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		w := workloads.HEP(sim.NewRNG(29), 50)
+		s, _ := StrategyFor("auto", w)
+		sched, err := chaos.Profile("storm", 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &wq.Trace{}
+		out, err := Run(w, RunConfig{
+			SiteName: "ndcrc", Workers: 6, Seed: 29, ChaosSeed: 7, NoBatchLatency: true,
+			Strategy: s, Resilience: fullResilience(), Faults: sched, Trace: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb bytes.Buffer
+		if err := tr.Store().WriteJSON(&tb); err != nil {
+			t.Fatal(err)
+		}
+		return ob, tb.Bytes()
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if !bytes.Equal(o1, o2) {
+		t.Fatalf("chaos outcomes diverge:\n%s\n%s", o1, o2)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("chaos traces diverge")
+	}
+}
+
+// TestChaosSeedIndependent checks that ChaosSeed replays the same disaster
+// over a different scheduling seed without being entangled with it.
+func TestChaosSeedIndependent(t *testing.T) {
+	run := func(chaosSeed int64) *chaos.Report {
+		w := workloads.HEP(sim.NewRNG(31), 40)
+		s, _ := StrategyFor("oracle", w)
+		sched := &chaos.Schedule{ChurnMTBF: 100, ChurnReplace: true}
+		out, err := Run(w, RunConfig{
+			SiteName: "ndcrc", Workers: 6, Seed: 31, ChaosSeed: chaosSeed,
+			NoBatchLatency: true, Strategy: s, Faults: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Chaos
+	}
+	a, b := run(101), run(202)
+	if a == nil || b == nil {
+		t.Fatal("missing chaos reports")
+	}
+	if a.Injected[chaos.WorkerCrash] == 0 && b.Injected[chaos.WorkerCrash] == 0 {
+		t.Fatal("churn injected no crashes under either seed")
+	}
+}
+
+// TestChaosSoak fuzzes the engine with seeded random schedules: whatever the
+// faults, every submitted task must terminate and no invariant may break.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	kinds := []chaos.FaultKind{
+		chaos.WorkerCrash, chaos.WorkerSlow, chaos.FSSlow, chaos.FSOutage,
+		chaos.StagingFailure, chaos.ProvisionReject, chaos.ZombieKill,
+	}
+	rng := sim.NewRNG(4242)
+	for i := 0; i < 20; i++ {
+		sched := &chaos.Schedule{}
+		if rng.Float64() < 0.5 {
+			sched.ChurnMTBF = sim.Time(60 + rng.Float64()*240)
+			sched.ChurnReplace = rng.Float64() < 0.8
+		}
+		n := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			f := chaos.Fault{
+				Kind:   kinds[rng.Intn(len(kinds))],
+				At:     sim.Time(rng.Float64() * 400),
+				Worker: -1,
+			}
+			switch f.Kind {
+			case chaos.WorkerCrash:
+				f.Replace = rng.Float64() < 0.8
+			case chaos.WorkerSlow:
+				f.Factor = 2 + rng.Float64()*8
+				if rng.Float64() < 0.5 {
+					f.Duration = sim.Time(30 + rng.Float64()*120)
+				}
+			case chaos.FSSlow:
+				f.Duration = sim.Time(10 + rng.Float64()*60)
+				f.Delay = sim.Time(rng.Float64() * 0.2)
+			case chaos.FSOutage:
+				f.Duration = sim.Time(5 + rng.Float64()*30)
+			case chaos.StagingFailure:
+				f.Duration = sim.Time(30 + rng.Float64()*120)
+				f.Prob = 0.1 + rng.Float64()*0.5
+			case chaos.ProvisionReject:
+				f.Duration = sim.Time(30 + rng.Float64()*120)
+			case chaos.ZombieKill:
+				f.Duration = sim.Time(30 + rng.Float64()*120)
+				f.Delay = sim.Time(5 + rng.Float64()*60)
+			}
+			sched.Faults = append(sched.Faults, f)
+		}
+		seed := int64(1000 + i)
+		t.Run(fmt.Sprintf("schedule-%02d", i), func(t *testing.T) {
+			w := workloads.HEP(sim.NewRNG(seed), 30)
+			s, _ := StrategyFor("auto", w)
+			out, err := Run(w, RunConfig{
+				SiteName: "ndcrc", Workers: 5, Seed: seed, ChaosSeed: seed * 3,
+				NoBatchLatency: true, Strategy: s,
+				Resilience: fullResilience(), Faults: sched,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Chaos.Violations) != 0 {
+				t.Fatalf("violations under %s: %v", out.Chaos.Summary(), out.Chaos.Violations)
+			}
+			if out.Stats.Completed+out.Stats.Failed != w.TaskCount() {
+				t.Fatalf("%d+%d != %d tasks", out.Stats.Completed, out.Stats.Failed, w.TaskCount())
+			}
+		})
+	}
+}
+
+// TestSpeculationLowersMakespanUnderStragglers runs the stragglers profile
+// with and without speculative re-execution: backups on healthy workers must
+// beat waiting out the slowed originals.
+func TestSpeculationLowersMakespanUnderStragglers(t *testing.T) {
+	run := func(res wq.ResilienceConfig) (*Outcome, sim.Time) {
+		w := workloads.HEP(sim.NewRNG(37), 80)
+		s, _ := StrategyFor("oracle", w)
+		sched, err := chaos.Profile("stragglers", 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(w, RunConfig{
+			SiteName: "ndcrc", Workers: 6, Seed: 37, ChaosSeed: 5,
+			NoBatchLatency: true, Strategy: s, Resilience: res, Faults: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Stats.Completed != w.TaskCount() {
+			t.Fatalf("completed %d/%d", out.Stats.Completed, w.TaskCount())
+		}
+		return out, out.Makespan
+	}
+	_, plain := run(wq.ResilienceConfig{})
+	out, spec := run(wq.ResilienceConfig{SpeculationMultiplier: 2})
+	if spec >= plain {
+		t.Fatalf("speculation did not lower makespan: %v >= %v", spec, plain)
+	}
+	rs := out.Stats.Resilience
+	if rs == nil || rs.SpecWins == 0 {
+		t.Fatalf("no speculative wins recorded: %+v", rs)
+	}
+}
+
+// TestProvisionRejectSurfaces runs an autoscaled workload against a
+// provisioning blackout: the run degrades, recovers when the window closes,
+// and the outcome reports every rejection.
+func TestProvisionRejectSurfaces(t *testing.T) {
+	w := workloads.HEP(sim.NewRNG(41), 40)
+	s, _ := StrategyFor("oracle", w)
+	sched := &chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.ProvisionReject, At: 0, Duration: 120},
+	}}
+	out, err := Run(w, RunConfig{
+		SiteName: "ndcrc", Workers: 6, Seed: 41, NoBatchLatency: true,
+		Strategy: s, Autoscale: true, Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Completed != w.TaskCount() {
+		t.Fatalf("completed %d/%d", out.Stats.Completed, w.TaskCount())
+	}
+	if out.ProvisionFailures == 0 {
+		t.Fatal("rejections happened but ProvisionFailures is zero")
+	}
+	if out.ProvisionError == "" {
+		t.Fatal("no provisioning error surfaced")
+	}
+	if out.Makespan < 120 {
+		t.Fatalf("makespan %v implausibly short: nothing could start before 120", out.Makespan)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"lfm/internal/alloc"
+	"lfm/internal/chaos"
 	"lfm/internal/cluster"
 	"lfm/internal/deps"
 	"lfm/internal/envpack"
@@ -18,6 +19,7 @@ import (
 	"lfm/internal/pypkg"
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
+	"lfm/internal/trace"
 	"lfm/internal/workloads"
 	"lfm/internal/wq"
 )
@@ -48,7 +50,21 @@ type RunConfig struct {
 	// WorkerChurnMTBF, when positive, kills a random connected worker on
 	// average every MTBF of simulated time and requests a replacement —
 	// pilot jobs hitting batch time limits. Running tasks are resubmitted.
+	// It is a compatibility shim over Faults.ChurnMTBF; seeded runs using it
+	// keep their pre-chaos-engine outcomes.
 	WorkerChurnMTBF sim.Time
+	// Resilience configures failure detection and mitigation in the master
+	// (heartbeats, speculation, quarantine, staging retries). Zero value
+	// leaves the master's historical behaviour unchanged.
+	Resilience wq.ResilienceConfig
+	// Faults, when non-nil, drives a chaos fault-injection engine over the
+	// run; the outcome then carries the engine's report, including any
+	// invariant violations. Windowed faults keep the simulation clock
+	// running until their window closes.
+	Faults *chaos.Schedule
+	// ChaosSeed seeds fault-injection randomness independently of Seed, so
+	// the same disaster can replay over different workloads. 0 uses Seed.
+	ChaosSeed int64
 	// Trace, when non-nil, records every scheduler event of the run.
 	Trace *wq.Trace
 	// Metrics, when non-nil, instruments the whole stack (master, monitor,
@@ -82,6 +98,14 @@ type Outcome struct {
 	// Sampler holds the recorded metric timelines when RunConfig.Metrics
 	// was set, nil otherwise.
 	Sampler *metrics.Sampler
+	// ProvisionFailures counts batch-system rejections observed during the
+	// run (worker replacements and autoscale requests); ProvisionError is
+	// the last one's message. Zero and empty on healthy runs.
+	ProvisionFailures int    `json:",omitempty"`
+	ProvisionError    string `json:",omitempty"`
+	// Chaos carries the fault-injection report (injection counts and any
+	// invariant violations) when RunConfig.Faults was set, nil otherwise.
+	Chaos *chaos.Report `json:",omitempty"`
 }
 
 // Run executes the workload on the configured site and strategy.
@@ -122,6 +146,7 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	mcfg := wq.DefaultConfig()
 	mcfg.Strategy = strategy
 	mcfg.Monitor.Metrics = cfg.Metrics
+	mcfg.Resilience = cfg.Resilience
 	master := wq.NewMaster(eng, mcfg)
 	if cfg.Trace != nil {
 		master.SetTrace(cfg.Trace)
@@ -142,6 +167,52 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	var workers []*wq.Worker
 	join := func(n *cluster.Node) { workers = append(workers, master.AddWorker(n)) }
 
+	// Provisioning failures — batch-system rejections of replacement or
+	// autoscale requests — are recorded as they happen (counter + trace
+	// event) and surfaced in the outcome, instead of being dropped.
+	provisionFailures := 0
+	var lastProvisionErr error
+	recordProvisionFailure := func(err error) {
+		provisionFailures++
+		lastProvisionErr = err
+		if cfg.Metrics != nil {
+			cfg.Metrics.Help("core_provision_failures_total", "pilot-job requests the batch system rejected")
+			cfg.Metrics.Counter("core_provision_failures_total").Inc()
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.Store().Instant(trace.Span{
+				Kind: trace.KindProvision, Task: -1, Worker: -1,
+				Outcome: trace.OutcomeFailed, Detail: err.Error(),
+			}, eng.Now())
+		}
+	}
+	// provisionReplacement requests one replacement pilot job, retrying a
+	// rejection under exponential backoff with jitter — a transient batch
+	// outage only delays the replacement instead of silently shrinking the
+	// pool for the rest of the run.
+	provBackoff := sim.Backoff{Base: 2 * sim.Second, Max: 2 * sim.Minute, Jitter: 0.5}
+	var provRNG *sim.RNG
+	const provisionAttempts = 6
+	var provisionReplacement func(try int)
+	provisionReplacement = func(try int) {
+		st := master.Stats()
+		if st.Submitted > 0 && st.Completed+st.Failed >= st.Submitted {
+			return // drained; a replacement would never run anything
+		}
+		if err := cl.Provision(1, join); err == nil {
+			return
+		} else {
+			recordProvisionFailure(err)
+			if try+1 >= provisionAttempts {
+				return // degraded for good; surfaced in the outcome
+			}
+		}
+		if provRNG == nil {
+			provRNG = eng.RNG().Fork()
+		}
+		eng.After(provBackoff.Delay(try, provRNG), func() { provisionReplacement(try + 1) })
+	}
+
 	var scaler *wq.Autoscaler
 	if cfg.Autoscale {
 		scaler = &wq.Autoscaler{
@@ -150,39 +221,59 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 			MinWorkers: 1,
 			MaxWorkers: cfg.Workers,
 			Interval:   20 * sim.Second,
+			OnError:    recordProvisionFailure,
 		}
 	} else if err := cl.Provision(cfg.Workers, join); err != nil {
 		return nil, err
 	}
 
+	// Assemble the effective fault schedule: an explicit Faults schedule,
+	// with the legacy WorkerChurnMTBF knob folded in as churn.
+	var sched *chaos.Schedule
+	if cfg.Faults != nil {
+		s := *cfg.Faults
+		sched = &s
+	}
 	if cfg.WorkerChurnMTBF > 0 {
-		churnRNG := eng.RNG().Fork()
-		var churn func()
-		churn = func() {
-			// Stop churning once the workload has drained.
-			st := master.Stats()
-			if st.Completed+st.Failed >= st.Submitted && st.Submitted > 0 {
-				return
-			}
-			if n := master.Workers(); n > 0 {
-				// Pick a live worker uniformly.
-				live := workers[:0:0]
-				for _, w := range workers {
-					if w.Alive() {
-						live = append(live, w)
-					}
-				}
-				if len(live) > 0 {
-					victim := live[churnRNG.Intn(len(live))]
-					master.RemoveWorker(victim)
-					// The site restarts the pilot job, capacity
-					// permitting; otherwise the run continues degraded.
-					_ = cl.Provision(1, join)
-				}
-			}
-			eng.After(sim.Time(churnRNG.Exponential(float64(cfg.WorkerChurnMTBF))), churn)
+		if sched == nil {
+			sched = &chaos.Schedule{}
 		}
-		eng.After(sim.Time(churnRNG.Exponential(float64(cfg.WorkerChurnMTBF))), churn)
+		if sched.ChurnMTBF <= 0 {
+			sched.ChurnMTBF = cfg.WorkerChurnMTBF
+			sched.ChurnReplace = true
+		}
+	}
+	var churnRNG *sim.RNG
+	if cfg.WorkerChurnMTBF > 0 {
+		// Forked at the same stream position as the legacy churn loop, so
+		// seeded churn runs replay their historical outcomes.
+		churnRNG = eng.RNG().Fork()
+	}
+	var chaosEng *chaos.Engine
+	if sched != nil {
+		seed := cfg.ChaosSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		chaosEng = chaos.New(eng, *sched, sim.NewRNG(seed))
+		chaosEng.Bind(master, cl)
+		if churnRNG != nil {
+			chaosEng.SetChurnRNG(churnRNG)
+		}
+		if cfg.Faults != nil && cfg.Trace != nil {
+			chaosEng.SetTrace(cfg.Trace.Store())
+		}
+		chaosEng.SetReplacer(func() { provisionReplacement(0) })
+		if err := chaosEng.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	if scaler != nil && cfg.Faults != nil {
+		// Injected provisioning rejections are survivable by design: the
+		// autoscaler retries through fault windows instead of dying on the
+		// first refusal. Every failure is still recorded in the outcome.
+		scaler.MaxRetries = 1 << 20
 	}
 
 	eng.At(0, func() {
@@ -214,9 +305,20 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		Utilization:          master.Utilization(),
 		EffectiveUtilization: master.EffectiveUtilization(),
 		Sampler:              sampler,
+		ProvisionFailures:    provisionFailures,
+	}
+	if lastProvisionErr != nil {
+		out.ProvisionError = lastProvisionErr.Error()
 	}
 	if st.Submitted > 0 {
 		out.RetryFraction = float64(st.Retries) / float64(st.Submitted)
+	}
+	if chaosEng != nil && cfg.Faults != nil {
+		// Fold invariant-checker findings into the chaos report: every
+		// submitted task must have terminated and nothing may have leaked,
+		// no matter what the schedule did to the run.
+		_ = chaosEng.Finish()
+		out.Chaos = chaosEng.Report()
 	}
 	return out, nil
 }

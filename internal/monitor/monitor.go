@@ -150,6 +150,36 @@ func (p ProcSpec) UsageAt(t sim.Time) Resources {
 	return u
 }
 
+// ScaleTime returns a deep copy of the spec with every duration and fork
+// offset stretched by factor — the same work on a straggling (k-times
+// slower) node. Usage levels are unchanged. Factors <= 1 return the spec
+// as-is.
+func (p ProcSpec) ScaleTime(factor float64) ProcSpec {
+	if factor <= 1 {
+		return p
+	}
+	out := ProcSpec{
+		Phases:   make([]Phase, len(p.Phases)),
+		Children: make([]ChildSpec, len(p.Children)),
+	}
+	for i, ph := range p.Phases {
+		out.Phases[i] = Phase{Duration: sim.Time(float64(ph.Duration) * factor), Usage: ph.Usage}
+	}
+	for i, c := range p.Children {
+		out.Children[i] = ChildSpec{
+			StartOffset: sim.Time(float64(c.StartOffset) * factor),
+			Spec:        c.Spec.ScaleTime(factor),
+		}
+	}
+	if len(out.Children) == 0 {
+		out.Children = nil
+	}
+	if len(out.Phases) == 0 {
+		out.Phases = nil
+	}
+	return out
+}
+
 // TruePeak returns the exact peak usage over the tree's lifetime — oracle
 // knowledge available to the simulator but not to any realistic monitor.
 func (p ProcSpec) TruePeak() Resources {

@@ -384,3 +384,46 @@ func TestLFMMetrics(t *testing.T) {
 		t.Fatal("polls not counted")
 	}
 }
+
+func TestKillDelayLeavesZombie(t *testing.T) {
+	// A failing kill signal leaves a zombie: the violation is detected at the
+	// first poll after t=5, but the process lingers ~30s more, consuming its
+	// allocation until the deferred kill lands.
+	cfg := DefaultConfig()
+	spec := ProcSpec{Phases: []Phase{
+		{Duration: 5, Usage: res(1, 100, 0)},
+		{Duration: 60, Usage: res(1, 800, 0)}, // exceeds at t=5
+	}}
+	eng := sim.NewEngine(1)
+	m := New(eng, cfg)
+	m.SetKillDelay(func() sim.Time { return 30 })
+	var rep Report
+	eng.At(0, func() { m.Run(spec, res(2, 500, 0), func(r Report) { rep = r }) })
+	eng.Run()
+	if !rep.Killed || !rep.Zombie || rep.Completed {
+		t.Fatalf("report = %+v, want killed zombie", rep)
+	}
+	if rep.Exhausted != KindMemory {
+		t.Fatalf("Exhausted = %q", rep.Exhausted)
+	}
+	// Violation detected within one poll of t=5, kill lands 30s later.
+	if rep.WallTime < 35-1e-6 || rep.WallTime > 36+1e-9 {
+		t.Fatalf("WallTime = %v, want ~violation + poll + 30s", rep.WallTime)
+	}
+}
+
+func TestKillDelayZeroIsImmediate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KillDelay = func() sim.Time { return 0 }
+	spec := ProcSpec{Phases: []Phase{
+		{Duration: 5, Usage: res(1, 100, 0)},
+		{Duration: 60, Usage: res(1, 800, 0)},
+	}}
+	rep := runOne(t, cfg, spec, res(2, 500, 0))
+	if !rep.Killed || rep.Zombie {
+		t.Fatalf("report = %+v, want immediate kill, no zombie", rep)
+	}
+	if rep.WallTime < 5 || rep.WallTime > 6+1e-9 {
+		t.Fatalf("WallTime = %v, want kill shortly after 5s", rep.WallTime)
+	}
+}

@@ -19,6 +19,9 @@ type Report struct {
 	Completed bool
 	// Killed is true if the monitor terminated the task.
 	Killed bool
+	// Zombie is true if the first kill attempt failed to take effect
+	// immediately (injected kill-failure) and the task lingered.
+	Zombie bool
 	// Exhausted names the limit dimension that triggered the kill.
 	Exhausted Kind
 	// Polls counts polling measurements taken.
@@ -59,6 +62,12 @@ type Config struct {
 	// RecordSeries, when true, retains every measurement in the report's
 	// Series for post-hoc inspection (usage timelines).
 	RecordSeries bool
+	// KillDelay, if set, is consulted when the monitor decides to kill a
+	// task; a positive return defers the effective kill by that long while
+	// the task keeps running (and being measured) — a zombie left behind by
+	// a failed SIGKILL delivery. Fault injection uses this hook; nil means
+	// kills are immediate.
+	KillDelay func() sim.Time
 	// Metrics, when non-nil, registers LFM instruments (polls, process
 	// events, kills by resource kind) on the registry and updates them for
 	// every run under this monitor.
@@ -167,8 +176,10 @@ type run struct {
 	done   func(Report)
 
 	finished bool
+	zombie   bool
 	pollEv   *sim.Event
 	endEv    *sim.Event
+	zombieEv *sim.Event
 	procEvs  []*sim.Event
 
 	// Span recording (nil/NoSpan when the run is untraced): parent is the
@@ -210,6 +221,10 @@ func (e *Execution) Abort() {
 	r.done = nil
 	r.finish(false)
 }
+
+// SetKillDelay installs (or, with nil, removes) the kill-failure hook on a
+// live monitor; it applies to kills decided after the call.
+func (m *LFM) SetKillDelay(fn func() sim.Time) { m.Cfg.KillDelay = fn }
 
 // Run executes spec under the given limits (zero dimensions unlimited) and
 // calls done with the report. The task is killed at the first measurement
@@ -342,6 +357,25 @@ func (r *run) traceInstant(kind trace.Kind, detail string) {
 }
 
 func (r *run) kill(kind Kind) {
+	if r.zombie {
+		return // kill already pending; the task lingers until it lands
+	}
+	if kd := r.m.Cfg.KillDelay; kd != nil {
+		if d := kd(); d > 0 {
+			// The kill signal failed to take effect: the task keeps running
+			// (and being measured) until the delayed kill lands — unless it
+			// completes naturally first, in which case finish() cancels it.
+			r.zombie = true
+			r.rep.Zombie = true
+			r.traceInstant(trace.KindKill, string(kind)+" deferred (zombie)")
+			r.zombieEv = r.m.Eng.After(d, func() { r.doKill(kind) })
+			return
+		}
+	}
+	r.doKill(kind)
+}
+
+func (r *run) doKill(kind Kind) {
 	r.rep.Killed = true
 	r.rep.Exhausted = kind
 	r.m.met.onKill(kind)
@@ -369,6 +403,7 @@ func (r *run) finish(completed bool) {
 	eng := r.m.Eng
 	eng.Cancel(r.pollEv)
 	eng.Cancel(r.endEv)
+	eng.Cancel(r.zombieEv)
 	for _, ev := range r.procEvs {
 		eng.Cancel(ev)
 	}

@@ -65,6 +65,27 @@ type FS struct {
 
 	met *fsMetrics
 	tr  *trace.Store
+
+	// disrupt, if set, returns an extra delay imposed before each operation
+	// (fault injection: latency spikes and outage windows). Nil means none.
+	disrupt func() sim.Time
+}
+
+// SetDisruptor installs (or, with nil, removes) a fault-injection hook: the
+// returned duration is added in front of every metadata batch, read, and
+// write. An outage is modeled by returning the time remaining in the outage
+// window; a latency spike by a fixed surcharge.
+func (fs *FS) SetDisruptor(fn func() sim.Time) { fs.disrupt = fn }
+
+// delayed defers op by the disruptor's current surcharge, if any.
+func (fs *FS) delayed(op func()) {
+	if fs.disrupt != nil {
+		if d := fs.disrupt(); d > 0 {
+			fs.eng.After(d, op)
+			return
+		}
+	}
+	op()
 }
 
 // SetTrace attaches a span store: every metadata batch, read, and write
@@ -188,21 +209,21 @@ func (fs *FS) Metadata(ops int, done func()) {
 	fs.MetaOpsIssued += int64(ops)
 	fs.met.onMeta(ops)
 	done = fs.traced(trace.KindFSMeta, fmt.Sprintf("%d ops", ops), done)
-	fs.meta.Request(sim.Time(ops)*fs.Config.MetaOpTime, done)
+	fs.delayed(func() { fs.meta.Request(sim.Time(ops)*fs.Config.MetaOpTime, done) })
 }
 
 // Read transfers n bytes from the filesystem to one client.
 func (fs *FS) Read(n int64, done func()) {
 	fs.met.onRead(n)
 	done = fs.traced(trace.KindFSRead, fmt.Sprintf("%d B", n), done)
-	fs.read.Transfer(float64(n), done)
+	fs.delayed(func() { fs.read.Transfer(float64(n), done) })
 }
 
 // Write transfers n bytes from one client to the filesystem.
 func (fs *FS) Write(n int64, done func()) {
 	fs.met.onWrite(n)
 	done = fs.traced(trace.KindFSWrite, fmt.Sprintf("%d B", n), done)
-	fs.write.Transfer(float64(n), done)
+	fs.delayed(func() { fs.write.Transfer(float64(n), done) })
 }
 
 // MetaQueueDepth reports current metadata backlog (for instrumentation).

@@ -1,0 +1,48 @@
+package sim
+
+// Backoff computes capped exponential retry delays with optional jitter. It
+// is stateless: callers pass the attempt number (0 for the first retry), so
+// one Backoff value can serve many independent retry loops.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base Time
+	// Max caps the grown delay (before jitter).
+	Max Time
+	// Factor is the per-attempt growth multiplier. Values <= 1 default to 2.
+	Factor float64
+	// Jitter spreads each delay uniformly over [delay*(1-Jitter), delay]
+	// so synchronized retry storms decorrelate. 0 disables; rng may then be
+	// nil.
+	Jitter float64
+}
+
+// Delay returns the wait before retry number attempt (0-based). With a nil
+// rng the jitter term is skipped. The result is never negative.
+func (b Backoff) Delay(attempt int, rng *RNG) Time {
+	base := b.Base
+	if base <= 0 {
+		base = Second
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		d *= 1 - b.Jitter*rng.Float64()
+	}
+	if d < 0 {
+		return 0
+	}
+	return Time(d)
+}

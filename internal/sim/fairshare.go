@@ -14,7 +14,10 @@ type FairShare struct {
 	// PerFlowCap, if nonzero, limits the rate any single flow can achieve.
 	PerFlowCap float64
 
-	flows   map[*Flow]struct{}
+	// flows is kept in start order: completion callbacks for flows that
+	// finish at the same instant must fire deterministically, and Go map
+	// iteration would randomize them run to run.
+	flows   []*Flow
 	lastUpd Time
 	next    *Event
 
@@ -36,7 +39,7 @@ func NewFairShare(eng *Engine, capacity float64) *FairShare {
 	if capacity <= 0 {
 		panic("sim: fair share capacity must be positive")
 	}
-	return &FairShare{eng: eng, Capacity: capacity, flows: make(map[*Flow]struct{})}
+	return &FairShare{eng: eng, Capacity: capacity}
 }
 
 // Active reports the number of in-progress flows.
@@ -64,7 +67,7 @@ func (f *FairShare) advance() {
 		return
 	}
 	progress := f.rate() * dt
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		fl.remaining -= progress
 		if fl.remaining < 0 {
 			fl.remaining = 0
@@ -82,7 +85,7 @@ func (f *FairShare) reschedule() {
 		return
 	}
 	var min *Flow
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		if min == nil || fl.remaining < min.remaining {
 			min = fl
 		}
@@ -98,7 +101,7 @@ func (f *FairShare) complete() {
 	f.advance()
 	var finished []*Flow
 	var min *Flow
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		// Tolerate floating-point residue when several flows tie.
 		if fl.remaining <= 1e-9 {
 			finished = append(finished, fl)
@@ -115,9 +118,22 @@ func (f *FairShare) complete() {
 		min.remaining = 0
 		finished = append(finished, min)
 	}
-	for _, fl := range finished {
-		delete(f.flows, fl)
-		f.Completed++
+	if len(finished) > 0 {
+		keep := f.flows[:0]
+		for _, fl := range f.flows {
+			still := true
+			for _, done := range finished {
+				if fl == done {
+					still = false
+					break
+				}
+			}
+			if still {
+				keep = append(keep, fl)
+			}
+		}
+		f.flows = keep
+		f.Completed += uint64(len(finished))
 	}
 	// Callbacks run after bookkeeping so they can start new flows safely.
 	for _, fl := range finished {
@@ -136,7 +152,7 @@ func (f *FairShare) Transfer(units float64, done func()) *Flow {
 	}
 	f.advance()
 	fl := &Flow{remaining: units, done: done, fs: f}
-	f.flows[fl] = struct{}{}
+	f.flows = append(f.flows, fl)
 	f.reschedule()
 	return fl
 }

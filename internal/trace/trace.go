@@ -70,6 +70,11 @@ const (
 	KindFSMeta    Kind = "fs-meta"   // shared-FS metadata batch
 	KindFSRead    Kind = "fs-read"   // shared-FS read
 	KindFSWrite   Kind = "fs-write"  // shared-FS write
+
+	// Failure domain: injected faults and the master's reactions to them.
+	KindChaos      Kind = "chaos-fault" // one injected fault (instant or window)
+	KindSuspect    Kind = "suspect"     // instant: heartbeat suspicion fired on a worker
+	KindQuarantine Kind = "quarantine"  // worker quarantined -> readmitted
 )
 
 // Span outcomes. Open spans (End < 0) have no outcome yet.
@@ -82,6 +87,7 @@ const (
 	OutcomeAborted   = "aborted"   // monitor run aborted before starting
 	OutcomeCacheHit  = "cache-hit" // input already on the worker
 	OutcomeShared    = "shared"    // piggybacked on an in-flight transfer
+	OutcomeCancelled = "cancelled" // speculative attempt lost the result race
 )
 
 // Span is one timed interval (or instant, when Start == End) in a run.

@@ -26,10 +26,18 @@ type Autoscaler struct {
 	TasksPerWorker int
 	// Interval is the observation period. Default 30s.
 	Interval sim.Time
+	// OnError, if set, observes every provisioning failure as it happens;
+	// without it a failure is only visible through Err after the run.
+	OnError func(error)
+	// MaxRetries tolerates transient provisioning failures: a failed request
+	// is retried at the next tick, and only this many consecutive failures
+	// stop the autoscaler for good. Default 0 keeps the first error fatal.
+	MaxRetries int
 
 	requested int
 	stopped   bool
 	armed     bool
+	failures  int
 	err       error
 }
 
@@ -97,8 +105,15 @@ func (a *Autoscaler) tick() {
 
 func (a *Autoscaler) request(n int) {
 	if err := a.Request(n); err != nil {
-		a.err = err
+		a.failures++
+		if a.OnError != nil {
+			a.OnError(err)
+		}
+		if a.failures > a.MaxRetries {
+			a.err = err
+		}
 		return
 	}
+	a.failures = 0
 	a.requested += n
 }

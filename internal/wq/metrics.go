@@ -190,6 +190,60 @@ func (mm *masterMetrics) onTransferOut(bytes int64) {
 	}
 }
 
+// Resilience instruments register lazily, on their first event: undisturbed
+// runs keep a byte-identical registry dump.
+
+func (mm *masterMetrics) onSuspect(latency sim.Time) {
+	if mm != nil {
+		mm.reg.Help("wq_detection_latency_seconds", "worker death to heartbeat-suspicion latency")
+		mm.reg.Histogram("wq_detection_latency_seconds", metrics.DefTimeBuckets()).Observe(float64(latency))
+	}
+}
+
+func (mm *masterMetrics) onSpecLaunch() {
+	if mm != nil {
+		mm.reg.Help("wq_speculative_launched_total", "backup copies launched for straggling tasks")
+		mm.reg.Counter("wq_speculative_launched_total").Inc()
+	}
+}
+
+func (mm *masterMetrics) onSpecWin() {
+	if mm != nil {
+		mm.reg.Help("wq_speculative_wins_total", "backup copies that finished before the original")
+		mm.reg.Counter("wq_speculative_wins_total").Inc()
+	}
+}
+
+func (mm *masterMetrics) onSpecCancel() {
+	if mm != nil {
+		mm.reg.Help("wq_speculative_cancelled_total", "race-losing or dead speculative attempts cancelled")
+		mm.reg.Counter("wq_speculative_cancelled_total").Inc()
+	}
+}
+
+func (mm *masterMetrics) onStagingRetry() {
+	if mm != nil {
+		mm.reg.Help("wq_staging_retries_total", "failed input transfers retried under backoff")
+		mm.reg.Counter("wq_staging_retries_total").Inc()
+	}
+}
+
+func (mm *masterMetrics) onStagingFailure() {
+	if mm != nil {
+		mm.reg.Help("wq_staging_failures_total", "attempts failed by staging-transfer faults")
+		mm.reg.Counter("wq_staging_failures_total").Inc()
+	}
+}
+
+func (mm *masterMetrics) onQuarantine(w *Worker) {
+	if mm != nil {
+		mm.reg.Help("wq_quarantines_total", "worker circuit-breaker trips, by worker")
+		mm.reg.Counter("wq_quarantines_total", workerLabel(w)).Inc()
+	}
+}
+
+func (mm *masterMetrics) onQuarantineEnd(*Worker) {}
+
 func (mm *masterMetrics) onWorkerJoin(w *Worker) {
 	if mm == nil {
 		return

@@ -133,95 +133,129 @@ func (m *Master) traceReady(t *Task) {
 	})
 }
 
-// tracePlaced closes the ready-queue phase, stamps the chosen worker on the
-// attempt, and opens the staging phase.
-func (m *Master) tracePlaced(t *Task, w *Worker) {
+// tracePlaced moves the task's pending attempt span onto the placement (or,
+// for a speculative copy, opens a fresh attempt span), closes the
+// ready-queue phase, stamps the chosen worker, and opens the staging phase.
+func (m *Master) tracePlaced(a *attempt) {
 	st := m.st()
-	if st == nil || t.spans.attempt == trace.NoSpan {
+	if st == nil {
 		return
 	}
+	t, w := a.t, a.w
 	now := m.Eng.Now()
-	st.End(t.spans.phase, now, trace.OutcomeOK, "")
-	st.SetWorker(t.spans.attempt, w.Node.ID)
-	t.spans.phase = st.Begin(trace.Span{
-		Kind: trace.KindStage, Parent: t.spans.attempt,
+	if a.speculative {
+		if t.spans.task == trace.NoSpan {
+			return
+		}
+		t.spans.seq++
+		a.span = st.Begin(trace.Span{
+			Kind: trace.KindAttempt, Parent: t.spans.task,
+			Task: t.ID, Category: t.Category, Worker: w.Node.ID,
+			Attempt: t.spans.seq, Detail: "speculative", Start: now,
+		})
+	} else {
+		if t.spans.attempt == trace.NoSpan {
+			return
+		}
+		a.span = t.spans.attempt
+		t.spans.attempt = trace.NoSpan
+		st.End(t.spans.phase, now, trace.OutcomeOK, "") // ready-queue phase
+		t.spans.phase = trace.NoSpan
+		st.SetWorker(a.span, w.Node.ID)
+	}
+	a.phase = st.Begin(trace.Span{
+		Kind: trace.KindStage, Parent: a.span,
 		Task: t.ID, Category: t.Category, Worker: w.Node.ID, Start: now,
 	})
 }
 
-// traceStagingLost closes the attempt of a task whose worker vanished while
-// inputs were in flight.
-func (m *Master) traceStagingLost(t *Task) {
+// traceAttemptLost closes an attempt whose worker vanished, either while
+// inputs were in flight (detail "staging") or mid-execution.
+func (m *Master) traceAttemptLost(a *attempt) {
 	st := m.st()
-	if st == nil || t.spans.attempt == trace.NoSpan {
+	if st == nil || a.span == trace.NoSpan {
 		return
 	}
 	now := m.Eng.Now()
-	st.End(t.spans.phase, now, trace.OutcomeLost, "staging")
-	st.End(t.spans.attempt, now, trace.OutcomeLost, "staging")
+	detail := ""
+	if !a.started {
+		detail = "staging"
+	}
+	st.End(a.phase, now, trace.OutcomeLost, detail)
+	st.End(a.span, now, trace.OutcomeLost, detail)
+}
+
+// traceAttemptCancelled closes an attempt that lost the speculation race.
+func (m *Master) traceAttemptCancelled(a *attempt) {
+	st := m.st()
+	if st == nil || a.span == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(a.phase, now, trace.OutcomeCancelled, "")
+	st.End(a.span, now, trace.OutcomeCancelled, "lost speculation race")
+}
+
+// traceStagingFailed closes an attempt whose input transfer failed for good.
+func (m *Master) traceStagingFailed(a *attempt, f *File) {
+	st := m.st()
+	if st == nil || a.span == trace.NoSpan {
+		return
+	}
+	now := m.Eng.Now()
+	st.End(a.phase, now, trace.OutcomeFailed, f.Name)
+	st.End(a.span, now, trace.OutcomeFailed, "staging "+f.Name)
 }
 
 // traceExecStart closes the staging phase and opens the execute phase. It
 // returns the recording handle for the LFM (nil/NoSpan when untraced).
-func (m *Master) traceExecStart(t *Task, w *Worker) (*trace.Store, trace.SpanID) {
+func (m *Master) traceExecStart(a *attempt) (*trace.Store, trace.SpanID) {
 	st := m.st()
-	if st == nil || t.spans.attempt == trace.NoSpan {
+	if st == nil || a.span == trace.NoSpan {
 		return nil, trace.NoSpan
 	}
 	now := m.Eng.Now()
-	st.End(t.spans.phase, now, trace.OutcomeOK, "")
-	t.spans.phase = st.Begin(trace.Span{
-		Kind: trace.KindExecute, Parent: t.spans.attempt,
-		Task: t.ID, Category: t.Category, Worker: w.Node.ID, Start: now,
+	st.End(a.phase, now, trace.OutcomeOK, "")
+	a.phase = st.Begin(trace.Span{
+		Kind: trace.KindExecute, Parent: a.span,
+		Task: a.t.ID, Category: a.t.Category, Worker: a.w.Node.ID, Start: now,
 	})
-	return st, t.spans.phase
+	return st, a.phase
 }
 
 // traceExecEnd closes the execute phase with the monitor's verdict and opens
 // the output-retrieval phase.
-func (m *Master) traceExecEnd(t *Task, w *Worker, rep monitor.Report) {
+func (m *Master) traceExecEnd(a *attempt, rep monitor.Report) {
 	st := m.st()
-	if st == nil || t.spans.attempt == trace.NoSpan {
+	if st == nil || a.span == trace.NoSpan {
 		return
 	}
 	now := m.Eng.Now()
 	if rep.Completed {
-		st.End(t.spans.phase, now, trace.OutcomeOK, "")
+		st.End(a.phase, now, trace.OutcomeOK, "")
 	} else {
-		st.End(t.spans.phase, now, trace.OutcomeExhausted, string(rep.Exhausted))
+		st.End(a.phase, now, trace.OutcomeExhausted, string(rep.Exhausted))
 	}
-	t.spans.phase = st.Begin(trace.Span{
-		Kind: trace.KindOutput, Parent: t.spans.attempt,
-		Task: t.ID, Category: t.Category, Worker: w.Node.ID, Start: now,
+	a.phase = st.Begin(trace.Span{
+		Kind: trace.KindOutput, Parent: a.span,
+		Task: a.t.ID, Category: a.t.Category, Worker: a.w.Node.ID, Start: now,
 	})
 }
 
 // traceAttemptDone closes the output phase and the attempt itself once
 // outputs have been retrieved.
-func (m *Master) traceAttemptDone(t *Task, rep monitor.Report) {
+func (m *Master) traceAttemptDone(a *attempt, rep monitor.Report) {
 	st := m.st()
-	if st == nil || t.spans.attempt == trace.NoSpan {
+	if st == nil || a.span == trace.NoSpan {
 		return
 	}
 	now := m.Eng.Now()
-	st.End(t.spans.phase, now, trace.OutcomeOK, "")
+	st.End(a.phase, now, trace.OutcomeOK, "")
 	if rep.Completed {
-		st.End(t.spans.attempt, now, trace.OutcomeOK, "")
+		st.End(a.span, now, trace.OutcomeOK, "")
 	} else {
-		st.End(t.spans.attempt, now, trace.OutcomeExhausted, string(rep.Exhausted))
+		st.End(a.span, now, trace.OutcomeExhausted, string(rep.Exhausted))
 	}
-}
-
-// traceExecLost closes the execute phase and attempt of a task whose worker
-// disconnected mid-run.
-func (m *Master) traceExecLost(t *Task) {
-	st := m.st()
-	if st == nil || t.spans.attempt == trace.NoSpan {
-		return
-	}
-	now := m.Eng.Now()
-	st.End(t.spans.phase, now, trace.OutcomeLost, "")
-	st.End(t.spans.attempt, now, trace.OutcomeLost, "")
 }
 
 // traceComplete closes the task's root span.

@@ -68,6 +68,56 @@ type Task struct {
 	waiters   []*Task
 	retryNext *alloc.Decision
 	spans     taskSpans
+	// active lists this task's in-flight placements — usually one, two while
+	// a speculative copy races the original.
+	active []*attempt
+	// specCount counts speculative copies launched over the task's lifetime.
+	specCount int
+}
+
+// ActiveAttempts reports the number of in-flight placements (0 after the
+// task reaches a terminal state). Exposed for invariant checking.
+func (t *Task) ActiveAttempts() int { return len(t.active) }
+
+func (t *Task) dropActive(a *attempt) {
+	for i, o := range t.active {
+		if o == a {
+			t.active = append(t.active[:i], t.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// attempt is one placement of a task on a worker, from placement decision to
+// a terminal outcome (report, loss, cancellation, or staging failure).
+// Workers keep their attempts in an ordered slice so that recovery after a
+// worker loss processes them in placement order — map iteration here would
+// make chaos runs nondeterministic.
+type attempt struct {
+	t *Task
+	w *Worker
+	// dec/req are the allocation this attempt occupies on the worker.
+	dec alloc.Decision
+	req monitor.Resources
+	// exec is the monitor handle, nil until staging completes.
+	exec *monitor.Execution
+	// speculative marks a straggler-mitigation copy: it does not consume the
+	// task's retry budget and the first finished attempt wins.
+	speculative bool
+	// started is true once execution (not just staging) has begun.
+	started bool
+	// stranded marks an attempt whose staging finished on a dead-but-not-yet
+	// -suspected worker; it is recovered when suspicion fires.
+	stranded bool
+	// done marks a terminal attempt; late continuations check it and bail.
+	done bool
+
+	placedAt  sim.Time
+	execStart sim.Time
+
+	// span/phase are this attempt's trace spans (NoSpan when untraced).
+	span  trace.SpanID
+	phase trace.SpanID
 }
 
 // Config parameterizes a master.
@@ -82,6 +132,10 @@ type Config struct {
 	MaxRetries int
 	// Placement selects the worker-choice policy (default cache affinity).
 	Placement Placement
+	// Resilience configures failure detection and mitigation (heartbeats,
+	// speculation, quarantine, staging retries). The zero value disables
+	// everything, leaving the master's behaviour unchanged.
+	Resilience ResilienceConfig
 }
 
 // DefaultConfig returns a 10 Gb/s master link, 1 s polling LFM, and the Auto
@@ -115,6 +169,44 @@ type Stats struct {
 	WaitTimes       sim.Stats // submit -> first execution start
 	ExecTimes       sim.Stats // per successful attempt
 	PeakCoresUsed   float64
+	// Resilience is allocated on the first failure-domain event (detection,
+	// speculation, quarantine, staging failure); nil on undisturbed runs so
+	// their serialized Outcome is unchanged.
+	Resilience *ResilienceStats `json:",omitempty"`
+}
+
+// ResilienceStats aggregates failure detection and mitigation activity.
+type ResilienceStats struct {
+	// DetectionDelays samples worker death -> heartbeat suspicion latency.
+	DetectionDelays sim.Stats
+	// Speculative re-execution: copies launched, copies that beat the
+	// original, copies cancelled (either losing the race or dying), and the
+	// core-time the cancelled copies burned.
+	SpecLaunched     int
+	SpecWins         int
+	SpecCancelled    int
+	SpecWasteSeconds float64
+	// Staging-transfer fault handling.
+	StagingRetries  int
+	StagingFailures int
+	// Quarantines counts circuit-breaker trips across all workers.
+	Quarantines int
+}
+
+// resilience returns the lazily-allocated resilience stats block.
+func (s *Stats) resilience() *ResilienceStats {
+	if s.Resilience == nil {
+		s.Resilience = &ResilienceStats{}
+	}
+	return s.Resilience
+}
+
+// stagingWaiter is one attempt piggybacking on another attempt's in-flight
+// transfer of a cacheable file: ok resumes it when the transfer lands, fail
+// propagates a terminal transfer failure.
+type stagingWaiter struct {
+	ok   func()
+	fail func()
 }
 
 // Worker is one pilot job on a node executing tasks under LFMs.
@@ -126,19 +218,45 @@ type Worker struct {
 	usedDiskMB float64
 	running    int
 	alive      bool
-	executions map[*Task]*monitor.Execution
+	// attempts holds in-flight placements in placement order.
+	attempts []*attempt
+
+	// Failure domain state (see resilience.go): dead marks a crashed worker
+	// the master has not yet suspected; slow stretches task runtimes; the
+	// quarantine fields implement the consecutive-failure circuit breaker.
+	dead           bool
+	diedAt         sim.Time
+	joinedAt       sim.Time
+	slow           float64
+	suspectEv      *sim.Event
+	consecFails    int
+	quarantined    bool
+	probationRound int
+	probationEv    *sim.Event
 
 	cache      map[string]bool
 	cacheBytes int64
 	// staging holds continuations waiting on an in-flight transfer of a
 	// cacheable file to this worker, so concurrent tasks share one copy.
-	staging map[string][]func()
+	staging map[string][]stagingWaiter
 	// span covers the worker's connected lifetime when tracing is on.
 	span trace.SpanID
 }
 
 // Alive reports whether the worker is still connected.
 func (w *Worker) Alive() bool { return w.alive }
+
+// Quarantined reports whether the circuit breaker is blocking placements.
+func (w *Worker) Quarantined() bool { return w.quarantined }
+
+func (w *Worker) dropAttempt(a *attempt) {
+	for i, o := range w.attempts {
+		if o == a {
+			w.attempts = append(w.attempts[:i], w.attempts[i+1:]...)
+			return
+		}
+	}
+}
 
 // free reports available capacity.
 func (w *Worker) free() monitor.Resources {
@@ -184,6 +302,18 @@ type Master struct {
 
 	scheduling bool
 
+	// Fault-injection hooks (see resilience.go). stageFault fails a landed
+	// staging transfer; stageDelay stalls one before it starts.
+	stageFault func(*Worker, *File) bool
+	stageDelay func(*File) sim.Time
+	// resRNG jitters staging retry backoff; forked lazily so undisturbed
+	// runs draw the same stream as before this field existed.
+	resRNG *sim.RNG
+	// specArmed is true while the speculation scan loop is scheduled;
+	// specEv is the pending scan event (cancelled when the queue drains).
+	specArmed bool
+	specEv    *sim.Event
+
 	// utilization accounting: integrals of allocated and available
 	// core-seconds, advanced whenever allocation changes.
 	coreSecondsUsed  float64
@@ -202,6 +332,7 @@ func NewMaster(eng *sim.Engine, cfg Config) *Master {
 	if cfg.LinkBandwidth <= 0 {
 		cfg.LinkBandwidth = 1.25e9
 	}
+	cfg.Resilience.fillDefaults()
 	return &Master{
 		Eng:  eng,
 		Cfg:  cfg,
@@ -219,6 +350,12 @@ func (m *Master) Stats() *Stats { return &m.stats }
 
 // Workers reports the current pool size.
 func (m *Master) Workers() int { return len(m.workers) }
+
+// LiveWorkers returns the connected workers in join order (a copy; safe to
+// index for fault injection).
+func (m *Master) LiveWorkers() []*Worker {
+	return append([]*Worker(nil), m.workers...)
+}
 
 // account advances the utilization integrals to the current time. It must
 // run before any change to allocation or pool size.
@@ -263,11 +400,11 @@ func (m *Master) EffectiveUtilization() float64 {
 func (m *Master) AddWorker(node *cluster.Node) *Worker {
 	m.account()
 	w := &Worker{
-		Node:       node,
-		alive:      true,
-		cache:      make(map[string]bool),
-		staging:    make(map[string][]func()),
-		executions: make(map[*Task]*monitor.Execution),
+		Node:     node,
+		alive:    true,
+		joinedAt: m.Eng.Now(),
+		cache:    make(map[string]bool),
+		staging:  make(map[string][]stagingWaiter),
 	}
 	m.workers = append(m.workers, w)
 	m.met.onWorkerJoin(w)
@@ -286,6 +423,7 @@ func (m *Master) RemoveWorker(w *Worker) {
 	}
 	m.account()
 	w.alive = false
+	m.Eng.Cancel(w.suspectEv)
 	m.met.onWorkerLeave(w)
 	m.traceWorkerLeave(w)
 	for i, other := range m.workers {
@@ -294,14 +432,18 @@ func (m *Master) RemoveWorker(w *Worker) {
 			break
 		}
 	}
-	for t, ex := range w.executions {
-		ex.Abort()
-		delete(w.executions, t)
-		t.Attempts-- // a lost worker is not the task's fault
-		m.stats.LostTasks++
-		m.met.onLost()
-		m.traceExecLost(t)
-		m.makeReady(t)
+	// Recover attempts in placement order. Attempts whose staging transfer
+	// is still in flight are recovered by the transfer continuation when it
+	// observes the dead worker, exactly as before; stranded attempts (whose
+	// staging finished while the death was undetected) are recovered here.
+	for _, a := range append([]*attempt(nil), w.attempts...) {
+		if a.exec == nil && !a.stranded {
+			continue
+		}
+		if a.exec != nil {
+			a.exec.Abort()
+		}
+		m.loseAttempt(a)
 	}
 	m.schedule()
 }
@@ -315,6 +457,7 @@ func (m *Master) Submit(t *Task) {
 	m.stats.Submitted++
 	m.met.onSubmit(t)
 	m.traceSubmit(t)
+	m.armSpeculation()
 	depFailed := false
 	for _, dep := range t.DependsOn {
 		switch dep.State {
@@ -393,7 +536,7 @@ func (m *Master) place(t *Task) bool {
 
 	var candidates []*Worker
 	for _, w := range m.workers {
-		if !w.alive || !m.fitsOn(w, dec) {
+		if !w.alive || w.quarantined || !m.fitsOn(w, dec) {
 			continue
 		}
 		candidates = append(candidates, w)
@@ -403,7 +546,7 @@ func (m *Master) place(t *Task) bool {
 		return false
 	}
 	t.retryNext = nil
-	m.start(t, best, dec)
+	m.startAttempt(t, best, dec, false)
 	return true
 }
 
@@ -430,47 +573,85 @@ func effectiveRequest(w *Worker, dec alloc.Decision) monitor.Resources {
 	return req
 }
 
-// start runs a placed task: stage inputs, execute under the LFM, return
-// outputs, then release and account.
-func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
-	t.State = TaskRunning
-	t.Attempts++
+// startAttempt runs one placement: stage inputs, execute under the LFM,
+// return outputs, then release and account. Speculative attempts skip the
+// task-level bookkeeping (state, attempt count, wait times) of the original.
+func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculative bool) {
+	a := &attempt{
+		t: t, w: w, dec: dec, speculative: speculative,
+		placedAt: m.Eng.Now(),
+		span:     trace.NoSpan, phase: trace.NoSpan,
+	}
+	if !speculative {
+		t.State = TaskRunning
+		t.Attempts++
+	}
 	m.met.onPlace()
 	req := effectiveRequest(w, dec)
+	a.req = req
 	m.account()
 	w.usedCores += req.Cores
 	w.usedMemMB += req.MemoryMB
 	w.usedDiskMB += req.DiskMB
 	w.running++
+	w.attempts = append(w.attempts, a)
+	t.active = append(t.active, a)
 	if w.usedCores > m.stats.PeakCoresUsed {
 		m.stats.PeakCoresUsed = w.usedCores
 	}
 
-	m.tracePlaced(t, w)
-	m.stageInputs(t, w, 0, func() {
+	m.tracePlaced(a)
+	m.stageInputs(a, 0, func() {
+		if a.done {
+			return // cancelled or failed while inputs were in flight
+		}
 		if !w.alive {
 			// The worker vanished while inputs were in flight.
-			t.Attempts--
-			m.stats.LostTasks++
-			m.met.onLost()
-			m.traceStagingLost(t)
-			m.makeReady(t)
+			m.loseAttempt(a)
 			return
 		}
-		t.StartedAt = m.Eng.Now()
-		m.stats.WaitTimes.Add(float64(t.StartedAt - t.SubmittedAt))
-		m.met.onStart(t)
+		if w.dead {
+			// The worker crashed but the master has not suspected it yet:
+			// the attempt strands until heartbeat suspicion recovers it.
+			a.stranded = true
+			return
+		}
+		a.started = true
+		a.execStart = m.Eng.Now()
+		if !speculative {
+			t.StartedAt = a.execStart
+			m.stats.WaitTimes.Add(float64(t.StartedAt - t.SubmittedAt))
+			m.met.onStart(t)
+		}
 		limits := monitor.Resources{}
 		if !dec.Monitorless {
 			limits = req
 		}
-		tst, execSpan := m.traceExecStart(t, w)
-		w.executions[t] = m.lfm.RunTraced(t.Spec, limits, tst, execSpan, func(rep monitor.Report) {
-			delete(w.executions, t)
+		spec := t.Spec
+		if w.slow > 1 {
+			spec = t.Spec.ScaleTime(w.slow)
+		}
+		tst, execSpan := m.traceExecStart(a)
+		a.exec = m.lfm.RunTraced(spec, limits, tst, execSpan, func(rep monitor.Report) {
+			a.done = true
+			w.dropAttempt(a)
+			t.dropActive(a)
 			t.Report = rep
 			m.Cfg.Strategy.Observe(t.Category, rep)
 			m.categories.observe(t.Category, rep)
-			m.traceExecEnd(t, w, rep)
+			m.traceExecEnd(a, rep)
+			if rep.Completed {
+				// First result wins: cancel the losing copies.
+				t.StartedAt = a.execStart
+				w.consecFails, w.probationRound = 0, 0
+				if a.speculative {
+					m.stats.resilience().SpecWins++
+					m.met.onSpecWin()
+				}
+				for _, o := range append([]*attempt(nil), t.active...) {
+					m.cancelAttempt(o)
+				}
+			}
 			m.sendOutputs(t, rep.Completed, func() {
 				m.account()
 				if rep.Completed {
@@ -480,8 +661,12 @@ func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 				w.usedMemMB -= req.MemoryMB
 				w.usedDiskMB -= req.DiskMB
 				w.running--
-				m.traceAttemptDone(t, rep)
-				m.finishAttempt(t, rep)
+				m.traceAttemptDone(a, rep)
+				if rep.Completed || len(t.active) == 0 {
+					m.finishAttempt(t, rep)
+				}
+				// Otherwise this attempt exhausted its allocation while a
+				// copy still races; drop it and let the copy decide.
 				m.schedule()
 			})
 		})
@@ -489,20 +674,21 @@ func (m *Master) start(t *Task, w *Worker, dec alloc.Decision) {
 }
 
 // stageInputs transfers (and unpacks) each input not already cached.
-func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
+func (m *Master) stageInputs(a *attempt, i int, done func()) {
+	t, w := a.t, a.w
 	if i >= len(t.Inputs) {
 		done()
 		return
 	}
 	f := t.Inputs[i]
 	st := m.st()
-	cont := func() { m.stageInputs(t, w, i+1, done) }
+	cont := func() { m.stageInputs(a, i+1, done) }
 	if w.cache[f.Name] {
 		m.stats.CacheHits++
 		m.met.onCacheHit()
-		if t.spans.phase != trace.NoSpan {
+		if a.phase != trace.NoSpan {
 			st.Instant(trace.Span{
-				Kind: stageKind(f), Parent: t.spans.phase,
+				Kind: stageKind(f), Parent: a.phase,
 				Task: t.ID, Category: t.Category, Worker: w.Node.ID,
 				Outcome: trace.OutcomeCacheHit, Detail: f.Name,
 			}, m.Eng.Now())
@@ -517,9 +703,10 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 			m.stats.CacheHits++
 			m.met.onCacheHit()
 			wake := cont
-			if t.spans.phase != trace.NoSpan {
+			fail := func() { m.failStaging(a, f) }
+			if a.phase != trace.NoSpan {
 				shared := st.Begin(trace.Span{
-					Kind: stageKind(f), Parent: t.spans.phase,
+					Kind: stageKind(f), Parent: a.phase,
 					Task: t.ID, Category: t.Category, Worker: w.Node.ID,
 					Detail: f.Name, Start: m.Eng.Now(),
 				})
@@ -527,45 +714,72 @@ func (m *Master) stageInputs(t *Task, w *Worker, i int, done func()) {
 					st.End(shared, m.Eng.Now(), trace.OutcomeShared, "")
 					cont()
 				}
+				fail = func() {
+					st.End(shared, m.Eng.Now(), trace.OutcomeFailed, "transfer failed")
+					m.failStaging(a, f)
+				}
 			}
-			w.staging[f.Name] = append(waiters, wake)
+			w.staging[f.Name] = append(waiters, stagingWaiter{ok: wake, fail: fail})
 			return
 		}
 		w.staging[f.Name] = nil
 	}
+	m.transferFile(a, f, 0, cont)
+}
+
+// transferFile moves one input over the master link onto the worker's disk,
+// retrying injected transfer failures under exponential backoff and failing
+// the attempt (plus any piggybacked waiters) once retries are exhausted.
+func (m *Master) transferFile(a *attempt, f *File, try int, cont func()) {
+	t, w := a.t, a.w
+	st := m.st()
 	m.stats.CacheMisses++
 	m.stats.BytesIn += f.SizeBytes
 	m.met.onTransferIn(f.SizeBytes)
 	fsp := trace.NoSpan
-	if t.spans.phase != trace.NoSpan {
+	if a.phase != trace.NoSpan {
 		fsp = st.Begin(trace.Span{
-			Kind: stageKind(f), Parent: t.spans.phase,
+			Kind: stageKind(f), Parent: a.phase,
 			Task: t.ID, Category: t.Category, Worker: w.Node.ID,
 			Detail: f.Name, Start: m.Eng.Now(),
 		})
 	}
-	m.link.Transfer(float64(f.SizeBytes), func() {
-		w.Node.Disk.Write(f.SizeBytes, func() {
-			after := func() {
-				st.End(fsp, m.Eng.Now(), trace.OutcomeOK, "")
-				if f.Cacheable {
-					w.cache[f.Name] = true
-					w.cacheBytes += f.SizeBytes
-					waiters := w.staging[f.Name]
-					delete(w.staging, f.Name)
-					for _, wake := range waiters {
-						wake()
-					}
+	xfer := func() {
+		m.link.Transfer(float64(f.SizeBytes), func() {
+			w.Node.Disk.Write(f.SizeBytes, func() {
+				if m.stageFault != nil && w.alive && !w.dead && m.stageFault(w, f) {
+					st.End(fsp, m.Eng.Now(), trace.OutcomeFailed, "transfer failed")
+					m.retryStaging(a, f, try, cont)
+					return
 				}
-				cont()
-			}
-			if f.UnpackTime > 0 {
-				m.Eng.After(f.UnpackTime, after)
-			} else {
-				after()
-			}
+				after := func() {
+					st.End(fsp, m.Eng.Now(), trace.OutcomeOK, "")
+					if f.Cacheable {
+						w.cache[f.Name] = true
+						w.cacheBytes += f.SizeBytes
+						waiters := w.staging[f.Name]
+						delete(w.staging, f.Name)
+						for _, wake := range waiters {
+							wake.ok()
+						}
+					}
+					cont()
+				}
+				if f.UnpackTime > 0 {
+					m.Eng.After(f.UnpackTime, after)
+				} else {
+					after()
+				}
+			})
 		})
-	})
+	}
+	if m.stageDelay != nil {
+		if d := m.stageDelay(f); d > 0 {
+			m.Eng.After(d, xfer)
+			return
+		}
+	}
+	xfer()
 }
 
 func (m *Master) sendOutputs(t *Task, completed bool, done func()) {
@@ -628,10 +842,38 @@ func (m *Master) complete(t *Task, state TaskState) {
 	if m.onDone != nil {
 		m.onDone(t)
 	}
+	m.drainCheck()
 }
 
 // QueueLen reports ready tasks not yet placed.
 func (m *Master) QueueLen() int { return len(m.ready) }
+
+// CheckInvariants verifies the master drained cleanly: every submitted task
+// reached a terminal state, no attempt leaked on any worker, and all worker
+// capacity was released. It is the safety net behind chaos runs.
+func (m *Master) CheckInvariants() error {
+	st := &m.stats
+	if st.Completed+st.Failed != st.Submitted {
+		return fmt.Errorf("wq: %d submitted but %d completed + %d failed",
+			st.Submitted, st.Completed, st.Failed)
+	}
+	if len(m.ready) != 0 {
+		return fmt.Errorf("wq: %d tasks stuck in the ready queue", len(m.ready))
+	}
+	for _, w := range m.workers {
+		if len(w.attempts) != 0 {
+			return fmt.Errorf("wq: worker %d leaked %d attempts", w.Node.ID, len(w.attempts))
+		}
+		if w.running != 0 {
+			return fmt.Errorf("wq: worker %d still accounts %d running tasks", w.Node.ID, w.running)
+		}
+		if w.usedCores > 1e-9 || w.usedMemMB > 1e-9 || w.usedDiskMB > 1e-9 {
+			return fmt.Errorf("wq: worker %d leaked capacity %v", w.Node.ID, monitor.Resources{
+				Cores: w.usedCores, MemoryMB: w.usedMemMB, DiskMB: w.usedDiskMB})
+		}
+	}
+	return nil
+}
 
 // String renders a short status line.
 func (m *Master) String() string {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"lfm/internal/alloc"
+	"lfm/internal/chaos"
 	"lfm/internal/core"
 	"lfm/internal/deps"
 	"lfm/internal/envpack"
@@ -52,6 +53,14 @@ import (
 
 // Time is simulated time in seconds.
 type Time = sim.Time
+
+// Simulated-time unit constants.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
 
 // Resources is a cores/memory/disk resource vector.
 type Resources = monitor.Resources
@@ -303,11 +312,57 @@ type TraceCriticalPath = trace.CriticalPath
 // TraceBucket aggregates where one task category's or worker's time went.
 type TraceBucket = trace.Bucket
 
+// Failure-domain span kinds recorded by the chaos engine and the hardening
+// machinery; everything else in a trace uses task/worker lifecycle kinds.
+const (
+	TraceKindChaos      = trace.KindChaos
+	TraceKindSuspect    = trace.KindSuspect
+	TraceKindQuarantine = trace.KindQuarantine
+	TraceKindKill       = trace.KindKill
+)
+
 // ReadTrace loads a span store saved with TraceStore.WriteJSON.
 func ReadTrace(r io.Reader) (*TraceStore, error) { return trace.ReadJSON(r) }
 
 // CategorySummary aggregates monitored behaviour for one task category.
 type CategorySummary = wq.CategorySummary
+
+// ---- Failure model & chaos engineering ----
+
+// ResilienceConfig tunes failure detection and mitigation in the scheduler:
+// heartbeat-based crash detection, speculative re-execution of stragglers, a
+// per-worker quarantine circuit breaker, and staging-transfer retries under
+// exponential backoff. The zero value keeps the historical fail-fast
+// behaviour; set it on RunConfig.Resilience.
+type ResilienceConfig = wq.ResilienceConfig
+
+// ResilienceStats reports what the hardening machinery did during a run
+// (detection latencies, speculation wins and waste, staging retries,
+// quarantine trips); see Outcome.Stats.Resilience.
+type ResilienceStats = wq.ResilienceStats
+
+// ChaosSchedule is a declarative fault plan driven over a run when set on
+// RunConfig.Faults: worker crashes and slowdowns, filesystem brownouts and
+// outages, staging-transfer failures, provisioning rejections, deferred
+// (zombie) kills, and continuous worker churn.
+type ChaosSchedule = chaos.Schedule
+
+// ChaosFault is one scheduled injection in a ChaosSchedule.
+type ChaosFault = chaos.Fault
+
+// ChaosReport summarizes what the fault engine actually did — injection
+// counts by kind plus any invariant violations; see Outcome.Chaos.
+type ChaosReport = chaos.Report
+
+// ChaosProfile builds one of the canned fault schedules ("churn",
+// "stragglers", "flaky-staging", "blackout", "storm") scaled to a run
+// expected to last about horizon.
+func ChaosProfile(name string, horizon Time) (*ChaosSchedule, error) {
+	return chaos.Profile(name, horizon)
+}
+
+// ChaosProfiles lists the canned fault schedule names.
+func ChaosProfiles() []string { return chaos.Profiles() }
 
 // ---- Metrics & observability ----
 
