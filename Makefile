@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race chaos
+.PHONY: check build vet test test-race chaos bench
 
 check: build vet test-race
 
@@ -25,3 +25,10 @@ test-race:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Resilience|Speculation|Heartbeat|Quarantine|Staging|KillDelay|CrashW|SlowWorker|ProvisionReject' ./internal/...
 	$(GO) run ./cmd/lfmbench -chaos-profile storm -seed 7
+
+# Scheduler scale sweep in quick mode: measures the indexed matcher against
+# the linear scan's counterfactual cost, byte-verifies identical output on
+# the dual-run point, and writes BENCH_scheduler.json (CI uploads it as an
+# artifact). Drop -quick to reproduce the committed full-size numbers.
+bench:
+	$(GO) run ./cmd/lfmbench -scale -quick -scale-out BENCH_scheduler.json

@@ -319,6 +319,34 @@ func BenchmarkWQScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkMatcher contrasts the indexed matcher with the reference linear
+// scan on a backlog deep enough that scheduling cost dominates, reporting
+// candidate fit-tests per scheduling round for each.
+func BenchmarkMatcher(b *testing.B) {
+	for _, mt := range []wq.Matcher{wq.MatcherIndexed, wq.MatcherScan} {
+		mt := mt
+		b.Run(mt.String(), func(b *testing.B) {
+			var perRound float64
+			for i := 0; i < b.N; i++ {
+				w := workloads.Scale(sim.NewRNG(7), 4000, 8)
+				out, err := core.Run(w, core.RunConfig{
+					SiteName: "theta", Workers: 64, Seed: 7, NoBatchLatency: true,
+					WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+					Strategy: &alloc.Guess{Fixed: w.Guess}, Matcher: mt,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Stats.Completed != 4000 {
+					b.Fatalf("completed %d", out.Stats.Completed)
+				}
+				perRound = float64(out.Sched.CandidatesExamined) / float64(out.Sched.Passes)
+			}
+			b.ReportMetric(perRound, "candidates/round")
+		})
+	}
+}
+
 // BenchmarkDependencyAnalysis measures static analysis throughput on a
 // realistic Parsl script.
 func BenchmarkDependencyAnalysis(b *testing.B) {

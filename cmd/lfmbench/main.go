@@ -45,6 +45,8 @@ func main() {
 	chaosProfile := flag.String("chaos-profile", "", "run an HEP benchmark under a canned fault schedule ("+strings.Join(lfm.ChaosProfiles(), ", ")+") with full resilience enabled; exits nonzero on invariant violations")
 	chaosSeed := flag.Int64("chaos-seed", 0, "with -chaos-profile: seed fault injection independently of -seed (0 uses -seed)")
 	chaosTrace := flag.String("chaos-trace", "", "with -chaos-profile: write the chaos run's span trace to this file (- for stdout)")
+	scale := flag.Bool("scale", false, "run the scheduler scale sweep (up to 100k tasks x 5k workers; -quick shrinks it) and write BENCH_scheduler.json")
+	scaleOut := flag.String("scale-out", "BENCH_scheduler.json", "with -scale: write the sweep report JSON to this file (- for stdout)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]\n")
@@ -83,7 +85,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "") && flag.NArg() == 0 {
+	if *scale {
+		if err := runScale(*seed, *quick, *scaleOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale) && flag.NArg() == 0 {
 		return
 	}
 

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lfm"
+)
+
+// scalePoint is one sweep configuration.
+type scalePoint struct {
+	Tasks   int `json:"tasks"`
+	Workers int `json:"workers"`
+}
+
+// matcherCost reports one matcher's scheduling work at a sweep point.
+type matcherCost struct {
+	Rounds             int64   `json:"rounds"`
+	TasksExamined      int64   `json:"tasks_examined"`
+	CandidatesExamined int64   `json:"candidates_examined"`
+	CandidatesPerRound float64 `json:"candidates_per_round"`
+	BlockedWakes       int64   `json:"blocked_wakes,omitempty"`
+	SchedMillis        float64 `json:"sched_ms"`
+	WallMillis         float64 `json:"wall_ms"`
+}
+
+// scaleResult is one sweep point's measurements.
+type scaleResult struct {
+	scalePoint
+	Categories int     `json:"categories"`
+	Makespan   float64 `json:"sim_makespan_s"`
+	Completed  int     `json:"completed"`
+
+	Indexed matcherCost `json:"indexed"`
+	// ScanEquivalent is the indexed run's counterfactual: what the linear
+	// scan would have examined over the same rounds (no timing, it did not
+	// run).
+	ScanEquivalent matcherCost `json:"scan_equivalent"`
+	// Scan holds the measured cost of actually re-running the point under
+	// the linear scan; only present on points small enough to afford it.
+	Scan *matcherCost `json:"scan,omitempty"`
+	// IdenticalOutput reports whether the scan re-run's outcome and trace
+	// JSON were byte-identical to the indexed run's; only present with Scan.
+	IdenticalOutput *bool `json:"identical_output,omitempty"`
+
+	// ReductionCandidatesPerRound is scan-equivalent candidates per round
+	// divided by indexed candidates per round.
+	ReductionCandidatesPerRound float64 `json:"reduction_candidates_per_round"`
+}
+
+// scaleReport is the BENCH_scheduler.json document.
+type scaleReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	Quick       bool          `json:"quick"`
+	Seed        int64         `json:"seed"`
+	Points      []scaleResult `json:"points"`
+}
+
+const scaleCategories = 8
+
+// scaleRun executes one sweep point under one matcher and returns the
+// outcome, the trace JSON (only captured when withTrace, to keep the big
+// points lean), and the process wall time.
+func scaleRun(seed int64, p scalePoint, m lfm.Matcher, withTrace bool) (*lfm.Outcome, []byte, time.Duration, error) {
+	w := lfm.ScaleWorkload(seed, p.Tasks, scaleCategories)
+	// The fixed "guess" label keeps Strategy.Next O(1) so the measurement
+	// isolates matcher cost; "auto" recomputes labels from the full
+	// observation history on every query, which at this scale dominates the
+	// runtime identically under both matchers.
+	strategy, err := lfm.StrategyFor("guess", w)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// A synthetic pool: one 4-core node per worker so the backlog stays
+	// several waves deep and every scheduling round has real work.
+	site := lfm.Sites()["ndcrc"]
+	site.Name = fmt.Sprintf("synthetic-%d", p.Workers)
+	site.Nodes = p.Workers
+	site.BatchLatency = 0
+	site.Jitter = 0
+	var tr *lfm.ExecutionTrace
+	if withTrace {
+		tr = &lfm.ExecutionTrace{}
+	}
+	start := time.Now()
+	out, err := lfm.RunWorkload(w, lfm.RunConfig{
+		Site: &site, Workers: p.Workers,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: strategy, Seed: seed, NoBatchLatency: true,
+		Matcher: m, Trace: tr,
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var tb []byte
+	if withTrace {
+		var buf bytes.Buffer
+		if err := tr.Store().WriteJSON(&buf); err != nil {
+			return nil, nil, 0, err
+		}
+		tb = buf.Bytes()
+	}
+	return out, tb, wall, nil
+}
+
+func cost(rounds, tasks, candidates int64, schedNanos int64, wall time.Duration) matcherCost {
+	c := matcherCost{
+		Rounds:             rounds,
+		TasksExamined:      tasks,
+		CandidatesExamined: candidates,
+		SchedMillis:        float64(schedNanos) / 1e6,
+		WallMillis:         float64(wall.Nanoseconds()) / 1e6,
+	}
+	if rounds > 0 {
+		c.CandidatesPerRound = float64(candidates) / float64(rounds)
+	}
+	return c
+}
+
+// runScale sweeps the scheduler over growing backlogs and pools, measures
+// the indexed matcher against the linear scan's counterfactual cost,
+// re-runs the smallest point under the real scan to byte-verify identical
+// output, and writes the JSON report.
+func runScale(seed int64, quick bool, outPath string) error {
+	points := []scalePoint{{2000, 128}, {10000, 512}, {100000, 5000}}
+	dualMax := 2000
+	if quick {
+		points = []scalePoint{{1000, 64}, {5000, 512}, {20000, 1000}}
+		dualMax = 1000
+	}
+	rep := scaleReport{GeneratedBy: "lfmbench -scale", Quick: quick, Seed: seed}
+	for _, p := range points {
+		dual := p.Tasks <= dualMax
+		out, trIdx, wall, err := scaleRun(seed, p, lfm.MatcherIndexed, dual)
+		if err != nil {
+			return err
+		}
+		s := out.Sched
+		res := scaleResult{
+			scalePoint: p,
+			Categories: scaleCategories,
+			Makespan:   float64(out.Makespan),
+			Completed:  out.Stats.Completed,
+			Indexed:    cost(s.Passes, s.TasksExamined, s.CandidatesExamined, s.ElapsedNanos, wall),
+			ScanEquivalent: cost(s.Passes, s.ScanTasksExamined, s.ScanCandidatesExamined,
+				0, 0),
+		}
+		res.Indexed.BlockedWakes = s.BlockedWakes
+		if res.Indexed.CandidatesPerRound > 0 {
+			res.ReductionCandidatesPerRound =
+				res.ScanEquivalent.CandidatesPerRound / res.Indexed.CandidatesPerRound
+		}
+		if dual {
+			outScan, trScan, wallScan, err := scaleRun(seed, p, lfm.MatcherScan, true)
+			if err != nil {
+				return err
+			}
+			ss := outScan.Sched
+			sc := cost(ss.Passes, ss.TasksExamined, ss.CandidatesExamined, ss.ElapsedNanos, wallScan)
+			res.Scan = &sc
+			oi, err := json.Marshal(out)
+			if err != nil {
+				return err
+			}
+			os2, err := json.Marshal(outScan)
+			if err != nil {
+				return err
+			}
+			same := bytes.Equal(oi, os2) && bytes.Equal(trIdx, trScan)
+			res.IdenticalOutput = &same
+			if !same {
+				return fmt.Errorf("scale point %dx%d: indexed and scan outputs diverge", p.Tasks, p.Workers)
+			}
+			if ss.CandidatesExamined != s.ScanCandidatesExamined {
+				return fmt.Errorf("scale point %dx%d: counterfactual scan cost %d != measured %d",
+					p.Tasks, p.Workers, s.ScanCandidatesExamined, ss.CandidatesExamined)
+			}
+		}
+		rep.Points = append(rep.Points, res)
+		msg := io.Writer(os.Stdout)
+		if outPath == "-" {
+			msg = os.Stderr
+		}
+		fmt.Fprintf(msg, "scale %6d tasks x %4d workers: %d rounds, %.0f candidates/round indexed vs %.0f scan-equivalent (%.0fx), sched %.0fms, run %.1fs\n",
+			p.Tasks, p.Workers, res.Indexed.Rounds, res.Indexed.CandidatesPerRound,
+			res.ScanEquivalent.CandidatesPerRound, res.ReductionCandidatesPerRound,
+			res.Indexed.SchedMillis, wall.Seconds())
+	}
+	return writeTo(outPath, func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&rep)
+	})
+}

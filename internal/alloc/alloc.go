@@ -78,6 +78,7 @@ func (o *Oracle) Observe(string, monitor.Report) {}
 // Guess allocates a fixed user-provided label for every task, the "imperfect
 // knowledge" configuration of existing frameworks.
 type Guess struct {
+	// Fixed is the label requested for every task regardless of category.
 	Fixed monitor.Resources
 }
 

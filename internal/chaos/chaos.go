@@ -50,9 +50,12 @@ const (
 // staging-failure, provision-reject, zombie-kill) are active for Duration
 // starting at At; worker kinds strike once at At.
 type Fault struct {
-	Kind     FaultKind `json:",omitempty"`
-	At       sim.Time  `json:",omitempty"`
-	Duration sim.Time  `json:",omitempty"`
+	// Kind names the failure mode to inject.
+	Kind FaultKind `json:",omitempty"`
+	// At is when the fault strikes (windowed kinds start here).
+	At sim.Time `json:",omitempty"`
+	// Duration is the active window for windowed kinds; ignored otherwise.
+	Duration sim.Time `json:",omitempty"`
 	// Factor is the worker-slow runtime multiplier (default 4).
 	Factor float64 `json:",omitempty"`
 	// Prob is the per-transfer staging failure probability (default 1).

@@ -36,8 +36,16 @@ type RunConfig struct {
 	WorkerCores    int
 	WorkerMemoryMB float64
 	WorkerDiskMB   float64
+	// Site, when non-nil, runs on a copy of this site description instead
+	// of looking SiteName up in cluster.Sites(). Scale benchmarks use it to
+	// provision synthetic pools bigger than any catalogued site.
+	Site *cluster.Site
 	// Strategy is the allocation strategy; default Auto.
 	Strategy alloc.Strategy
+	// Matcher selects the master's matching-loop implementation (default
+	// the indexed matcher; see wq.Matcher). Both produce identical
+	// placement decisions.
+	Matcher wq.Matcher
 	// Seed makes the run reproducible.
 	Seed int64
 	// NoBatchLatency provisions workers instantly (for experiments
@@ -106,16 +114,26 @@ type Outcome struct {
 	// Chaos carries the fault-injection report (injection counts and any
 	// invariant violations) when RunConfig.Faults was set, nil otherwise.
 	Chaos *chaos.Report `json:",omitempty"`
+	// Sched measures the matching loop's work (rounds, candidates
+	// examined, wall time). Excluded from JSON so seeded outcome snapshots
+	// stay byte-identical across matcher implementations and hardware.
+	Sched *wq.SchedStats `json:"-"`
 }
 
 // Run executes the workload on the configured site and strategy.
 func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
-	if cfg.SiteName == "" {
-		cfg.SiteName = "ndcrc"
-	}
-	site, ok := cluster.Sites()[cfg.SiteName]
-	if !ok {
-		return nil, fmt.Errorf("core: unknown site %q", cfg.SiteName)
+	var site cluster.Site
+	if cfg.Site != nil {
+		site = *cfg.Site
+	} else {
+		if cfg.SiteName == "" {
+			cfg.SiteName = "ndcrc"
+		}
+		var ok bool
+		site, ok = cluster.Sites()[cfg.SiteName]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown site %q", cfg.SiteName)
+		}
 	}
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("core: need at least one worker")
@@ -145,6 +163,7 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	cl := cluster.New(eng, site)
 	mcfg := wq.DefaultConfig()
 	mcfg.Strategy = strategy
+	mcfg.Matcher = cfg.Matcher
 	mcfg.Monitor.Metrics = cfg.Metrics
 	mcfg.Resilience = cfg.Resilience
 	master := wq.NewMaster(eng, mcfg)
@@ -306,6 +325,7 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		EffectiveUtilization: master.EffectiveUtilization(),
 		Sampler:              sampler,
 		ProvisionFailures:    provisionFailures,
+		Sched:                master.SchedStats(),
 	}
 	if lastProvisionErr != nil {
 		out.ProvisionError = lastProvisionErr.Error()

@@ -26,6 +26,8 @@ type CriticalPath struct {
 
 // PhaseShare is one phase kind's share of the critical path.
 type PhaseShare struct {
+	// Kind is the phase; Duration its summed time on the path; Fraction
+	// its share of the path total.
 	Kind     Kind
 	Duration sim.Time
 	Fraction float64

@@ -92,9 +92,12 @@ const (
 
 // Span is one timed interval (or instant, when Start == End) in a run.
 type Span struct {
+	// ID is the span's store-unique identifier; Parent nests it under
+	// another span (0 for roots).
 	ID     SpanID `json:"id"`
 	Parent SpanID `json:"parent,omitempty"`
-	Kind   Kind   `json:"kind"`
+	// Kind classifies the interval (see the Kind constants).
+	Kind Kind `json:"kind"`
 	// Task is the task ID, or -1 for non-task spans.
 	Task int `json:"task"`
 	// Category is the task category, or empty.
@@ -102,8 +105,9 @@ type Span struct {
 	// Worker is the executing worker's node ID, or -1.
 	Worker int `json:"worker"`
 	// Attempt numbers a task's placement attempts from 1.
-	Attempt int      `json:"attempt,omitempty"`
-	Start   sim.Time `json:"start"`
+	Attempt int `json:"attempt,omitempty"`
+	// Start is when the interval opened.
+	Start sim.Time `json:"start"`
 	// End is -1 while the span is open.
 	End sim.Time `json:"end"`
 	// Outcome labels how the span closed (see the Outcome constants).
@@ -130,8 +134,10 @@ func (sp Span) Open() bool { return sp.End < 0 }
 // Link is one causal edge between spans; Kind "dep" marks a workflow DAG
 // dependency from one task span to another.
 type Link struct {
+	// From and To are the cause and effect spans.
 	From SpanID `json:"from"`
 	To   SpanID `json:"to"`
+	// Kind labels the edge ("dep" for workflow DAG dependencies).
 	Kind string `json:"kind"`
 }
 

@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+	"lfm/internal/wq"
+)
+
+// Scale generates a synthetic scheduler-stress workload: `tasks` independent
+// single-core tasks spread over `categories` categories, all submittable at
+// t=0 so the master sees one deep backlog. Each category shares a cacheable
+// environment file (so cache-affinity builds real inverted indexes) and each
+// task reads one small unique file. Durations and memory vary per task so
+// Auto's labels evolve and blocked sets churn. It is intentionally not one
+// of the paper's applications: its only job is to make scheduling cost, not
+// execution, the dominant term.
+func Scale(rng *sim.RNG, tasks, categories int) *Workload {
+	if categories < 1 {
+		categories = 1
+	}
+	w := &Workload{
+		Name:        fmt.Sprintf("scale-%d", tasks),
+		OraclePeaks: map[string]monitor.Resources{},
+		Guess:       r(1, 512, 256),
+	}
+	envs := make([]*wq.File, categories)
+	for c := 0; c < categories; c++ {
+		cat := fmt.Sprintf("scale-%d", c)
+		w.OraclePeaks[cat] = r(1, 400, 128)
+		envs[c] = &wq.File{
+			Name: fmt.Sprintf("scale-env-%d.tar.gz", c), SizeBytes: 50e6, Cacheable: true,
+		}
+	}
+	for id := 0; id < tasks; id++ {
+		c := id % categories
+		dur := rng.UniformTime(10, 30)
+		mem := rng.TruncNormal(200, 60, 50, 400)
+		w.Tasks = append(w.Tasks, &wq.Task{
+			ID:       id,
+			Category: fmt.Sprintf("scale-%d", c),
+			Spec:     monitor.Proc(dur, r(1, mem, 64)),
+			Inputs: []*wq.File{
+				envs[c],
+				{Name: fmt.Sprintf("scale-in-%d.dat", id), SizeBytes: 1e5},
+			},
+			OutputBytes: 1e5,
+		})
+	}
+	return w
+}

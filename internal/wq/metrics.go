@@ -2,6 +2,7 @@ package wq
 
 import (
 	"strconv"
+	"time"
 
 	"lfm/internal/metrics"
 	"lfm/internal/sim"
@@ -59,7 +60,7 @@ func newMasterMetrics(m *Master, reg *metrics.Registry) *masterMetrics {
 	reg.Help("wq_worker_cores_used", "cores allocated on one worker")
 	reg.Help("wq_worker_cores_free", "cores free on one worker")
 
-	reg.GaugeFunc("wq_queue_depth", func() float64 { return float64(len(m.ready)) })
+	reg.GaugeFunc("wq_queue_depth", func() float64 { return float64(m.QueueLen()) })
 	reg.GaugeFunc("wq_workers", func() float64 { return float64(len(m.workers)) })
 	reg.GaugeFunc("wq_tasks_running", func() float64 {
 		n := 0
@@ -243,6 +244,21 @@ func (mm *masterMetrics) onQuarantine(w *Worker) {
 }
 
 func (mm *masterMetrics) onQuarantineEnd(*Worker) {}
+
+// onSchedPass records one scheduling round: its candidates-examined count
+// and wall-clock duration. Registered lazily like the resilience
+// instruments, though in practice the first round fires immediately.
+func (mm *masterMetrics) onSchedPass(candidates int64, dur time.Duration) {
+	if mm == nil {
+		return
+	}
+	mm.reg.Help("wq_sched_rounds_total", "scheduling rounds run by the matcher")
+	mm.reg.Counter("wq_sched_rounds_total").Inc()
+	mm.reg.Help("wq_sched_candidates", "workers tested for fit per scheduling round")
+	mm.reg.Histogram("wq_sched_candidates", metrics.ExpBuckets(1, 4, 12)).Observe(float64(candidates))
+	mm.reg.Help("wq_sched_round_seconds", "wall-clock duration of one scheduling round")
+	mm.reg.Histogram("wq_sched_round_seconds", metrics.ExpBuckets(1e-7, 4, 14)).Observe(dur.Seconds())
+}
 
 func (mm *masterMetrics) onWorkerJoin(w *Worker) {
 	if mm == nil {

@@ -23,6 +23,7 @@ const (
 	PlaceWorstFit
 )
 
+// String names the policy.
 func (p Placement) String() string {
 	switch p {
 	case PlaceCacheAffinity:
@@ -38,6 +39,13 @@ func (p Placement) String() string {
 }
 
 // pick chooses a worker for the task under the configured policy, or nil.
+// Candidates arrive in join order (the scan iterates the pool in join
+// order), which is the documented tie-break for first-fit and
+// cache-affinity. Best-fit and worst-fit instead break free-cores ties by
+// smallest node ID: join order varies with provisioning jitter, and a
+// packing policy's choice should not depend on which pilot job cleared the
+// batch queue first. The indexed matcher's treap keys encode exactly these
+// orders, so both matchers resolve the same worker.
 func (m *Master) pick(t *Task, candidates []*Worker) *Worker {
 	var best *Worker
 	switch m.Cfg.Placement {
@@ -47,13 +55,15 @@ func (m *Master) pick(t *Task, candidates []*Worker) *Worker {
 		}
 	case PlaceBestFit:
 		for _, w := range candidates {
-			if best == nil || w.free().Cores < best.free().Cores {
+			if best == nil || w.free().Cores < best.free().Cores ||
+				(w.free().Cores == best.free().Cores && w.Node.ID < best.Node.ID) {
 				best = w
 			}
 		}
 	case PlaceWorstFit:
 		for _, w := range candidates {
-			if best == nil || w.free().Cores > best.free().Cores {
+			if best == nil || w.free().Cores > best.free().Cores ||
+				(w.free().Cores == best.free().Cores && w.Node.ID < best.Node.ID) {
 				best = w
 			}
 		}

@@ -13,9 +13,14 @@ import (
 // the per-category view the Work Queue resource monitor reports and the
 // input a user would persist to preload future runs.
 type CategorySummary struct {
-	Category  string
-	Tasks     int
-	Retries   int
+	// Category is the task category the row aggregates.
+	Category string
+	// Tasks counts completed tasks; Retries counts resource-exhaustion
+	// retries those tasks needed.
+	Tasks   int
+	Retries int
+	// WallTimes collects per-attempt wall clock; PeakCores, PeakMemMB, and
+	// PeakDisk collect the monitor-observed usage peaks.
 	WallTimes sim.Stats
 	PeakCores sim.Stats
 	PeakMemMB sim.Stats

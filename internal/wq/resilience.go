@@ -288,12 +288,7 @@ func (m *Master) cancelAttempt(a *attempt) {
 
 // releaseAttempt frees an attempt's allocation on its (still-live) worker.
 func (m *Master) releaseAttempt(a *attempt) {
-	m.account()
-	w := a.w
-	w.usedCores -= a.req.Cores
-	w.usedMemMB -= a.req.MemoryMB
-	w.usedDiskMB -= a.req.DiskMB
-	w.running--
+	m.releaseCapacity(a.w, a.req)
 }
 
 // workerAttemptFailed advances the quarantine circuit breaker after a
@@ -309,6 +304,9 @@ func (m *Master) workerAttemptFailed(w *Worker) {
 		return
 	}
 	w.quarantined = true
+	if m.sched != nil {
+		m.sched.exclude(w)
+	}
 	rs := m.stats.resilience()
 	rs.Quarantines++
 	m.met.onQuarantine(w)
@@ -331,6 +329,9 @@ func (m *Master) workerAttemptFailed(w *Worker) {
 		}
 		w.quarantined = false
 		w.consecFails = 0
+		if m.sched != nil {
+			m.sched.admit(w)
+		}
 		m.met.onQuarantineEnd(w)
 		m.schedule()
 	})
@@ -383,17 +384,24 @@ func (m *Master) speculationTick() {
 }
 
 // speculate launches a backup copy of a straggling attempt on a different
-// worker under the same allocation; the first result wins.
+// worker under the same allocation; the first result wins. Both matchers
+// resolve the same worker: the indexed search excluding the straggler's
+// host is the scan's filter-then-pick.
 func (m *Master) speculate(a *attempt) {
 	t := a.t
-	var candidates []*Worker
-	for _, w := range m.workers {
-		if w == a.w || !w.alive || w.quarantined || !m.fitsOn(w, a.dec) {
-			continue
+	var best *Worker
+	if m.sched != nil {
+		best, _ = m.sched.selectWorker(t, a.dec, a.w)
+	} else {
+		var candidates []*Worker
+		for _, w := range m.workers {
+			if w == a.w || !w.alive || w.quarantined || !m.fitsOn(w, a.dec) {
+				continue
+			}
+			candidates = append(candidates, w)
 		}
-		candidates = append(candidates, w)
+		best = m.pick(t, candidates)
 	}
-	best := m.pick(t, candidates)
 	if best == nil {
 		return
 	}
@@ -423,6 +431,9 @@ func (m *Master) drainCheck() {
 			w.probationEv = nil
 			w.quarantined = false
 			w.consecFails = 0
+			if m.sched != nil {
+				m.sched.admit(w)
+			}
 			m.met.onQuarantineEnd(w)
 		}
 	}

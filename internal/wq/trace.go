@@ -30,7 +30,9 @@ const (
 // Event is one timestamped scheduler occurrence, suitable for building
 // Gantt charts and utilization timelines from a run.
 type Event struct {
-	At   sim.Time  `json:"at"`
+	// At is the simulation time of the occurrence.
+	At sim.Time `json:"at"`
+	// Kind names the occurrence (see EventKind).
 	Kind EventKind `json:"kind"`
 	// Task is the task ID, or -1 for worker events.
 	Task int `json:"task"`
@@ -392,12 +394,16 @@ func (t *Trace) Filter(kind EventKind) []Event {
 // TaskSpans pairs start and terminal events per task attempt, for Gantt
 // rendering. A span with End == -1 never finished (still running or lost).
 type TaskSpan struct {
+	// Task and Category identify the attempt's task.
 	Task     int
 	Category string
-	Worker   int
-	Start    sim.Time
-	End      sim.Time
-	Outcome  EventKind
+	// Worker is the node ID the attempt ran on.
+	Worker int
+	// Start and End bound the attempt; End == -1 means it never finished.
+	Start sim.Time
+	End   sim.Time
+	// Outcome is the terminal event kind (done, retry, failed, ...).
+	Outcome EventKind
 }
 
 // Spans reconstructs per-attempt spans from the event stream.

@@ -10,6 +10,7 @@ package wq
 
 import (
 	"fmt"
+	"time"
 
 	"lfm/internal/alloc"
 	"lfm/internal/cluster"
@@ -22,8 +23,11 @@ import (
 // file. Cacheable files stay on the worker after first use and schedulers
 // prefer placing tasks where their inputs already live.
 type File struct {
-	Name      string
+	// Name identifies the file cluster-wide; transfers and caches key on it.
+	Name string
+	// SizeBytes drives transfer time and disk accounting.
 	SizeBytes int64
+	// Cacheable marks the file as reusable across tasks on one worker.
 	Cacheable bool
 	// UnpackTime is charged once after the first transfer to a worker
 	// (e.g. conda-unpack of a packed environment).
@@ -44,8 +48,16 @@ const (
 
 // Task is one function invocation to place in the cluster.
 type Task struct {
-	ID       int
+	// ID identifies the task in traces and errors.
+	ID int
+	// Category groups tasks with similar resource behaviour; allocation
+	// strategies learn and label per category.
 	Category string
+	// Priority orders scheduling: higher-priority ready tasks are examined
+	// first, ties breaking by ready order (submit sequence). Only the
+	// indexed matcher honours it (the scan predates it), and it must not
+	// change after Submit.
+	Priority int
 	// Spec is the ground-truth process behaviour (visible only through the
 	// LFM, except to the Oracle strategy).
 	Spec monitor.ProcSpec
@@ -57,9 +69,12 @@ type Task struct {
 	DependsOn []*Task
 
 	// Result fields, populated by the master.
-	State       TaskState
-	Attempts    int
-	Report      monitor.Report
+	State TaskState
+	// Attempts counts placements tried (1 for a first-attempt success).
+	Attempts int
+	// Report is the monitor's account of the final attempt.
+	Report monitor.Report
+	// SubmittedAt, StartedAt, and FinishedAt timestamp the lifecycle.
 	SubmittedAt sim.Time
 	StartedAt   sim.Time // start of the final attempt's execution
 	FinishedAt  sim.Time
@@ -67,7 +82,10 @@ type Task struct {
 	waitingOn int
 	waiters   []*Task
 	retryNext *alloc.Decision
-	spans     taskSpans
+	// readySeq is the task's position in scheduling order, stamped each
+	// time it enters the ready queue (indexed matcher).
+	readySeq int64
+	spans    taskSpans
 	// active lists this task's in-flight placements — usually one, two while
 	// a speculative copy races the original.
 	active []*attempt
@@ -132,6 +150,9 @@ type Config struct {
 	MaxRetries int
 	// Placement selects the worker-choice policy (default cache affinity).
 	Placement Placement
+	// Matcher selects the matching-loop implementation (default the indexed
+	// matcher; see Matcher). Both make identical placement decisions.
+	Matcher Matcher
 	// Resilience configures failure detection and mitigation (heartbeats,
 	// speculation, quarantine, staging retries). The zero value disables
 	// everything, leaving the master's behaviour unchanged.
@@ -151,18 +172,23 @@ func DefaultConfig() Config {
 
 // Stats aggregates a run's outcomes.
 type Stats struct {
+	// Submitted, Completed, and Failed count tasks reaching each state.
 	Submitted int
 	Completed int
 	Failed    int
 	// DepFailed counts tasks failed without executing because a dependency
 	// failed (included in Failed).
-	DepFailed   int
-	Retries     int
-	BytesIn     int64 // transferred master -> workers
-	BytesOut    int64 // transferred workers -> master
+	DepFailed int
+	// Retries counts resource-exhaustion retries across all tasks.
+	Retries  int
+	BytesIn  int64 // transferred master -> workers
+	BytesOut int64 // transferred workers -> master
+	// CacheHits and CacheMisses count input stagings served from worker
+	// caches versus transferred.
 	CacheHits   int
 	CacheMisses int
-	LostTasks   int
+	// LostTasks counts attempts lost to disconnected workers.
+	LostTasks int
 	// UsedCoreSeconds accumulates measured cores x wall-time per completed
 	// task, for effective-utilization reporting.
 	UsedCoreSeconds sim.Stats
@@ -179,14 +205,16 @@ type Stats struct {
 type ResilienceStats struct {
 	// DetectionDelays samples worker death -> heartbeat suspicion latency.
 	DetectionDelays sim.Stats
-	// Speculative re-execution: copies launched, copies that beat the
-	// original, copies cancelled (either losing the race or dying), and the
-	// core-time the cancelled copies burned.
+	// SpecLaunched, SpecWins, and SpecCancelled count speculative copies
+	// launched, copies that beat the original, and copies cancelled (either
+	// losing the race or dying); SpecWasteSeconds is the core-time the
+	// cancelled copies burned.
 	SpecLaunched     int
 	SpecWins         int
 	SpecCancelled    int
 	SpecWasteSeconds float64
-	// Staging-transfer fault handling.
+	// StagingRetries counts faulted input transfers retried under backoff;
+	// StagingFailures counts attempts failed outright by staging faults.
 	StagingRetries  int
 	StagingFailures int
 	// Quarantines counts circuit-breaker trips across all workers.
@@ -211,6 +239,7 @@ type stagingWaiter struct {
 
 // Worker is one pilot job on a node executing tasks under LFMs.
 type Worker struct {
+	// Node is the cluster node the pilot job occupies.
 	Node *cluster.Node
 
 	usedCores  float64
@@ -280,6 +309,8 @@ func (w *Worker) cachedBytes(t *Task) int64 {
 
 // Master owns the task queue and the worker pool.
 type Master struct {
+	// Eng is the engine driving the simulation; Cfg the configuration
+	// passed to NewMaster. Both are read-only after construction.
 	Eng *sim.Engine
 	Cfg Config
 
@@ -295,6 +326,10 @@ type Master struct {
 	onReady func()
 	// trace, if set, records scheduler events.
 	trace *Trace
+	// sched is the indexed matcher's state; nil under MatcherScan.
+	sched *schedState
+	// schedStats measures the matching loop under either matcher.
+	schedStats SchedStats
 	// categories aggregates per-category monitor reports.
 	categories categoryTracker
 	// met, if set, updates registry instruments on the hot paths.
@@ -333,12 +368,16 @@ func NewMaster(eng *sim.Engine, cfg Config) *Master {
 		cfg.LinkBandwidth = 1.25e9
 	}
 	cfg.Resilience.fillDefaults()
-	return &Master{
+	m := &Master{
 		Eng:  eng,
 		Cfg:  cfg,
 		link: sim.NewFairShare(eng, cfg.LinkBandwidth),
 		lfm:  monitor.New(eng, cfg.Monitor),
 	}
+	if cfg.Matcher == MatcherIndexed {
+		m.sched = newSchedState(m)
+	}
+	return m
 }
 
 // OnTaskDone registers a callback fired when a task completes or fails for
@@ -407,6 +446,9 @@ func (m *Master) AddWorker(node *cluster.Node) *Worker {
 		staging:  make(map[string][]stagingWaiter),
 	}
 	m.workers = append(m.workers, w)
+	if m.sched != nil {
+		m.sched.workerJoined(w)
+	}
 	m.met.onWorkerJoin(w)
 	m.traceWorkerJoin(w)
 	m.schedule()
@@ -424,6 +466,9 @@ func (m *Master) RemoveWorker(w *Worker) {
 	m.account()
 	w.alive = false
 	m.Eng.Cancel(w.suspectEv)
+	if m.sched != nil {
+		m.sched.workerLeft(w)
+	}
 	m.met.onWorkerLeave(w)
 	m.traceWorkerLeave(w)
 	for i, other := range m.workers {
@@ -494,7 +539,11 @@ func (m *Master) failDependent(t *Task) {
 func (m *Master) makeReady(t *Task) {
 	t.State = TaskReady
 	m.traceReady(t)
-	m.ready = append(m.ready, t)
+	if m.sched != nil {
+		m.sched.taskReady(t)
+	} else {
+		m.ready = append(m.ready, t)
+	}
 	if m.onReady != nil {
 		m.onReady()
 	}
@@ -514,7 +563,16 @@ func (m *Master) schedule() {
 	})
 }
 
+// schedulePass runs one scheduling round under the configured matcher.
 func (m *Master) schedulePass() {
+	if m.sched != nil {
+		m.schedulePassIndexed()
+		return
+	}
+	start := time.Now()
+	st := &m.schedStats
+	st.Passes++
+	candBefore := st.CandidatesExamined
 	var remaining []*Task
 	for _, t := range m.ready {
 		if !m.place(t) {
@@ -522,10 +580,14 @@ func (m *Master) schedulePass() {
 		}
 	}
 	m.ready = remaining
+	elapsed := time.Since(start)
+	st.ElapsedNanos += elapsed.Nanoseconds()
+	m.met.onSchedPass(st.CandidatesExamined-candBefore, elapsed)
 }
 
 // place finds a worker for one task, preferring cached inputs, and starts
-// it. It reports whether the task was placed.
+// it. It reports whether the task was placed. This is the scan matcher's
+// inner loop; the indexed matcher replaces it with schedState.examine.
 func (m *Master) place(t *Task) bool {
 	var dec alloc.Decision
 	if t.retryNext != nil {
@@ -534,6 +596,11 @@ func (m *Master) place(t *Task) bool {
 		dec = m.Cfg.Strategy.Next(t.Category)
 	}
 
+	st := &m.schedStats
+	st.TasksExamined++
+	st.ScanTasksExamined++
+	st.CandidatesExamined += int64(len(m.workers))
+	st.ScanCandidatesExamined += int64(len(m.workers))
 	var candidates []*Worker
 	for _, w := range m.workers {
 		if !w.alive || w.quarantined || !m.fitsOn(w, dec) {
@@ -548,6 +615,33 @@ func (m *Master) place(t *Task) bool {
 	t.retryNext = nil
 	m.startAttempt(t, best, dec, false)
 	return true
+}
+
+// allocCapacity charges an attempt's request against a worker, keeping the
+// utilization integrals and scheduler indexes current.
+func (m *Master) allocCapacity(w *Worker, req monitor.Resources) {
+	m.account()
+	w.usedCores += req.Cores
+	w.usedMemMB += req.MemoryMB
+	w.usedDiskMB += req.DiskMB
+	w.running++
+	if m.sched != nil {
+		m.sched.capacityChanged(w, false)
+	}
+}
+
+// releaseCapacity returns an attempt's request to its worker. The freed
+// capacity marks the worker dirty so the next round re-examines blocked
+// tasks against it.
+func (m *Master) releaseCapacity(w *Worker, req monitor.Resources) {
+	m.account()
+	w.usedCores -= req.Cores
+	w.usedMemMB -= req.MemoryMB
+	w.usedDiskMB -= req.DiskMB
+	w.running--
+	if m.sched != nil {
+		m.sched.capacityChanged(w, true)
+	}
 }
 
 func (m *Master) fitsOn(w *Worker, dec alloc.Decision) bool {
@@ -589,11 +683,7 @@ func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculativ
 	m.met.onPlace()
 	req := effectiveRequest(w, dec)
 	a.req = req
-	m.account()
-	w.usedCores += req.Cores
-	w.usedMemMB += req.MemoryMB
-	w.usedDiskMB += req.DiskMB
-	w.running++
+	m.allocCapacity(w, req)
 	w.attempts = append(w.attempts, a)
 	t.active = append(t.active, a)
 	if w.usedCores > m.stats.PeakCoresUsed {
@@ -638,6 +728,9 @@ func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculativ
 			t.dropActive(a)
 			t.Report = rep
 			m.Cfg.Strategy.Observe(t.Category, rep)
+			if m.sched != nil {
+				m.sched.strategyObserved(t.Category)
+			}
 			m.categories.observe(t.Category, rep)
 			m.traceExecEnd(a, rep)
 			if rep.Completed {
@@ -653,14 +746,10 @@ func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculativ
 				}
 			}
 			m.sendOutputs(t, rep.Completed, func() {
-				m.account()
 				if rep.Completed {
 					m.stats.UsedCoreSeconds.Add(rep.Peak.Cores * float64(rep.WallTime))
 				}
-				w.usedCores -= req.Cores
-				w.usedMemMB -= req.MemoryMB
-				w.usedDiskMB -= req.DiskMB
-				w.running--
+				m.releaseCapacity(w, req)
 				m.traceAttemptDone(a, rep)
 				if rep.Completed || len(t.active) == 0 {
 					m.finishAttempt(t, rep)
@@ -757,6 +846,9 @@ func (m *Master) transferFile(a *attempt, f *File, try int, cont func()) {
 					if f.Cacheable {
 						w.cache[f.Name] = true
 						w.cacheBytes += f.SizeBytes
+						if m.sched != nil {
+							m.sched.cacheAdded(w, f)
+						}
 						waiters := w.staging[f.Name]
 						delete(w.staging, f.Name)
 						for _, wake := range waiters {
@@ -809,6 +901,9 @@ func (m *Master) finishAttempt(t *Task, rep monitor.Report) {
 	m.stats.Retries++
 	m.met.onRetry()
 	dec := m.Cfg.Strategy.Retry(t.Category, t.Attempts)
+	if m.sched != nil {
+		m.sched.strategyObserved(t.Category)
+	}
 	t.retryNext = &dec
 	m.makeReady(t)
 }
@@ -846,19 +941,30 @@ func (m *Master) complete(t *Task, state TaskState) {
 }
 
 // QueueLen reports ready tasks not yet placed.
-func (m *Master) QueueLen() int { return len(m.ready) }
+func (m *Master) QueueLen() int {
+	if m.sched != nil {
+		return m.sched.queueLen()
+	}
+	return len(m.ready)
+}
 
 // CheckInvariants verifies the master drained cleanly: every submitted task
-// reached a terminal state, no attempt leaked on any worker, and all worker
-// capacity was released. It is the safety net behind chaos runs.
+// reached a terminal state, no attempt leaked on any worker, all worker
+// capacity was released, and (under the indexed matcher) every scheduler
+// index agrees with ground truth. It is the safety net behind chaos runs.
 func (m *Master) CheckInvariants() error {
 	st := &m.stats
 	if st.Completed+st.Failed != st.Submitted {
 		return fmt.Errorf("wq: %d submitted but %d completed + %d failed",
 			st.Submitted, st.Completed, st.Failed)
 	}
-	if len(m.ready) != 0 {
-		return fmt.Errorf("wq: %d tasks stuck in the ready queue", len(m.ready))
+	if n := m.QueueLen(); n != 0 {
+		return fmt.Errorf("wq: %d tasks stuck in the ready queue", n)
+	}
+	if m.sched != nil {
+		if err := m.sched.check(); err != nil {
+			return err
+		}
 	}
 	for _, w := range m.workers {
 		if len(w.attempts) != 0 {
@@ -878,5 +984,5 @@ func (m *Master) CheckInvariants() error {
 // String renders a short status line.
 func (m *Master) String() string {
 	return fmt.Sprintf("wq: %d workers, %d ready, %d/%d done",
-		len(m.workers), len(m.ready), m.stats.Completed, m.stats.Submitted)
+		len(m.workers), m.QueueLen(), m.stats.Completed, m.stats.Submitted)
 }

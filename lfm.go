@@ -33,6 +33,7 @@ import (
 
 	"lfm/internal/alloc"
 	"lfm/internal/chaos"
+	"lfm/internal/cluster"
 	"lfm/internal/core"
 	"lfm/internal/deps"
 	"lfm/internal/envpack"
@@ -267,6 +268,36 @@ func GenomicsWorkload(seed int64, genomes int) *Workload {
 func FuncXWorkload(seed int64, tasks int) *Workload {
 	return workloads.FuncXResNet(sim.NewRNG(seed), tasks)
 }
+
+// ScaleWorkload generates the synthetic scheduler-stress workload used by
+// the scale benchmark: `tasks` independent single-core tasks over
+// `categories` categories, all ready at t=0.
+func ScaleWorkload(seed int64, tasks, categories int) *Workload {
+	return workloads.Scale(sim.NewRNG(seed), tasks, categories)
+}
+
+// Site describes a simulated cluster site. Set RunConfig.Site to run on a
+// synthetic pool instead of one of the named sites.
+type Site = cluster.Site
+
+// Sites returns the built-in site catalog by name.
+func Sites() map[string]Site { return cluster.Sites() }
+
+// Matcher selects the master's scheduling implementation: the default
+// indexed matcher or the reference linear scan. Both make byte-identical
+// placement decisions; they differ only in cost.
+type Matcher = wq.Matcher
+
+// Matcher implementations.
+const (
+	MatcherIndexed = wq.MatcherIndexed
+	MatcherScan    = wq.MatcherScan
+)
+
+// SchedStats reports the scheduler's work counters for a run (rounds,
+// tasks and candidate workers examined, wall-clock time), available on
+// Outcome.Sched.
+type SchedStats = wq.SchedStats
 
 // RunWorkload executes a workload on a simulated site under a strategy.
 func RunWorkload(w *Workload, cfg RunConfig) (*Outcome, error) { return core.Run(w, cfg) }
