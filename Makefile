@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race chaos bench
+.PHONY: check build vet test test-race chaos bench profile
 
 check: build vet test-race
 
@@ -32,3 +32,11 @@ chaos:
 # artifact). Drop -quick to reproduce the committed full-size numbers.
 bench:
 	$(GO) run ./cmd/lfmbench -scale -quick -scale-out BENCH_scheduler.json
+
+# Telemetry sweep in quick mode: record every paper workload under every
+# strategy with resource time-series capture on, write the combined JSONL
+# export (CI uploads it as an artifact), and render the profiles and node
+# utilization timelines. Drop -quick for the full-size sweep.
+profile:
+	$(GO) run ./cmd/lfmbench -telemetry-sweep -quick -telemetry-out TELEMETRY_profile.jsonl
+	$(GO) run ./cmd/lfmprof TELEMETRY_profile.jsonl

@@ -6,6 +6,7 @@
 //	lfmbench [-quick] [-seed N] [experiment ...]
 //	lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]
 //	lfmbench -trace-out FILE [-trace-format json|perfetto]
+//	lfmbench -telemetry-out FILE [-telemetry-sweep]
 //
 // With no arguments every experiment runs in the paper's order. Experiment
 // IDs: fig4 fig5 table1 table2 table3 fig6 fig7 fig8 fig9.
@@ -47,6 +48,8 @@ func main() {
 	chaosTrace := flag.String("chaos-trace", "", "with -chaos-profile: write the chaos run's span trace to this file (- for stdout)")
 	scale := flag.Bool("scale", false, "run the scheduler scale sweep (up to 100k tasks x 5k workers; -quick shrinks it) and write BENCH_scheduler.json")
 	scaleOut := flag.String("scale-out", "BENCH_scheduler.json", "with -scale: write the sweep report JSON to this file (- for stdout)")
+	telemetryOut := flag.String("telemetry-out", "", "run with resource time-series telemetry and write the JSONL export to this file (- for stdout); render it with cmd/lfmprof")
+	telemetrySweep := flag.Bool("telemetry-sweep", false, "with -telemetry-out: record every paper workload under every strategy and print a utilization/waste table")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]\n")
@@ -91,7 +94,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale) && flag.NArg() == 0 {
+	if *telemetrySweep && *telemetryOut == "" {
+		fmt.Fprintln(os.Stderr, "lfmbench: -telemetry-sweep requires -telemetry-out")
+		os.Exit(2)
+	}
+	if *telemetryOut != "" {
+		if err := runTelemetry(*seed, *quick, *telemetrySweep, *telemetryOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale || *telemetryOut != "") && flag.NArg() == 0 {
 		return
 	}
 

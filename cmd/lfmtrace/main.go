@@ -122,7 +122,8 @@ func chaosSection(st *lfm.TraceStore, cp *lfm.TraceCriticalPath) {
 	var evs []lfm.TraceSpan
 	for _, sp := range st.Spans() {
 		switch sp.Kind {
-		case lfm.TraceKindChaos, lfm.TraceKindSuspect, lfm.TraceKindQuarantine:
+		case lfm.TraceKindChaos, lfm.TraceKindSuspect, lfm.TraceKindQuarantine,
+			lfm.TraceKindKill, lfm.TraceKindAnomaly:
 			evs = append(evs, sp)
 		}
 	}

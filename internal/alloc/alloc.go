@@ -221,6 +221,18 @@ func (a *Auto) Observe(category string, rep monitor.Report) {
 	}
 }
 
+// CurrentLabel reports the allocation the strategy would issue for the
+// category right now, without counting as an issuance: false while the
+// category is still bootstrapping. Telemetry uses it to audit labels against
+// the observed peak distribution.
+func (a *Auto) CurrentLabel(category string) (monitor.Resources, bool) {
+	h := a.hist[category]
+	if h == nil || len(h.peaks) < a.MinSamples {
+		return monitor.Resources{}, false
+	}
+	return a.label(h), true
+}
+
 // Preload seeds a category with peaks observed in earlier runs, skipping
 // the whole-node bootstrap: "This initial measurement can be skipped ...
 // if statistics from previous tasks are available" (§VI-B2).

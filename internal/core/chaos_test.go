@@ -9,6 +9,7 @@ import (
 	"lfm/internal/chaos"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
+	"lfm/internal/tseries"
 	"lfm/internal/workloads"
 	"lfm/internal/wq"
 )
@@ -200,6 +201,7 @@ func TestChaosSoak(t *testing.T) {
 				SiteName: "ndcrc", Workers: 5, Seed: seed, ChaosSeed: seed * 3,
 				NoBatchLatency: true, Strategy: s,
 				Resilience: fullResilience(), Faults: sched,
+				Telemetry: tseries.DefaultConfig(),
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -209,6 +211,12 @@ func TestChaosSoak(t *testing.T) {
 			}
 			if out.Stats.Completed+out.Stats.Failed != w.TaskCount() {
 				t.Fatalf("%d+%d != %d tasks", out.Stats.Completed, out.Stats.Failed, w.TaskCount())
+			}
+			// Telemetry invariants must survive arbitrary fault schedules:
+			// monotone series timestamps, point caps respected, downsampled
+			// series still bracketing the exact peaks.
+			if err := out.Telemetry.CheckInvariants(); err != nil {
+				t.Fatalf("telemetry invariants under %s: %v", out.Chaos.Summary(), err)
 			}
 		})
 	}

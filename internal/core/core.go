@@ -20,6 +20,7 @@ import (
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
+	"lfm/internal/tseries"
 	"lfm/internal/workloads"
 	"lfm/internal/wq"
 )
@@ -83,6 +84,13 @@ type RunConfig struct {
 	Metrics *metrics.Registry
 	// MetricsResolution is the sampling period (default 1s).
 	MetricsResolution sim.Time
+	// Telemetry, when non-nil, records per-attempt resource time series,
+	// per-category usage profiles, and node utilization timelines; the
+	// outcome then carries the run's telemetry. Recording is passive (the
+	// run's placements and traces are unchanged), except that the flatline
+	// anomaly detector becomes an extra speculation trigger when resilience
+	// speculation is enabled.
+	Telemetry *tseries.Config
 }
 
 // Outcome summarizes one run.
@@ -118,6 +126,11 @@ type Outcome struct {
 	// examined, wall time). Excluded from JSON so seeded outcome snapshots
 	// stay byte-identical across matcher implementations and hardware.
 	Sched *wq.SchedStats `json:"-"`
+	// Telemetry carries the recorded time-series products when
+	// RunConfig.Telemetry was set, nil otherwise. Excluded from JSON (like
+	// Sched) so outcome snapshots stay byte-identical; export it with
+	// tseries.RunTelemetry.WriteJSONL.
+	Telemetry *tseries.RunTelemetry `json:"-"`
 }
 
 // Run executes the workload on the configured site and strategy.
@@ -172,6 +185,17 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		// Provisioning and filesystem activity record into the same store,
 		// so exports show batch-queue waits alongside task phases.
 		cl.SetTrace(cfg.Trace.Store())
+	}
+	var telem *tseries.Collector
+	if cfg.Telemetry != nil {
+		telem = tseries.NewCollector(eng, cfg.Telemetry)
+		if cfg.Trace != nil {
+			telem.SetTrace(cfg.Trace.Store())
+		}
+		if auto, ok := strategy.(*alloc.Auto); ok {
+			telem.SetLabelAudit(auto.CurrentLabel)
+		}
+		master.SetTelemetry(telem)
 	}
 	var sampler *metrics.Sampler
 	if cfg.Metrics != nil {
@@ -332,6 +356,12 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	}
 	if st.Submitted > 0 {
 		out.RetryFraction = float64(st.Retries) / float64(st.Submitted)
+	}
+	if telem != nil {
+		out.Telemetry = telem.Finalize(tseries.RunMeta{
+			Workload: w.Name, Strategy: strategy.Name(),
+			Workers: cfg.Workers, Seed: cfg.Seed, Makespan: makespan,
+		})
 	}
 	if chaosEng != nil && cfg.Faults != nil {
 		// Fold invariant-checker findings into the chaos report: every

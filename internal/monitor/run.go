@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"fmt"
+
 	"lfm/internal/metrics"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
@@ -30,9 +32,50 @@ type Report struct {
 	ProcEvents int
 	// Procs is the number of processes in the task's tree.
 	Procs int
+	// FirstExceeded records the first observed limit violation: the tripped
+	// dimension, the observed value, and when. Its Kind is KindNone when no
+	// measurement ever exceeded a limit. With a kill delay (zombie) the
+	// violation time precedes End by the delay; on a clean kill they match.
+	FirstExceeded Exceedance
+	// MeanUsage is the time-weighted mean of the measured usage over the
+	// run (the last measurement's value for zero-length runs). Compared to
+	// Peak it captures the usage shape: mean near peak means flat usage,
+	// mean far below means spiky.
+	MeanUsage Resources
+	// TimeToPeak is the offset from Start of the last measurement that
+	// raised the peak in any dimension — how long until the task's footprint
+	// was fully established.
+	TimeToPeak sim.Time
 	// Series holds every measurement when Config.RecordSeries is set.
 	Series []Sample
 }
+
+// Exceedance describes one observed limit violation.
+type Exceedance struct {
+	// Kind is the dimension that tripped.
+	Kind Kind
+	// Value is the observed usage in that dimension at the violation.
+	Value float64
+	// At is the simulated time of the observation.
+	At sim.Time
+}
+
+// Source names what triggered an observed measurement.
+type Source int
+
+const (
+	// SourcePoll is a periodic polling measurement.
+	SourcePoll Source = iota
+	// SourceEvent is a fork/exit-triggered measurement.
+	SourceEvent
+	// SourceFinal is the final measurement at task completion.
+	SourceFinal
+)
+
+// Observer receives every measurement of an observed run, in time order.
+// Observers must be passive: they may record what they see but must not
+// schedule simulation events or mutate the run.
+type Observer func(at sim.Time, u Resources, src Source)
 
 // Sample is one recorded measurement.
 type Sample struct {
@@ -182,6 +225,14 @@ type run struct {
 	zombieEv *sim.Event
 	procEvs  []*sim.Event
 
+	// obs, if set, receives every measurement (telemetry streaming). The
+	// mean-usage integral and last-measurement state back Report.MeanUsage.
+	obs      Observer
+	lastU    Resources
+	lastAt   sim.Time
+	haveU    bool
+	integral Resources // componentwise usage integral (unit-seconds)
+
 	// Span recording (nil/NoSpan when the run is untraced): parent is the
 	// caller's execute span; ovSpan covers the monitor's setup overhead.
 	tr        *trace.Store
@@ -240,7 +291,16 @@ func (m *LFM) Run(spec ProcSpec, limits Resources, done func(Report)) *Execution
 // kill is recorded as an instant under it. Recording is passive — a traced
 // run schedules exactly the same simulation events as an untraced one.
 func (m *LFM) RunTraced(spec ProcSpec, limits Resources, tr *trace.Store, parent trace.SpanID, done func(Report)) *Execution {
-	r := &run{m: m, spec: spec, limits: limits, done: done,
+	return m.RunObserved(spec, limits, tr, parent, nil, done)
+}
+
+// RunObserved is RunTraced with a measurement observer: obs receives every
+// measurement the monitor takes (polls, fork/exit events, the final one), in
+// time order, after the peak is updated and before any kill decision. Like
+// tracing, observation is passive — an observed run schedules exactly the
+// same simulation events as a bare one.
+func (m *LFM) RunObserved(spec ProcSpec, limits Resources, tr *trace.Store, parent trace.SpanID, obs Observer, done func(Report)) *Execution {
+	r := &run{m: m, spec: spec, limits: limits, done: done, obs: obs,
 		tr: tr, parent: parent, ovSpan: trace.NoSpan, trTask: -1, trWorker: -1}
 	if tr != nil {
 		psp := tr.Span(parent)
@@ -317,9 +377,46 @@ func (r *run) measure(src measureSource) {
 	if r.m.Cfg.RecordSeries {
 		r.rep.Series = append(r.rep.Series, Sample{At: now, Usage: u, FromEvent: fromEvent})
 	}
+	// Time-weighted mean: accrue the previous level over the elapsed gap.
+	if r.haveU {
+		dt := float64(now - r.lastAt)
+		r.integral.Cores += r.lastU.Cores * dt
+		r.integral.MemoryMB += r.lastU.MemoryMB * dt
+		r.integral.DiskMB += r.lastU.DiskMB * dt
+	}
+	r.lastU, r.lastAt, r.haveU = u, now, true
+	if u.Cores > r.rep.Peak.Cores+1e-9 || u.MemoryMB > r.rep.Peak.MemoryMB+1e-9 ||
+		u.DiskMB > r.rep.Peak.DiskMB+1e-9 {
+		r.rep.TimeToPeak = now - r.start
+	}
 	r.rep.Peak = r.rep.Peak.Max(u)
+	if r.obs != nil {
+		so := SourcePoll
+		switch src {
+		case byProcEvent:
+			so = SourceEvent
+		case atCompletion:
+			so = SourceFinal
+		}
+		r.obs(now, u, so)
+	}
 	if kind := Exceeds(u, r.limits); kind != KindNone {
+		if r.rep.FirstExceeded.Kind == KindNone {
+			r.rep.FirstExceeded = Exceedance{Kind: kind, Value: dim(u, kind), At: now}
+		}
 		r.kill(kind)
+	}
+}
+
+// dim extracts one dimension's value.
+func dim(u Resources, kind Kind) float64 {
+	switch kind {
+	case KindCores:
+		return u.Cores
+	case KindDisk:
+		return u.DiskMB
+	default:
+		return u.MemoryMB
 	}
 }
 
@@ -379,7 +476,15 @@ func (r *run) doKill(kind Kind) {
 	r.rep.Killed = true
 	r.rep.Exhausted = kind
 	r.m.met.onKill(kind)
-	r.traceInstant(trace.KindKill, string(kind))
+	detail := string(kind)
+	// Telemetry-observed runs enrich the kill span with the observed
+	// violation; bare runs keep the pre-telemetry detail byte-for-byte.
+	if r.obs != nil {
+		if fe := r.rep.FirstExceeded; fe.Kind != KindNone {
+			detail = fmt.Sprintf("%s: observed %.1f at t=%.1fs", fe.Kind, fe.Value, float64(fe.At))
+		}
+	}
+	r.traceInstant(trace.KindKill, detail)
 	r.finish(false)
 }
 
@@ -400,6 +505,22 @@ func (r *run) finish(completed bool) {
 	r.rep.Completed = completed
 	r.rep.End = r.m.Eng.Now()
 	r.rep.WallTime = r.rep.End - r.rep.Start
+	if r.haveU {
+		if dt := float64(r.rep.End - r.lastAt); dt > 0 {
+			r.integral.Cores += r.lastU.Cores * dt
+			r.integral.MemoryMB += r.lastU.MemoryMB * dt
+			r.integral.DiskMB += r.lastU.DiskMB * dt
+		}
+		if w := float64(r.rep.WallTime); w > 0 {
+			r.rep.MeanUsage = Resources{
+				Cores:    r.integral.Cores / w,
+				MemoryMB: r.integral.MemoryMB / w,
+				DiskMB:   r.integral.DiskMB / w,
+			}
+		} else {
+			r.rep.MeanUsage = r.lastU
+		}
+	}
 	eng := r.m.Eng
 	eng.Cancel(r.pollEv)
 	eng.Cancel(r.endEv)

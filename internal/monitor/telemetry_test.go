@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"lfm/internal/sim"
+)
+
+type obsSample struct {
+	At  sim.Time
+	U   Resources
+	Src Source
+}
+
+// observedRun executes spec under an observer and returns the measurement
+// stream and the final report.
+func observedRun(t *testing.T, spec ProcSpec, limits Resources, cfg Config) ([]obsSample, Report) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := New(eng, cfg)
+	var stream []obsSample
+	var rep Report
+	obs := func(at sim.Time, u Resources, src Source) {
+		stream = append(stream, obsSample{at, u, src})
+	}
+	eng.At(0, func() {
+		m.RunObserved(spec, limits, nil, 0, obs, func(r Report) { rep = r })
+	})
+	eng.Run()
+	return stream, rep
+}
+
+// Satellite regression: a poll tick and a fork/exit event landing on the
+// same sim timestamp must produce a deterministic measurement stream —
+// engine (time, seq) ordering fixes who goes first, every run.
+func TestObserverSameTimestampDeterministic(t *testing.T) {
+	spec := Proc(10*sim.Second, Resources{Cores: 1, MemoryMB: 100, DiskMB: 10})
+	// Child forks at exactly t=2s — the same instant as the second poll tick
+	// (polls at 0, 1, 2, ... after zero overhead) — and exits at exactly 5s.
+	spec.Children = []ChildSpec{{
+		StartOffset: 2 * sim.Second,
+		Spec:        Proc(3*sim.Second, Resources{Cores: 1, MemoryMB: 200, DiskMB: 5}),
+	}}
+	cfg := Config{PollInterval: sim.Second, TrackProcessEvents: true}
+
+	first, rep1 := observedRun(t, spec, Resources{}, cfg)
+	for i := 0; i < 10; i++ {
+		again, rep2 := observedRun(t, spec, Resources{}, cfg)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d produced a different measurement stream", i)
+		}
+		if !reflect.DeepEqual(rep1, rep2) {
+			t.Fatalf("run %d produced a different report", i)
+		}
+	}
+	// The t=2s instant must carry both a poll and an event measurement, in a
+	// fixed order: proc events are registered when monitoring starts, polls
+	// chain tick-by-tick, so the engine's seq tie-break puts the event first.
+	var at2 []Source
+	for _, s := range first {
+		if s.At == 2*sim.Second {
+			at2 = append(at2, s.Src)
+		}
+	}
+	if !reflect.DeepEqual(at2, []Source{SourceEvent, SourcePoll}) {
+		t.Fatalf("t=2s sources = %v, want [event poll]", at2)
+	}
+}
+
+func TestObserverStreamMatchesCounters(t *testing.T) {
+	spec := Proc(5*sim.Second, Resources{Cores: 1, MemoryMB: 50})
+	stream, rep := observedRun(t, spec, Resources{}, Config{PollInterval: sim.Second, TrackProcessEvents: true})
+	want := rep.Polls + rep.ProcEvents
+	if len(stream) != want {
+		t.Fatalf("observer saw %d measurements, counters say %d", len(stream), want)
+	}
+	if !rep.Completed {
+		t.Fatal("task did not complete")
+	}
+	last := stream[len(stream)-1]
+	if last.Src != SourceFinal {
+		t.Fatalf("last measurement source = %v, want final", last.Src)
+	}
+}
+
+func TestReportFirstExceeded(t *testing.T) {
+	// Memory ramps in phases: 100MB for 3s, then 900MB. Limit 500MB trips at
+	// the first measurement of the second phase.
+	spec := ProcSpec{Phases: []Phase{
+		{Duration: 3 * sim.Second, Usage: Resources{Cores: 1, MemoryMB: 100}},
+		{Duration: 10 * sim.Second, Usage: Resources{Cores: 1, MemoryMB: 900}},
+	}}
+	_, rep := observedRun(t, spec, Resources{MemoryMB: 500}, Config{PollInterval: sim.Second})
+	if !rep.Killed || rep.Exhausted != KindMemory {
+		t.Fatalf("killed=%v exhausted=%v", rep.Killed, rep.Exhausted)
+	}
+	fe := rep.FirstExceeded
+	if fe.Kind != KindMemory {
+		t.Fatalf("FirstExceeded.Kind = %v", fe.Kind)
+	}
+	if fe.Value != 900 {
+		t.Fatalf("FirstExceeded.Value = %g, want 900", fe.Value)
+	}
+	if fe.At != 3*sim.Second {
+		t.Fatalf("FirstExceeded.At = %v, want 3s", fe.At)
+	}
+	// A run that never trips keeps the zero Kind.
+	_, ok := observedRun(t, Proc(2*sim.Second, Resources{Cores: 1, MemoryMB: 10}), Resources{MemoryMB: 500}, Config{PollInterval: sim.Second})
+	if ok.FirstExceeded.Kind != KindNone {
+		t.Fatalf("unexceeded run recorded %+v", ok.FirstExceeded)
+	}
+}
+
+func TestReportMeanAndTimeToPeak(t *testing.T) {
+	// 100MB for 4s then 300MB for 6s: time-weighted mean memory is
+	// (100*4 + 300*6)/10 = 220MB; the peak is established at t=4s.
+	spec := ProcSpec{Phases: []Phase{
+		{Duration: 4 * sim.Second, Usage: Resources{Cores: 1, MemoryMB: 100}},
+		{Duration: 6 * sim.Second, Usage: Resources{Cores: 1, MemoryMB: 300}},
+	}}
+	_, rep := observedRun(t, spec, Resources{}, Config{PollInterval: sim.Second})
+	if !rep.Completed {
+		t.Fatal("did not complete")
+	}
+	if rep.MeanUsage.MemoryMB < 215 || rep.MeanUsage.MemoryMB > 225 {
+		t.Fatalf("mean memory = %g, want ~220", rep.MeanUsage.MemoryMB)
+	}
+	if rep.MeanUsage.Cores < 0.99 || rep.MeanUsage.Cores > 1.01 {
+		t.Fatalf("mean cores = %g, want ~1", rep.MeanUsage.Cores)
+	}
+	if rep.TimeToPeak != 4*sim.Second {
+		t.Fatalf("time to peak = %v, want 4s", rep.TimeToPeak)
+	}
+}
+
+// Observation must be passive: the report of an observed run must equal the
+// report of a bare run of the same spec, field for field.
+func TestObservedRunMatchesBareRun(t *testing.T) {
+	spec := Proc(10*sim.Second, Resources{Cores: 2, MemoryMB: 400, DiskMB: 30})
+	spec.Children = []ChildSpec{{
+		StartOffset: 1500 * sim.Millisecond,
+		Spec:        Proc(2*sim.Second, Resources{Cores: 1, MemoryMB: 100}),
+	}}
+	cfg := DefaultConfig()
+	limits := Resources{MemoryMB: 10000}
+
+	run := func(obs Observer) Report {
+		eng := sim.NewEngine(42)
+		m := New(eng, cfg)
+		var rep Report
+		eng.At(0, func() {
+			m.RunObserved(spec, limits, nil, 0, obs, func(r Report) { rep = r })
+		})
+		eng.Run()
+		return rep
+	}
+	bare := run(nil)
+	observed := run(func(sim.Time, Resources, Source) {})
+	if !reflect.DeepEqual(bare, observed) {
+		t.Fatalf("observed report differs from bare:\n%+v\n%+v", observed, bare)
+	}
+}

@@ -75,6 +75,7 @@ const (
 	KindChaos      Kind = "chaos-fault" // one injected fault (instant or window)
 	KindSuspect    Kind = "suspect"     // instant: heartbeat suspicion fired on a worker
 	KindQuarantine Kind = "quarantine"  // worker quarantined -> readmitted
+	KindAnomaly    Kind = "anomaly"     // instant: telemetry anomaly detector finding
 )
 
 // Span outcomes. Open spans (End < 0) have no outcome yet.

@@ -1,0 +1,137 @@
+package tseries
+
+import (
+	"sort"
+
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+)
+
+// profSample is one completed attempt's contribution to a category profile.
+type profSample struct {
+	peak monitor.Resources
+	mean monitor.Resources
+	ttp  sim.Time
+	wall sim.Time
+}
+
+// categoryProfile accumulates one category's usage distribution in a bounded
+// sliding window.
+type categoryProfile struct {
+	category  string
+	completed int
+	killed    int
+	window    int
+	samples   []profSample
+}
+
+func (cp *categoryProfile) observe(s profSample) {
+	cp.completed++
+	cp.samples = append(cp.samples, s)
+	if cp.window > 0 && len(cp.samples) > cp.window {
+		cp.samples = cp.samples[len(cp.samples)-cp.window:]
+	}
+}
+
+// summarize computes order statistics over vals (sorted in place).
+func summarize(vals []float64) Dist {
+	d := Dist{N: len(vals)}
+	if len(vals) == 0 {
+		return d
+	}
+	sort.Float64s(vals)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(vals)-1))
+		return vals[i]
+	}
+	d.P50, d.P90, d.P99, d.Max = q(0.50), q(0.90), q(0.99), vals[len(vals)-1]
+	return d
+}
+
+// Dist is the order-statistic summary of one profiled dimension.
+type Dist struct {
+	// N is the window sample count the statistics were computed over.
+	N int `json:"n"`
+	// P50, P90, and P99 are the 50th/90th/99th percentiles; Max the maximum.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// ProfileSummary is the exported usage profile of one task category: the
+// distribution of monitor-observed peaks, how long tasks take to reach their
+// peak, the mean-vs-peak shape, and — when the allocation strategy exposes
+// its learned label — an audit of that label against the observed peaks.
+type ProfileSummary struct {
+	Category string `json:"category"`
+	// Completed and Killed count monitor reports folded in (killed attempts
+	// contribute no peaks: their measurement is truncated at the limit).
+	Completed int `json:"completed"`
+	Killed    int `json:"killed"`
+	// PeakCores/PeakMemMB/PeakDiskMB are peak distributions per dimension.
+	PeakCores  Dist `json:"peak_cores"`
+	PeakMemMB  Dist `json:"peak_mem_mb"`
+	PeakDiskMB Dist `json:"peak_disk_mb"`
+	// TimeToPeakS is the distribution of seconds from attempt start to the
+	// last peak increase — how early a task's footprint is established.
+	TimeToPeakS Dist `json:"time_to_peak_s"`
+	// WallS is the distribution of completed wall times.
+	WallS Dist `json:"wall_s"`
+	// MeanOverPeakMem is the average ratio of time-weighted mean memory to
+	// peak memory: 1.0 means flat usage, small values mean spiky usage that
+	// a peak-sized label mostly wastes.
+	MeanOverPeakMem float64 `json:"mean_over_peak_mem"`
+	// Label is the allocation strategy's current label for the category
+	// (Auto only), nil when the strategy exposes none.
+	Label *monitor.Resources `json:"label,omitempty"`
+	// LabelCoverage is the fraction of windowed peaks that fit within Label
+	// componentwise — the audit of the label against the distribution it was
+	// learned from. Meaningful only when Label is set.
+	LabelCoverage float64 `json:"label_coverage,omitempty"`
+}
+
+// summary renders the bounded window into an exported profile.
+func (cp *categoryProfile) summary(label *monitor.Resources) *ProfileSummary {
+	p := &ProfileSummary{
+		Category:  cp.category,
+		Completed: cp.completed,
+		Killed:    cp.killed,
+		Label:     label,
+	}
+	n := len(cp.samples)
+	cores := make([]float64, 0, n)
+	mem := make([]float64, 0, n)
+	disk := make([]float64, 0, n)
+	ttp := make([]float64, 0, n)
+	wall := make([]float64, 0, n)
+	var shapeSum float64
+	var shapeN int
+	covered := 0
+	for _, s := range cp.samples {
+		cores = append(cores, s.peak.Cores)
+		mem = append(mem, s.peak.MemoryMB)
+		disk = append(disk, s.peak.DiskMB)
+		ttp = append(ttp, float64(s.ttp))
+		wall = append(wall, float64(s.wall))
+		if s.peak.MemoryMB > 0 {
+			shapeSum += s.mean.MemoryMB / s.peak.MemoryMB
+			shapeN++
+		}
+		if label != nil && s.peak.Fits(*label) {
+			covered++
+		}
+	}
+	p.PeakCores = summarize(cores)
+	p.PeakMemMB = summarize(mem)
+	p.PeakDiskMB = summarize(disk)
+	p.TimeToPeakS = summarize(ttp)
+	p.WallS = summarize(wall)
+	if shapeN > 0 {
+		p.MeanOverPeakMem = shapeSum / float64(shapeN)
+	}
+	if label != nil && n > 0 {
+		p.LabelCoverage = float64(covered) / float64(n)
+	}
+	return p
+}

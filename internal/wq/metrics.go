@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lfm/internal/metrics"
+	"lfm/internal/monitor"
 	"lfm/internal/sim"
 )
 
@@ -258,6 +259,25 @@ func (mm *masterMetrics) onSchedPass(candidates int64, dur time.Duration) {
 	mm.reg.Histogram("wq_sched_candidates", metrics.ExpBuckets(1, 4, 12)).Observe(float64(candidates))
 	mm.reg.Help("wq_sched_round_seconds", "wall-clock duration of one scheduling round")
 	mm.reg.Histogram("wq_sched_round_seconds", metrics.ExpBuckets(1e-7, 4, 14)).Observe(dur.Seconds())
+}
+
+// onReport exports what the allocation strategy actually observed: the
+// per-category distributions of completed-attempt peaks and time-to-peak.
+// Registered lazily on the first completed report, so runs without
+// completions keep a byte-identical registry dump.
+func (mm *masterMetrics) onReport(t *Task, rep monitor.Report) {
+	if mm == nil || !rep.Completed {
+		return
+	}
+	cl := categoryLabel(t)
+	mm.reg.Help("lfm_category_peak_mem_mb", "peak memory of completed attempts, by category")
+	mm.reg.Histogram("lfm_category_peak_mem_mb", metrics.ExpBuckets(16, 2, 16), cl).Observe(rep.Peak.MemoryMB)
+	mm.reg.Help("lfm_category_peak_cores", "peak cores of completed attempts, by category")
+	mm.reg.Histogram("lfm_category_peak_cores", metrics.ExpBuckets(0.5, 2, 10), cl).Observe(rep.Peak.Cores)
+	mm.reg.Help("lfm_category_peak_disk_mb", "peak disk of completed attempts, by category")
+	mm.reg.Histogram("lfm_category_peak_disk_mb", metrics.ExpBuckets(16, 2, 16), cl).Observe(rep.Peak.DiskMB)
+	mm.reg.Help("lfm_category_time_to_peak_seconds", "start to last peak increase of completed attempts, by category")
+	mm.reg.Histogram("lfm_category_time_to_peak_seconds", metrics.DefTimeBuckets(), cl).Observe(float64(rep.TimeToPeak))
 }
 
 func (mm *masterMetrics) onWorkerJoin(w *Worker) {

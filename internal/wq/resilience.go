@@ -249,6 +249,7 @@ func (m *Master) loseAttempt(a *attempt) {
 	}
 	m.stats.LostTasks++
 	m.met.onLost()
+	m.telem.AbortAttempt(a.rec, "lost")
 	m.traceAttemptLost(a)
 	if a.speculative {
 		rs := m.stats.resilience()
@@ -282,6 +283,7 @@ func (m *Master) cancelAttempt(a *attempt) {
 	if a.started {
 		rs.SpecWasteSeconds += a.req.Cores * float64(m.Eng.Now()-a.execStart)
 	}
+	m.telem.AbortAttempt(a.rec, "cancelled")
 	m.traceAttemptCancelled(a)
 	m.schedule()
 }
@@ -369,13 +371,18 @@ func (m *Master) speculationTick() {
 			if len(t.active) != 1 || t.specCount >= r.MaxSpeculative {
 				continue
 			}
-			cs := m.categories.byCat[t.Category]
-			if cs == nil || cs.WallTimes.N() < r.SpeculationMinSamples {
-				continue
-			}
-			mean := cs.WallTimes.Mean()
-			if mean <= 0 || float64(now-a.execStart) < r.SpeculationMultiplier*mean {
-				continue
+			// Telemetry's flatline detector is a data-grounded fast path: an
+			// attempt whose usage froze well past its category's typical wall
+			// time speculates without waiting for the mean-multiplier rule.
+			if !m.telem.Flatlined(a.rec, now) {
+				cs := m.categories.byCat[t.Category]
+				if cs == nil || cs.WallTimes.N() < r.SpeculationMinSamples {
+					continue
+				}
+				mean := cs.WallTimes.Mean()
+				if mean <= 0 || float64(now-a.execStart) < r.SpeculationMultiplier*mean {
+					continue
+				}
 			}
 			m.speculate(a)
 		}

@@ -1,0 +1,24 @@
+package wq
+
+import (
+	"lfm/internal/tseries"
+)
+
+// SetTelemetry attaches a telemetry collector to the master: worker joins
+// and leaves open and close node utilization timelines, every allocation
+// change moves the allocated level, and each executing attempt streams its
+// monitor measurements into a bounded per-attempt series. The collector's
+// flatline detector also becomes a data-grounded speculation trigger (the
+// one behavioural effect of telemetry, active only when resilience
+// speculation is itself enabled). Call before submitting work; nil detaches.
+// Runs without a collector pay only a nil check per hook.
+func (m *Master) SetTelemetry(c *tseries.Collector) {
+	m.telem = c
+	c.SetCategoryMeans(func(category string) (float64, int) {
+		cs := m.categories.byCat[category]
+		if cs == nil {
+			return 0, 0
+		}
+		return cs.WallTimes.Mean(), cs.WallTimes.N()
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"lfm/internal/monitor"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
+	"lfm/internal/tseries"
 )
 
 // File is a named transferable input, e.g. a packed environment or a data
@@ -129,6 +130,9 @@ type attempt struct {
 	stranded bool
 	// done marks a terminal attempt; late continuations check it and bail.
 	done bool
+	// rec streams this attempt's measurements into the telemetry collector
+	// (nil when telemetry is off or execution never started).
+	rec *tseries.AttemptRecorder
 
 	placedAt  sim.Time
 	execStart sim.Time
@@ -334,6 +338,9 @@ type Master struct {
 	categories categoryTracker
 	// met, if set, updates registry instruments on the hot paths.
 	met *masterMetrics
+	// telem, if set, collects per-attempt usage series and node utilization
+	// timelines (see SetTelemetry). All calls through it are nil-safe.
+	telem *tseries.Collector
 
 	scheduling bool
 
@@ -450,6 +457,9 @@ func (m *Master) AddWorker(node *cluster.Node) *Worker {
 		m.sched.workerJoined(w)
 	}
 	m.met.onWorkerJoin(w)
+	m.telem.NodeJoin(node.ID, monitor.Resources{
+		Cores: node.Cores, MemoryMB: node.MemoryMB, DiskMB: node.DiskMB,
+	})
 	m.traceWorkerJoin(w)
 	m.schedule()
 	return w
@@ -470,6 +480,7 @@ func (m *Master) RemoveWorker(w *Worker) {
 		m.sched.workerLeft(w)
 	}
 	m.met.onWorkerLeave(w)
+	m.telem.NodeLeave(w.Node.ID)
 	m.traceWorkerLeave(w)
 	for i, other := range m.workers {
 		if other == w {
@@ -625,6 +636,7 @@ func (m *Master) allocCapacity(w *Worker, req monitor.Resources) {
 	w.usedMemMB += req.MemoryMB
 	w.usedDiskMB += req.DiskMB
 	w.running++
+	m.telem.NodeAlloc(w.Node.ID, req)
 	if m.sched != nil {
 		m.sched.capacityChanged(w, false)
 	}
@@ -639,6 +651,9 @@ func (m *Master) releaseCapacity(w *Worker, req monitor.Resources) {
 	w.usedMemMB -= req.MemoryMB
 	w.usedDiskMB -= req.DiskMB
 	w.running--
+	m.telem.NodeAlloc(w.Node.ID, monitor.Resources{
+		Cores: -req.Cores, MemoryMB: -req.MemoryMB, DiskMB: -req.DiskMB,
+	})
 	if m.sched != nil {
 		m.sched.capacityChanged(w, true)
 	}
@@ -722,7 +737,12 @@ func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculativ
 			spec = t.Spec.ScaleTime(w.slow)
 		}
 		tst, execSpan := m.traceExecStart(a)
-		a.exec = m.lfm.RunTraced(spec, limits, tst, execSpan, func(rep monitor.Report) {
+		var obs monitor.Observer
+		if m.telem != nil {
+			a.rec = m.telem.StartAttempt(t.ID, t.Attempts, speculative, t.Category, w.Node.ID, req)
+			obs = a.rec.Observe
+		}
+		a.exec = m.lfm.RunObserved(spec, limits, tst, execSpan, obs, func(rep monitor.Report) {
 			a.done = true
 			w.dropAttempt(a)
 			t.dropActive(a)
@@ -732,6 +752,8 @@ func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculativ
 				m.sched.strategyObserved(t.Category)
 			}
 			m.categories.observe(t.Category, rep)
+			m.telem.FinishAttempt(a.rec, rep)
+			m.met.onReport(t, rep)
 			m.traceExecEnd(a, rep)
 			if rep.Completed {
 				// First result wins: cancel the losing copies.

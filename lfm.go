@@ -46,6 +46,7 @@ import (
 	"lfm/internal/pypkg"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
+	"lfm/internal/tseries"
 	"lfm/internal/workloads"
 	"lfm/internal/wq"
 )
@@ -350,6 +351,7 @@ const (
 	TraceKindSuspect    = trace.KindSuspect
 	TraceKindQuarantine = trace.KindQuarantine
 	TraceKindKill       = trace.KindKill
+	TraceKindAnomaly    = trace.KindAnomaly
 )
 
 // ReadTrace loads a span store saved with TraceStore.WriteJSON.
@@ -421,6 +423,54 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // MetricsTimeBuckets returns the default latency histogram bounds
 // (exponential, 0.05s–~27min) used by the built-in instrumentation.
 func MetricsTimeBuckets() []float64 { return metrics.DefTimeBuckets() }
+
+// ---- Resource time-series telemetry ----
+
+// TelemetryConfig tunes per-invocation resource time-series capture; attach
+// one to RunConfig.Telemetry to record every monitor measurement of a run
+// under a bounded memory budget.
+type TelemetryConfig = tseries.Config
+
+// RunTelemetry is the recorded product of one telemetry-enabled run:
+// per-category usage profiles, per-node utilization timelines, per-attempt
+// usage series, and detected anomalies.
+type RunTelemetry = tseries.RunTelemetry
+
+// TelemetryProfile summarizes one task category's observed resource usage
+// (peak percentiles, time-to-peak, mean-over-peak shape) and audits the
+// allocation strategy's current label against it.
+type TelemetryProfile = tseries.ProfileSummary
+
+// TelemetryNode is one worker node's allocated-versus-used timeline with
+// exact core-second and MB-second integrals.
+type TelemetryNode = tseries.NodeSummary
+
+// TelemetryAttempt is one task attempt's downsampled usage series plus its
+// exact peak and request.
+type TelemetryAttempt = tseries.AttemptSummary
+
+// TelemetryAnomaly is one detected runtime anomaly (memory leak slope,
+// usage flatline).
+type TelemetryAnomaly = tseries.Anomaly
+
+// TelemetryUtilization aggregates cluster-wide allocated-versus-used
+// capacity into waste and packing summaries.
+type TelemetryUtilization = tseries.UtilizationSummary
+
+// TelemetryDist is a summarized sample distribution (p50/p90/p99/max).
+type TelemetryDist = tseries.Dist
+
+// TelemetryPoint is one delta-encoded point of a usage or level series: DT
+// since the previous point, componentwise-max usage U over the N merged raw
+// measurements, and the OR of their source flags.
+type TelemetryPoint = tseries.Point
+
+// DefaultTelemetryConfig returns the default telemetry configuration.
+func DefaultTelemetryConfig() *TelemetryConfig { return tseries.DefaultConfig() }
+
+// ReadTelemetry parses a JSONL telemetry export (as written by
+// RunTelemetry.WriteJSONL, possibly several runs concatenated).
+func ReadTelemetry(r io.Reader) ([]*RunTelemetry, error) { return tseries.ReadJSONL(r) }
 
 // ---- Experiment reproduction ----
 
