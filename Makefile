@@ -28,10 +28,12 @@ chaos:
 
 # Scheduler scale sweep in quick mode: measures the indexed matcher against
 # the linear scan's counterfactual cost, byte-verifies identical output on
-# the dual-run point, and writes BENCH_scheduler.json (CI uploads it as an
-# artifact). Drop -quick to reproduce the committed full-size numbers.
+# the dual-run point AND between the calendar-queue and legacy-heap engines
+# (the benchstat-style "engine ..." lines), writes BENCH_scheduler.json, and
+# captures a CPU profile (CI uploads both as artifacts). Drop -quick to
+# reproduce the committed full-size numbers, including the 1M-task point.
 bench:
-	$(GO) run ./cmd/lfmbench -scale -quick -scale-out BENCH_scheduler.json
+	$(GO) run ./cmd/lfmbench -scale -quick -scale-out BENCH_scheduler.json -cpuprofile BENCH_cpu.pprof
 
 # Telemetry sweep in quick mode: record every paper workload under every
 # strategy with resource time-series capture on, write the combined JSONL

@@ -319,6 +319,93 @@ func BenchmarkWQScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineQueue contrasts the calendar event queue with the legacy
+// binary heap on the raw dispatch loop: a large churning population of
+// pending events (random delays, a slice of same-timestamp bursts,
+// occasional cancels) with no scheduler on top, isolating queue cost per
+// event. The standing population matches the scale sweep's regime — tens
+// of thousands of pending events — where the heap pays O(log n) pointer
+// chasing per operation.
+func BenchmarkEngineQueue(b *testing.B) {
+	for _, kind := range []sim.QueueKind{sim.QueueCalendar, sim.QueueHeap} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			const events = 200000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngineQueue(7, kind)
+				rng := eng.RNG()
+				n := 0
+				var churn func()
+				churn = func() {
+					n++
+					if n >= events {
+						return
+					}
+					switch n % 8 {
+					case 0: // same-timestamp burst
+						for j := 0; j < 4; j++ {
+							eng.Defer(func() {})
+						}
+						eng.After(sim.Time(rng.Float64()), churn)
+					case 1: // schedule-then-cancel
+						ev := eng.After(sim.Time(rng.Float64()*10), func() {})
+						eng.After(sim.Time(rng.Float64()), churn)
+						eng.Cancel(ev)
+					default:
+						eng.After(sim.Time(rng.Float64()*2), churn)
+					}
+				}
+				// A standing population so the queue is never near-empty:
+				// 32k long-lived events plus 64 churn drivers.
+				for j := 0; j < 32768; j++ {
+					eng.After(sim.Time(rng.Float64()*1000+10), func() {})
+				}
+				for j := 0; j < 64; j++ {
+					eng.After(sim.Time(rng.Float64()*5), churn)
+				}
+				eng.Run()
+				if n < events {
+					b.Fatalf("dispatched %d events, want >= %d", n, events)
+				}
+			}
+			b.ReportMetric(float64(events), "events/op")
+		})
+	}
+}
+
+// BenchmarkFairShare exercises the shared-link transfer model: a standing
+// set of concurrent flows arriving and completing, the regime where the
+// old per-event rate rescan was O(flows) and virtual time is O(log flows).
+func BenchmarkFairShare(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(7)
+		fs := sim.NewFairShare(eng, 100)
+		rng := eng.RNG()
+		const transfers = 20000
+		done := 0
+		var launch func()
+		launch = func() {
+			fs.Transfer(rng.Float64()*50+1, func() {
+				done++
+				if done+64 <= transfers {
+					launch()
+				}
+			})
+		}
+		eng.At(0, func() {
+			for j := 0; j < 64; j++ {
+				launch()
+			}
+		})
+		eng.Run()
+		if fs.Completed != uint64(transfers) {
+			b.Fatalf("completed %d transfers, want %d", fs.Completed, transfers)
+		}
+	}
+}
+
 // BenchmarkMatcher contrasts the indexed matcher with the reference linear
 // scan on a backlog deep enough that scheduling cost dominates, reporting
 // candidate fit-tests per scheduling round for each.

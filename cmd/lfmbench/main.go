@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,10 +47,12 @@ func main() {
 	chaosProfile := flag.String("chaos-profile", "", "run an HEP benchmark under a canned fault schedule ("+strings.Join(lfm.ChaosProfiles(), ", ")+") with full resilience enabled; exits nonzero on invariant violations")
 	chaosSeed := flag.Int64("chaos-seed", 0, "with -chaos-profile: seed fault injection independently of -seed (0 uses -seed)")
 	chaosTrace := flag.String("chaos-trace", "", "with -chaos-profile: write the chaos run's span trace to this file (- for stdout)")
-	scale := flag.Bool("scale", false, "run the scheduler scale sweep (up to 100k tasks x 5k workers; -quick shrinks it) and write BENCH_scheduler.json")
+	scale := flag.Bool("scale", false, "run the scheduler scale sweep (up to 1M tasks x 50k workers; -quick shrinks it) and write BENCH_scheduler.json")
 	scaleOut := flag.String("scale-out", "BENCH_scheduler.json", "with -scale: write the sweep report JSON to this file (- for stdout)")
+	scalePoints := flag.String("scale-points", "", "with -scale: override sweep points, e.g. 100000x5000,1000000x50000")
 	telemetryOut := flag.String("telemetry-out", "", "run with resource time-series telemetry and write the JSONL export to this file (- for stdout); render it with cmd/lfmprof")
 	telemetrySweep := flag.Bool("telemetry-sweep", false, "with -telemetry-out: record every paper workload under every strategy and print a utilization/waste table")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfmbench [-quick] [-seed N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       lfmbench -metrics-out FILE [-metrics-timeline FILE] [-metrics-resolution SECS]\n")
@@ -58,6 +61,22 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, id := range lfm.ExperimentIDs() {
@@ -89,7 +108,7 @@ func main() {
 		}
 	}
 	if *scale {
-		if err := runScale(*seed, *quick, *scaleOut); err != nil {
+		if err := runScale(*seed, *quick, *scaleOut, *scalePoints); err != nil {
 			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
 			os.Exit(1)
 		}

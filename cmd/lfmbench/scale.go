@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"lfm"
@@ -50,6 +51,16 @@ type scaleResult struct {
 	// ReductionCandidatesPerRound is scan-equivalent candidates per round
 	// divided by indexed candidates per round.
 	ReductionCandidatesPerRound float64 `json:"reduction_candidates_per_round"`
+
+	// LegacyHeap is the measured cost of re-running the point on the legacy
+	// binary-heap event queue (indexed matcher) — the benchstat-style
+	// old-vs-new engine comparison; present on points small enough to
+	// afford the re-run.
+	LegacyHeap *matcherCost `json:"legacy_heap,omitempty"`
+	// EngineIdenticalOutput reports whether the legacy-heap re-run's
+	// outcome (and trace, when captured) was byte-identical to the calendar
+	// engine's; only present with LegacyHeap.
+	EngineIdenticalOutput *bool `json:"engine_identical_output,omitempty"`
 }
 
 // scaleReport is the BENCH_scheduler.json document.
@@ -62,10 +73,10 @@ type scaleReport struct {
 
 const scaleCategories = 8
 
-// scaleRun executes one sweep point under one matcher and returns the
-// outcome, the trace JSON (only captured when withTrace, to keep the big
-// points lean), and the process wall time.
-func scaleRun(seed int64, p scalePoint, m lfm.Matcher, withTrace bool) (*lfm.Outcome, []byte, time.Duration, error) {
+// scaleRun executes one sweep point under one matcher and engine queue and
+// returns the outcome, the trace JSON (only captured when withTrace, to keep
+// the big points lean), and the process wall time.
+func scaleRun(seed int64, p scalePoint, m lfm.Matcher, q lfm.QueueKind, withTrace bool) (*lfm.Outcome, []byte, time.Duration, error) {
 	w := lfm.ScaleWorkload(seed, p.Tasks, scaleCategories)
 	// The fixed "guess" label keeps Strategy.Next O(1) so the measurement
 	// isolates matcher cost; "auto" recomputes labels from the full
@@ -91,7 +102,7 @@ func scaleRun(seed int64, p scalePoint, m lfm.Matcher, withTrace bool) (*lfm.Out
 		Site: &site, Workers: p.Workers,
 		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
 		Strategy: strategy, Seed: seed, NoBatchLatency: true,
-		Matcher: m, Trace: tr,
+		Matcher: m, EventQueue: q, Trace: tr,
 	})
 	wall := time.Since(start)
 	if err != nil {
@@ -126,17 +137,41 @@ func cost(rounds, tasks, candidates int64, schedNanos int64, wall time.Duration)
 // the indexed matcher against the linear scan's counterfactual cost,
 // re-runs the smallest point under the real scan to byte-verify identical
 // output, and writes the JSON report.
-func runScale(seed int64, quick bool, outPath string) error {
-	points := []scalePoint{{2000, 128}, {10000, 512}, {100000, 5000}}
+// parsePoints parses a "TASKSxWORKERS,..." override list.
+func parsePoints(spec string) ([]scalePoint, error) {
+	var pts []scalePoint
+	for _, part := range strings.Split(spec, ",") {
+		var p scalePoint
+		if _, err := fmt.Sscanf(part, "%dx%d", &p.Tasks, &p.Workers); err != nil {
+			return nil, fmt.Errorf("bad -scale-points entry %q (want TASKSxWORKERS)", part)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+func runScale(seed int64, quick bool, outPath, pointSpec string) error {
+	points := []scalePoint{{2000, 128}, {10000, 512}, {100000, 5000}, {1000000, 50000}}
 	dualMax := 2000
+	// Every pre-existing point re-runs on the legacy heap engine for
+	// byte-identity verification and an old-vs-new timing comparison; only
+	// the top (million-task) point is calendar-only.
+	heapDualMax := 100000
 	if quick {
 		points = []scalePoint{{1000, 64}, {5000, 512}, {20000, 1000}}
 		dualMax = 1000
+		heapDualMax = 20000
+	}
+	if pointSpec != "" {
+		var err error
+		if points, err = parsePoints(pointSpec); err != nil {
+			return err
+		}
 	}
 	rep := scaleReport{GeneratedBy: "lfmbench -scale", Quick: quick, Seed: seed}
 	for _, p := range points {
 		dual := p.Tasks <= dualMax
-		out, trIdx, wall, err := scaleRun(seed, p, lfm.MatcherIndexed, dual)
+		out, trIdx, wall, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueCalendar, dual)
 		if err != nil {
 			return err
 		}
@@ -156,7 +191,7 @@ func runScale(seed int64, quick bool, outPath string) error {
 				res.ScanEquivalent.CandidatesPerRound / res.Indexed.CandidatesPerRound
 		}
 		if dual {
-			outScan, trScan, wallScan, err := scaleRun(seed, p, lfm.MatcherScan, true)
+			outScan, trScan, wallScan, err := scaleRun(seed, p, lfm.MatcherScan, lfm.QueueCalendar, true)
 			if err != nil {
 				return err
 			}
@@ -181,11 +216,36 @@ func runScale(seed int64, quick bool, outPath string) error {
 					p.Tasks, p.Workers, s.ScanCandidatesExamined, ss.CandidatesExamined)
 			}
 		}
-		rep.Points = append(rep.Points, res)
 		msg := io.Writer(os.Stdout)
 		if outPath == "-" {
 			msg = os.Stderr
 		}
+		if p.Tasks <= heapDualMax {
+			outHeap, trHeap, wallHeap, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueHeap, dual)
+			if err != nil {
+				return err
+			}
+			hs := outHeap.Sched
+			hc := cost(hs.Passes, hs.TasksExamined, hs.CandidatesExamined, hs.ElapsedNanos, wallHeap)
+			res.LegacyHeap = &hc
+			oi, err := json.Marshal(out)
+			if err != nil {
+				return err
+			}
+			oh, err := json.Marshal(outHeap)
+			if err != nil {
+				return err
+			}
+			same := bytes.Equal(oi, oh) && bytes.Equal(trIdx, trHeap)
+			res.EngineIdenticalOutput = &same
+			if !same {
+				return fmt.Errorf("scale point %dx%d: calendar and legacy-heap engine outputs diverge", p.Tasks, p.Workers)
+			}
+			fmt.Fprintf(msg, "engine %6d tasks x %4d workers: wall calendar %.1fs vs heap %.1fs (%.2fx), identical output\n",
+				p.Tasks, p.Workers, wall.Seconds(), wallHeap.Seconds(),
+				wallHeap.Seconds()/wall.Seconds())
+		}
+		rep.Points = append(rep.Points, res)
 		fmt.Fprintf(msg, "scale %6d tasks x %4d workers: %d rounds, %.0f candidates/round indexed vs %.0f scan-equivalent (%.0fx), sched %.0fms, run %.1fs\n",
 			p.Tasks, p.Workers, res.Indexed.Rounds, res.Indexed.CandidatesPerRound,
 			res.ScanEquivalent.CandidatesPerRound, res.ReductionCandidatesPerRound,

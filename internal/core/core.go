@@ -49,6 +49,10 @@ type RunConfig struct {
 	Matcher wq.Matcher
 	// Seed makes the run reproducible.
 	Seed int64
+	// EventQueue selects the engine's event-queue implementation (default
+	// the calendar queue; see sim.QueueKind). Both dispatch identically —
+	// the legacy heap exists for differential benchmarking.
+	EventQueue sim.QueueKind
 	// NoBatchLatency provisions workers instantly (for experiments
 	// measuring steady-state scheduling rather than queue waits).
 	NoBatchLatency bool
@@ -172,7 +176,7 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		strategy = alloc.NewAuto()
 	}
 
-	eng := sim.NewEngine(cfg.Seed)
+	eng := sim.NewEngineQueue(cfg.Seed, cfg.EventQueue)
 	cl := cluster.New(eng, site)
 	mcfg := wq.DefaultConfig()
 	mcfg.Strategy = strategy

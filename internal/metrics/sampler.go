@@ -46,7 +46,7 @@ type Sampler struct {
 
 	series  map[string]*TimeSeries
 	order   []*TimeSeries
-	ev      *sim.Event
+	ev      sim.Event
 	running bool
 
 	// Samples counts completed sampling sweeps.
@@ -81,7 +81,7 @@ func (s *Sampler) Start() {
 func (s *Sampler) Stop() {
 	s.running = false
 	s.eng.Cancel(s.ev)
-	s.ev = nil
+	s.ev = sim.Event{}
 }
 
 func (s *Sampler) tick() {

@@ -220,10 +220,13 @@ type run struct {
 
 	finished bool
 	zombie   bool
-	pollEv   *sim.Event
-	endEv    *sim.Event
-	zombieEv *sim.Event
-	procEvs  []*sim.Event
+	pollEv   sim.Event
+	endEv    sim.Event
+	zombieEv sim.Event
+	procEvs  []sim.Event
+	// pollFn is the polling tick closure, built once per run so each re-arm
+	// does not allocate.
+	pollFn func()
 
 	// obs, if set, receives every measurement (telemetry streaming). The
 	// mean-usage integral and last-measurement state back Report.MeanUsage.
@@ -235,11 +238,11 @@ type run struct {
 
 	// Span recording (nil/NoSpan when the run is untraced): parent is the
 	// caller's execute span; ovSpan covers the monitor's setup overhead.
-	tr        *trace.Store
-	parent    trace.SpanID
-	ovSpan    trace.SpanID
-	trTask    int
-	trWorker  int
+	tr       *trace.Store
+	parent   trace.SpanID
+	ovSpan   trace.SpanID
+	trTask   int
+	trWorker int
 }
 
 // Execution is a handle to an in-flight monitored run. Aborting it (e.g.
@@ -247,7 +250,7 @@ type run struct {
 // suppresses the completion report.
 type Execution struct {
 	r       *run
-	startEv *sim.Event
+	startEv sim.Event
 }
 
 // Abort cancels the execution; the done callback will not fire.
@@ -421,12 +424,15 @@ func dim(u Resources, kind Kind) float64 {
 }
 
 func (r *run) schedulePoll() {
-	r.pollEv = r.m.Eng.After(r.m.Cfg.PollInterval, func() {
-		r.measure(byPoll)
-		if !r.finished {
-			r.schedulePoll()
+	if r.pollFn == nil {
+		r.pollFn = func() {
+			r.measure(byPoll)
+			if !r.finished {
+				r.schedulePoll()
+			}
 		}
-	})
+	}
+	r.pollEv = r.m.Eng.After(r.m.Cfg.PollInterval, r.pollFn)
 }
 
 // scheduleProcEvents registers a measurement at every fork and exit in the

@@ -61,15 +61,15 @@ func TestEngineCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("event does not report cancelled")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestEngineCancelOneOfMany(t *testing.T) {
 	e := NewEngine(1)
 	var got []int
-	evs := make([]*Event, 5)
+	evs := make([]Event, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		evs[i] = e.At(Time(i+1), func() { got = append(got, i) })

@@ -1,11 +1,18 @@
 package sim
 
+import "sort"
+
 // FairShare models a capacity shared equally among active flows, such as a
 // network link or the aggregate data bandwidth of a parallel filesystem.
 // While n flows are active each progresses at Capacity/n (optionally capped
 // by PerFlowCap, modeling a single client NIC that cannot use the whole
-// fabric). Completion times are recomputed whenever the set of active flows
-// changes, which is the textbook processor-sharing construction.
+// fabric). This is the textbook processor-sharing construction, implemented
+// with virtual time: v advances by the per-flow rate, each flow finishes at
+// the fixed virtual instant v_start + size, and the active set is a min-heap
+// on (v_end, start order). Starting or completing a flow is O(log n) — the
+// previous implementation charged every active flow on every change, which
+// went quadratic during staging storms with tens of thousands of concurrent
+// transfers.
 type FairShare struct {
 	eng *Engine
 
@@ -14,12 +21,15 @@ type FairShare struct {
 	// PerFlowCap, if nonzero, limits the rate any single flow can achieve.
 	PerFlowCap float64
 
-	// flows is kept in start order: completion callbacks for flows that
-	// finish at the same instant must fire deterministically, and Go map
-	// iteration would randomize them run to run.
+	// flows is a min-heap on (vEnd, seq). Completion callbacks for flows
+	// that finish at the same instant fire in start order, so runs stay
+	// deterministic.
 	flows   []*Flow
+	vnow    float64 // virtual units served per flow since the last idle rebase
 	lastUpd Time
-	next    *Event
+	next    Event
+	seq     uint64
+	scratch []*Flow
 
 	// Completed counts finished flows; MovedUnits integrates total work done.
 	Completed  uint64
@@ -28,9 +38,11 @@ type FairShare struct {
 
 // Flow is one in-progress transfer on a FairShare resource.
 type Flow struct {
-	remaining float64
-	done      func()
-	fs        *FairShare
+	vEnd float64
+	seq  uint64
+	pos  int32
+	done func()
+	fs   *FairShare
 }
 
 // NewFairShare returns a fair-shared resource with the given aggregate
@@ -58,7 +70,8 @@ func (f *FairShare) rate() float64 {
 	return r
 }
 
-// advance charges elapsed progress to every active flow.
+// advance moves virtual time forward by the progress every active flow made
+// since the last update.
 func (f *FairShare) advance() {
 	now := f.eng.Now()
 	dt := float64(now - f.lastUpd)
@@ -67,79 +80,61 @@ func (f *FairShare) advance() {
 		return
 	}
 	progress := f.rate() * dt
-	for _, fl := range f.flows {
-		fl.remaining -= progress
-		if fl.remaining < 0 {
-			fl.remaining = 0
-		}
-	}
+	f.vnow += progress
 	f.MovedUnits += progress * float64(len(f.flows))
 }
 
-// reschedule finds the flow that will finish first at the current rate and
-// schedules the next completion event.
+// reschedule points the next completion event at the earliest-finishing
+// flow.
 func (f *FairShare) reschedule() {
 	f.eng.Cancel(f.next)
-	f.next = nil
+	f.next = Event{}
 	if len(f.flows) == 0 {
 		return
 	}
-	var min *Flow
-	for _, fl := range f.flows {
-		if min == nil || fl.remaining < min.remaining {
-			min = fl
-		}
+	eta := Time((f.flows[0].vEnd - f.vnow) / f.rate())
+	if eta < 0 {
+		eta = 0
 	}
-	rate := f.rate()
-	eta := Time(min.remaining / rate)
 	f.next = f.eng.After(eta, f.complete)
 }
 
 // complete fires when the earliest flow(s) finish.
 func (f *FairShare) complete() {
-	f.next = nil
+	f.next = Event{}
 	f.advance()
-	var finished []*Flow
-	var min *Flow
-	for _, fl := range f.flows {
-		// Tolerate floating-point residue when several flows tie.
-		if fl.remaining <= 1e-9 {
-			finished = append(finished, fl)
-		}
-		if min == nil || fl.remaining < min.remaining {
-			min = fl
-		}
+	// Tolerate floating-point residue when several flows tie; the epsilon
+	// scales with the virtual clock so it stays meaningful late in a run.
+	eps := 1e-9 + f.vnow*1e-12
+	finished := f.scratch[:0]
+	for len(f.flows) > 0 && f.flows[0].vEnd <= f.vnow+eps {
+		finished = append(finished, f.heapPop())
 	}
 	// This event was scheduled for the earliest flow's completion. If float
-	// underflow kept the clock (and thus advance) from registering the last
-	// sliver of progress, force-complete that flow: otherwise the resource
-	// reschedules at the same instant forever.
-	if len(finished) == 0 && min != nil {
-		min.remaining = 0
-		finished = append(finished, min)
+	// underflow kept the virtual clock from registering the last sliver of
+	// progress, force-complete that flow: otherwise the resource reschedules
+	// at the same instant forever.
+	if len(finished) == 0 && len(f.flows) > 0 {
+		finished = append(finished, f.heapPop())
 	}
-	if len(finished) > 0 {
-		keep := f.flows[:0]
-		for _, fl := range f.flows {
-			still := true
-			for _, done := range finished {
-				if fl == done {
-					still = false
-					break
-				}
-			}
-			if still {
-				keep = append(keep, fl)
-			}
-		}
-		f.flows = keep
-		f.Completed += uint64(len(finished))
+	f.Completed += uint64(len(finished))
+	if len(f.flows) == 0 {
+		// Idle: rebase the virtual clock so it cannot grow without bound
+		// (and lose precision) over a long run.
+		f.vnow = 0
 	}
-	// Callbacks run after bookkeeping so they can start new flows safely.
+	// Callbacks fire in start order, after bookkeeping, so they can start
+	// new flows safely.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
 	for _, fl := range finished {
+		fl.fs = nil
 		if fl.done != nil {
 			fl.done()
 		}
+	}
+	f.scratch = finished[:0]
+	for i := range finished {
+		finished[i] = nil
 	}
 	f.reschedule()
 }
@@ -151,8 +146,12 @@ func (f *FairShare) Transfer(units float64, done func()) *Flow {
 		panic("sim: negative transfer size")
 	}
 	f.advance()
-	fl := &Flow{remaining: units, done: done, fs: f}
-	f.flows = append(f.flows, fl)
+	if len(f.flows) == 0 {
+		f.vnow = 0
+	}
+	fl := &Flow{vEnd: f.vnow + units, seq: f.seq, done: done, fs: f}
+	f.seq++
+	f.heapPush(fl)
 	f.reschedule()
 	return fl
 }
@@ -167,4 +166,57 @@ func (f *FairShare) EstimateLatency(units float64) Time {
 		r = f.PerFlowCap
 	}
 	return Time(units / r)
+}
+
+// flow-heap primitives (binary min-heap on (vEnd, seq), tracking pos).
+
+func fless(a, b *Flow) bool {
+	if a.vEnd != b.vEnd {
+		return a.vEnd < b.vEnd
+	}
+	return a.seq < b.seq
+}
+
+func (f *FairShare) heapPush(fl *Flow) {
+	fl.pos = int32(len(f.flows))
+	f.flows = append(f.flows, fl)
+	i := len(f.flows) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !fless(f.flows[i], f.flows[parent]) {
+			break
+		}
+		f.flows[i], f.flows[parent] = f.flows[parent], f.flows[i]
+		f.flows[i].pos = int32(i)
+		f.flows[parent].pos = int32(parent)
+		i = parent
+	}
+}
+
+func (f *FairShare) heapPop() *Flow {
+	fl := f.flows[0]
+	last := len(f.flows) - 1
+	f.flows[0] = f.flows[last]
+	f.flows[0].pos = 0
+	f.flows[last] = nil
+	f.flows = f.flows[:last]
+	n := last
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && fless(f.flows[r], f.flows[c]) {
+			c = r
+		}
+		if !fless(f.flows[c], f.flows[i]) {
+			break
+		}
+		f.flows[i], f.flows[c] = f.flows[c], f.flows[i]
+		f.flows[i].pos = int32(i)
+		f.flows[c].pos = int32(c)
+		i = c
+	}
+	return fl
 }

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bothKinds runs a subtest under each event-queue implementation, so every
+// property below is checked against the calendar queue and the legacy heap.
+func bothKinds(t *testing.T, f func(t *testing.T, kind QueueKind)) {
+	t.Helper()
+	for _, kind := range []QueueKind{QueueCalendar, QueueHeap} {
+		t.Run(kind.String(), func(t *testing.T) { f(t, kind) })
+	}
+}
+
+// Regression: At used to accept non-finite times. An event at t = +Inf
+// defeated RunUntil's `at > limit` guard (Inf > Inf is false), fired, and
+// corrupted Now() to +Inf for the rest of the run.
+func TestAtRejectsNonFiniteTime(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind QueueKind) {
+		for _, bad := range []Time{Time(math.Inf(1)), Time(math.Inf(-1)), Time(math.NaN())} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("At(%v) did not panic", bad)
+					}
+				}()
+				NewEngineQueue(1, kind).At(bad, func() {})
+			}()
+		}
+	})
+}
+
+func TestRunUntilInfinityKeepsNowFinite(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind QueueKind) {
+		e := NewEngineQueue(1, kind)
+		fired := 0
+		e.At(1, func() { fired++ })
+		e.At(2, func() { fired++ })
+		end := e.Run()
+		if fired != 2 {
+			t.Fatalf("fired %d events, want 2", fired)
+		}
+		if math.IsInf(float64(end), 0) || end != 2 {
+			t.Fatalf("Run() returned %v, want 2", end)
+		}
+	})
+}
+
+func TestRunUntilNaNLimitPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil(NaN) did not panic")
+		}
+	}()
+	e.RunUntil(Time(math.NaN()))
+}
+
+// Regression: RunUntil used to clear e.stopped unconditionally on entry, so
+// a Stop() issued before the run (e.g. from a callback of a previous run
+// that had already drained) was silently lost. Stop is sticky: it parks the
+// next Run before any dispatch, and that run consumes it.
+func TestStopBeforeRunIsSticky(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind QueueKind) {
+		e := NewEngineQueue(1, kind)
+		fired := false
+		e.At(1, func() { fired = true })
+		e.Stop()
+		if end := e.RunUntil(10); end != 0 {
+			t.Fatalf("stopped run advanced time to %v, want 0", end)
+		}
+		if fired {
+			t.Fatal("stopped run dispatched an event")
+		}
+		// The Stop was consumed: the next run proceeds normally.
+		if end := e.RunUntil(10); end != 1 || !fired {
+			t.Fatalf("second run: end=%v fired=%v, want 1 true", end, fired)
+		}
+	})
+}
+
+// Regression: Duration() used to produce garbage for non-finite and
+// sub-microsecond values ("+Infh", "0us" for 100ns).
+func TestTimeDurationEdgeCases(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{Time(math.Inf(1)), "+Inf"},
+		{Time(math.Inf(-1)), "-Inf"},
+		{Time(math.NaN()), "NaN"},
+		{0, "0s"},
+		{1e-7, "100ns"},
+		{2.5e-9, "2.5ns"},
+		{-1e-7, "-100ns"},
+		{-0.5, "-500.0ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.Duration(); got != c.want {
+			t.Errorf("Time(%v).Duration() = %q, want %q", float64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestDeferRunsBeforeTimeAdvances(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind QueueKind) {
+		e := NewEngineQueue(1, kind)
+		var order []string
+		e.At(1, func() {
+			e.Defer(func() {
+				order = append(order, fmt.Sprintf("defer1@%v", e.Now()))
+				e.Defer(func() { order = append(order, fmt.Sprintf("nested@%v", e.Now())) })
+			})
+			e.Defer(func() { order = append(order, fmt.Sprintf("defer2@%v", e.Now())) })
+			order = append(order, "event@1")
+		})
+		e.At(2, func() { order = append(order, "event@2") })
+		e.Run()
+		want := []string{"event@1", "defer1@1", "defer2@1", "nested@1", "event@2"}
+		if len(order) != len(want) {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order = %v, want %v", order, want)
+			}
+		}
+	})
+}
+
+func TestDeferCountsInPending(t *testing.T) {
+	e := NewEngine(1)
+	e.Defer(func() {})
+	e.At(1, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() after run = %d, want 0", got)
+	}
+}
+
+func TestDeferNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Defer(nil) did not panic")
+		}
+	}()
+	NewEngine(1).Defer(nil)
+}
+
+// Property: a burst of events sharing one timestamp dispatches in exact
+// scheduling (seq) order, and timestamps never regress — under both queue
+// implementations. This is the batched-round dispatch invariant the wq
+// master relies on for determinism.
+func TestBatchedSameTimestampOrderProperty(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind QueueKind) {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 20; trial++ {
+			e := NewEngineQueue(1, kind)
+			type rec struct {
+				at  Time
+				seq int
+			}
+			var got []rec
+			n := 0
+			// A few distinct timestamps, each carrying a burst of events.
+			for _, at := range []Time{0, 1, 1, 2.5} {
+				burst := 1 + rng.Intn(8)
+				for i := 0; i < burst; i++ {
+					at, seq := at, n
+					e.At(at, func() { got = append(got, rec{at, seq}) })
+					n++
+				}
+			}
+			e.Run()
+			if len(got) != n {
+				t.Fatalf("trial %d: dispatched %d of %d events", trial, len(got), n)
+			}
+			for i := 1; i < len(got); i++ {
+				a, b := got[i-1], got[i]
+				if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+					t.Fatalf("trial %d: dispatch %d (%v,%d) before %d (%v,%d) violates (at,seq) order",
+						trial, i-1, a.at, a.seq, i, b.at, b.seq)
+				}
+			}
+		}
+	})
+}
+
+// Property: cancelling a same-timestamp sibling from inside a firing
+// callback prevents its dispatch — the burst is not snapshotted before the
+// cancel takes effect.
+func TestSameTimestampSiblingCancel(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind QueueKind) {
+		e := NewEngineQueue(1, kind)
+		var fired []int
+		var victim Event
+		e.At(1, func() {
+			fired = append(fired, 0)
+			e.Cancel(victim)
+		})
+		e.At(1, func() { fired = append(fired, 1) })
+		victim = e.At(1, func() { fired = append(fired, 2) })
+		e.At(1, func() { fired = append(fired, 3) })
+		e.Run()
+		want := []int{0, 1, 3}
+		if len(fired) != len(want) {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("fired %v, want %v", fired, want)
+			}
+		}
+		if !victim.Cancelled() {
+			t.Fatal("victim handle not Cancelled after cancel")
+		}
+	})
+}
+
+// Differential: the calendar queue and the legacy heap must produce the
+// byte-identical dispatch sequence on randomized schedule/cancel workloads,
+// including re-entrant scheduling from callbacks. Any correct priority
+// queue yields the same (at,seq)-ordered sequence, so divergence here means
+// a queue bug.
+func TestCalendarHeapDifferentialDispatch(t *testing.T) {
+	run := func(kind QueueKind, seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngineQueue(1, kind)
+		var trace []string
+		var live []Event
+		id := 0
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			k := 1 + rng.Intn(4)
+			for i := 0; i < k; i++ {
+				id++
+				me := id
+				var d Time
+				switch rng.Intn(3) {
+				case 0:
+					d = 0 // same-timestamp burst
+				case 1:
+					d = Time(rng.Intn(5)) // collisions across spawns
+				default:
+					d = Time(rng.Float64() * 10)
+				}
+				ev := e.After(d, func() {
+					trace = append(trace, fmt.Sprintf("%d@%.6f", me, float64(e.Now())))
+					if depth < 3 && rng.Intn(2) == 0 {
+						spawn(depth + 1)
+					}
+					if len(live) > 0 && rng.Intn(3) == 0 {
+						e.Cancel(live[rng.Intn(len(live))])
+					}
+				})
+				live = append(live, ev)
+			}
+		}
+		spawn(0)
+		e.Run()
+		return trace
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		cal := run(QueueCalendar, seed)
+		hp := run(QueueHeap, seed)
+		if len(cal) != len(hp) {
+			t.Fatalf("seed %d: calendar dispatched %d events, heap %d", seed, len(cal), len(hp))
+		}
+		for i := range cal {
+			if cal[i] != hp[i] {
+				t.Fatalf("seed %d: dispatch %d diverges: calendar %s, heap %s", seed, i, cal[i], hp[i])
+			}
+		}
+	}
+}
+
+// Arena slots are recycled; a stale handle must stay inert even after its
+// slot is reused by a new event.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	e := NewEngine(1)
+	old := e.At(1, func() {})
+	e.RunUntil(1)
+	if !old.Cancelled() {
+		t.Fatal("fired event's handle not Cancelled")
+	}
+	// The freed slot is reused by the next At; the generation bump makes
+	// the old handle refuse to cancel the new event.
+	fired := false
+	e.At(2, func() { fired = true })
+	e.Cancel(old) // must be a no-op
+	e.Run()
+	if !fired {
+		t.Fatal("Cancel of a stale handle killed an unrelated event")
+	}
+}
+
+func TestZeroEventHandle(t *testing.T) {
+	var ev Event
+	if !ev.Cancelled() {
+		t.Fatal("zero Event not Cancelled")
+	}
+	e := NewEngine(1)
+	e.Cancel(ev) // must not panic
+}
+
+// Stress the calendar queue's resize and bucket-migration machinery: grow
+// to thousands of pending events across a wide time span, drain half,
+// schedule more at fine granularity, and verify global (at,seq) order.
+func TestCalendarQueueResizeStress(t *testing.T) {
+	e := NewEngineQueue(1, QueueCalendar)
+	rng := rand.New(rand.NewSource(7))
+	var last Time
+	var fired int
+	check := func(at Time) {
+		if at < last {
+			t.Fatalf("time regressed: %v after %v", at, last)
+		}
+		last = at
+		fired++
+	}
+	n := 0
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Float64() * 1e6)
+		e.At(at, func() { check(e.Now()) })
+		n++
+	}
+	e.RunUntil(5e5)
+	for i := 0; i < 5000; i++ {
+		at := e.Now() + Time(rng.Float64()) // dense cluster near now
+		e.At(at, func() { check(e.Now()) })
+		n++
+	}
+	e.Run()
+	if fired != n {
+		t.Fatalf("fired %d of %d events", fired, n)
+	}
+}

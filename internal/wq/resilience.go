@@ -325,7 +325,7 @@ func (m *Master) workerAttemptFailed(w *Worker) {
 		}, m.Eng.Now())
 	}
 	w.probationEv = m.Eng.After(probation, func() {
-		w.probationEv = nil
+		w.probationEv = sim.Event{}
 		if !w.alive {
 			return
 		}
@@ -356,7 +356,7 @@ func (m *Master) armSpeculation() {
 // re-armed by the next Submit.
 func (m *Master) speculationTick() {
 	m.specArmed = false
-	m.specEv = nil
+	m.specEv = sim.Event{}
 	if m.stats.Submitted > 0 && m.stats.Completed+m.stats.Failed >= m.stats.Submitted {
 		return
 	}
@@ -427,15 +427,15 @@ func (m *Master) drainCheck() {
 	if m.stats.Completed+m.stats.Failed < m.stats.Submitted {
 		return
 	}
-	if m.specEv != nil {
+	if !m.specEv.Cancelled() {
 		m.Eng.Cancel(m.specEv)
-		m.specEv = nil
+		m.specEv = sim.Event{}
 		m.specArmed = false
 	}
 	for _, w := range m.workers {
-		if w.probationEv != nil {
+		if !w.probationEv.Cancelled() {
 			m.Eng.Cancel(w.probationEv)
-			w.probationEv = nil
+			w.probationEv = sim.Event{}
 			w.quarantined = false
 			w.consecFails = 0
 			if m.sched != nil {

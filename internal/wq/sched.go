@@ -3,6 +3,7 @@ package wq
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -95,7 +96,10 @@ func (h *readyHeap) Pop() interface{} {
 	return t
 }
 
-// workerMeta is the scheduler's per-worker bookkeeping.
+// workerMeta is the indexed matcher's per-worker bookkeeping. It hangs
+// directly off the Worker (Worker.smeta) rather than in a side map: the
+// dirty-worker fit gate reads it on every blocked-category check, and a map
+// lookup there dominated scheduling CPU at scale.
 type workerMeta struct {
 	// joinSeq is the worker's join order, the tie-breaker first-fit and
 	// cache-affinity inherit from the scan's iteration order.
@@ -182,8 +186,6 @@ type schedState struct {
 	readySeq int64
 	joinSeq  int64
 
-	meta map[*Worker]*workerMeta
-
 	// cap is the single capacity index used by first/best/worst-fit;
 	// cache-affinity uses per-cache-set aff indexes instead.
 	cap     *workerIndex
@@ -195,15 +197,22 @@ type schedState struct {
 	catOrder []string // first-blocked order, for deterministic iteration
 	nblocked int
 
-	dirty []*Worker
+	// dirty lists workers flagged dirty since the last round (for the
+	// end-of-round retire sweep); dirtyIx holds the same workers in a
+	// capacity treap so the blocked-wake gate answers "does this decision
+	// fit any dirty worker" in O(log dirty) instead of a linear scan —
+	// a batched round can admit thousands of workers at one timestamp,
+	// and the gate runs once per blocked category per placement.
+	dirty   []*Worker
+	dirtyIx *workerIndex
 }
 
 func newSchedState(m *Master) *schedState {
 	s := &schedState{
 		m:       m,
-		meta:    make(map[*Worker]*workerMeta),
 		aff:     make(map[string]*affinityIndex),
 		blocked: make(map[string]*catBlocked),
+		dirtyIx: newWorkerIndex(),
 	}
 	if m.Cfg.Placement != PlaceCacheAffinity {
 		s.cap = newWorkerIndex()
@@ -222,7 +231,7 @@ func (s *schedState) capKey(w *Worker) tkey {
 	case PlaceWorstFit:
 		return tkey{a: -w.free().Cores, c: int64(w.Node.ID)}
 	default: // PlaceFirstFit
-		return tkey{c: s.meta[w].joinSeq}
+		return tkey{c: w.smeta.joinSeq}
 	}
 }
 
@@ -236,14 +245,24 @@ func (s *schedState) affKey(ai *affinityIndex, w *Worker) tkey {
 			cached += size
 		}
 	}
-	return tkey{a: -float64(cached), b: -w.free().Cores, c: s.meta[w].joinSeq}
+	return tkey{a: -float64(cached), b: -w.free().Cores, c: w.smeta.joinSeq}
 }
 
 // cacheSet extracts a task's cacheable input set: a canonical string key
 // (sorted names) plus the byte weight per name. Non-cacheable inputs never
 // enter worker caches, so they cannot contribute to cachedBytes and are
-// excluded.
+// excluded. Inputs are frozen at Submit, so the derivation is memoized on
+// the task: affinity placement re-derives the set on every examination.
 func cacheSet(t *Task) (string, map[string]int64) {
+	if t.cacheMemo {
+		return t.cacheKey, t.cacheFiles
+	}
+	key, files := cacheSetSlow(t)
+	t.cacheKey, t.cacheFiles, t.cacheMemo = key, files, true
+	return key, files
+}
+
+func cacheSetSlow(t *Task) (string, map[string]int64) {
 	var names []string
 	var files map[string]int64
 	for _, f := range t.Inputs {
@@ -275,7 +294,7 @@ func (s *schedState) affinityFor(t *Task) *affinityIndex {
 		s.aff[key] = ai
 		s.affList = append(s.affList, ai)
 		for _, w := range s.m.workers {
-			if mw := s.meta[w]; mw != nil && mw.indexed {
+			if mw := w.smeta; mw != nil && mw.indexed {
 				ai.ix.insert(w, s.affKey(ai, w))
 			}
 		}
@@ -307,7 +326,7 @@ func (s *schedState) taskReady(t *Task) {
 
 // workerJoined registers a new worker with the indexes.
 func (s *schedState) workerJoined(w *Worker) {
-	s.meta[w] = &workerMeta{joinSeq: s.joinSeq}
+	w.smeta = &workerMeta{joinSeq: s.joinSeq}
 	s.joinSeq++
 	s.admit(w)
 }
@@ -315,13 +334,13 @@ func (s *schedState) workerJoined(w *Worker) {
 // workerLeft removes a disconnected worker from the indexes for good.
 func (s *schedState) workerLeft(w *Worker) {
 	s.exclude(w)
-	delete(s.meta, w)
+	w.smeta = nil
 }
 
 // admit inserts a worker into every index and marks it dirty (it may newly
 // fit blocked tasks). Used on join and when quarantine lifts.
 func (s *schedState) admit(w *Worker) {
-	mw := s.meta[w]
+	mw := w.smeta
 	if mw == nil || mw.indexed {
 		return
 	}
@@ -338,7 +357,7 @@ func (s *schedState) admit(w *Worker) {
 // exclude removes a worker from every index without forgetting it. Used on
 // quarantine trips and as the first half of removal.
 func (s *schedState) exclude(w *Worker) {
-	mw := s.meta[w]
+	mw := w.smeta
 	if mw == nil || !mw.indexed {
 		return
 	}
@@ -349,23 +368,30 @@ func (s *schedState) exclude(w *Worker) {
 	for _, ai := range s.affList {
 		ai.ix.remove(w)
 	}
+	if mw.dirty {
+		// A stale entry would keep the wake gate matching a gone worker;
+		// the retire sweep tolerates the leftover slice entry.
+		s.dirtyIx.remove(w)
+		mw.dirty = false
+	}
 }
 
 // markDirty records that a worker may newly fit blocked tasks.
 func (s *schedState) markDirty(w *Worker) {
-	mw := s.meta[w]
+	mw := w.smeta
 	if mw == nil || !mw.indexed || mw.dirty {
 		return
 	}
 	mw.dirty = true
 	s.dirty = append(s.dirty, w)
+	s.dirtyIx.insert(w, tkey{c: mw.joinSeq})
 }
 
 // capacityChanged re-keys a worker after its free capacity moved. freed
 // marks capacity releases, which additionally dirty the worker — an
 // allocation can only shrink what fits, so it never wakes blocked tasks.
 func (s *schedState) capacityChanged(w *Worker, freed bool) {
-	mw := s.meta[w]
+	mw := w.smeta
 	if mw == nil || !mw.indexed {
 		return
 	}
@@ -377,7 +403,13 @@ func (s *schedState) capacityChanged(w *Worker, freed bool) {
 		ai.ix.remove(w)
 		ai.ix.insert(w, s.affKey(ai, w))
 	}
-	if freed {
+	if mw.dirty {
+		// Keep the dirty index's capacity values fresh: mid-round
+		// placements consume a dirty worker's free capacity, and the wake
+		// gate prunes on these aggregates.
+		s.dirtyIx.remove(w)
+		s.dirtyIx.insert(w, tkey{c: mw.joinSeq})
+	} else if freed {
 		s.markDirty(w)
 	}
 }
@@ -386,7 +418,7 @@ func (s *schedState) capacityChanged(w *Worker, freed bool) {
 // contains the newly cached file. Cache contents never affect feasibility,
 // only preference, so no worker turns dirty.
 func (s *schedState) cacheAdded(w *Worker, f *File) {
-	mw := s.meta[w]
+	mw := w.smeta
 	if mw == nil || !mw.indexed {
 		return
 	}
@@ -434,6 +466,23 @@ func (s *schedState) block(t *Task, dec alloc.Decision) {
 	e := &blockedEntry{t: t, dec: dec, pinned: t.retryNext != nil}
 	n := &tnode{key: t.orderKey(), be: e}
 	if e.pinned {
+		// Pinned nodes carry their negated effective requirement as treap
+		// values, so bestBlockedCandidate's scan can prune whole subtrees no
+		// dirty worker could satisfy: max over a subtree of a negated
+		// requirement is the negated minimum requirement.
+		if dec.WholeNode {
+			// Needs an idle worker, not resources: vi 0 flags it (minVi == 0
+			// means "subtree holds a whole-node entry") and -Inf requirements
+			// keep it from weakening the resource prune for its subtree.
+			n.v1, n.v2, n.v3 = math.Inf(-1), math.Inf(-1), math.Inf(-1)
+		} else {
+			req := dec.Request
+			if req.Cores <= 0 {
+				req.Cores = 1 // mirror fitsOn's default
+			}
+			n.v1, n.v2, n.v3 = -req.Cores, -req.MemoryMB, -req.DiskMB
+			n.vi = 1
+		}
 		cb.pinned.insert(n)
 	} else {
 		cb.dec = dec
@@ -453,18 +502,30 @@ func (s *schedState) unblock(cb *catBlocked, n *tnode) {
 }
 
 // decFitsDirty reports whether the decision fits any dirty worker right
-// now — the gate for waking blocked tasks.
+// now — the gate for waking blocked tasks. It searches the dirty-worker
+// capacity treap, so the common negative answer costs one aggregate test
+// at the root rather than a scan of the dirty set.
 func (s *schedState) decFitsDirty(dec alloc.Decision) bool {
-	for _, w := range s.dirty {
-		mw := s.meta[w]
-		if mw == nil || !mw.indexed || !mw.dirty {
-			continue
+	if s.dirtyIx.tr.root == nil {
+		return false
+	}
+	var may func(*tnode) bool
+	if dec.WholeNode {
+		may = func(n *tnode) bool { return n.minVi == 0 }
+	} else {
+		req := dec.Request
+		if req.Cores <= 0 {
+			req.Cores = 1
 		}
-		if s.m.fitsOn(w, dec) {
-			return true
+		// Mirror Resources.Fits' epsilon so pruning never rejects a worker
+		// the scan would accept.
+		may = func(n *tnode) bool {
+			return req.Cores <= n.maxV1+1e-9 && req.MemoryMB <= n.maxV2+1e-9 && req.DiskMB <= n.maxV3+1e-9
 		}
 	}
-	return false
+	m := s.m
+	visits := 0
+	return s.dirtyIx.tr.findFit(may, func(n *tnode) bool { return m.fitsOn(n.w, dec) }, &visits) != nil
 }
 
 // bestBlockedCandidate returns the scheduling-order-first blocked entry
@@ -472,8 +533,26 @@ func (s *schedState) decFitsDirty(dec alloc.Decision) bool {
 // guaranteed to place: the fitting dirty worker is indexed, so the
 // subsequent full search at least finds it.
 func (s *schedState) bestBlockedCandidate() (*catBlocked, *tnode) {
-	if len(s.dirty) == 0 || s.nblocked == 0 {
+	root := s.dirtyIx.tr.root
+	if root == nil || s.nblocked == 0 {
 		return nil, nil
+	}
+	// Frontier of the dirty set, read off the dirty index's root aggregates:
+	// per-dimension maximum free capacity, and whether any dirty worker sits
+	// idle. Pinned entries store their negated effective requirement as
+	// treap values (see block), so -maxV is a pinned subtree's minimum
+	// requirement; a subtree whose minimum exceeds the frontier on some
+	// dimension cannot fit any dirty worker (each dimension's max relaxes
+	// "one worker fits all dimensions") and the scan prunes it wholesale.
+	// Without this, every round rescanned every parked retry.
+	dirtyIdle := root.minVi == 0
+	may := func(n *tnode) bool {
+		if dirtyIdle && n.minVi == 0 {
+			return true
+		}
+		return -n.maxV1 <= root.maxV1+1e-9 &&
+			-n.maxV2 <= root.maxV2+1e-9 &&
+			-n.maxV3 <= root.maxV3+1e-9
 	}
 	var bestCb *catBlocked
 	var best *tnode
@@ -485,7 +564,8 @@ func (s *schedState) bestBlockedCandidate() (*catBlocked, *tnode) {
 			}
 		}
 		if cb.pinned.len() > 0 {
-			n := cb.pinned.firstWhere(func(n *tnode) bool { return s.decFitsDirty(n.be.dec) })
+			visits := 0
+			n := cb.pinned.findFit(may, func(n *tnode) bool { return s.decFitsDirty(n.be.dec) }, &visits)
 			if n != nil && (best == nil || n.key.less(best.key)) {
 				best, bestCb = n, cb
 			}
@@ -582,8 +662,9 @@ func (m *Master) schedulePassIndexed() {
 		s.examine(bn.be.t)
 	}
 	for _, w := range s.dirty {
-		if mw := s.meta[w]; mw != nil {
+		if mw := w.smeta; mw != nil && mw.dirty {
 			mw.dirty = false
+			s.dirtyIx.remove(w)
 		}
 	}
 	s.dirty = s.dirty[:0]
@@ -603,7 +684,7 @@ func (s *schedState) check() error {
 	m := s.m
 	indexed := 0
 	for _, w := range m.workers {
-		mw := s.meta[w]
+		mw := w.smeta
 		if mw == nil {
 			return fmt.Errorf("wq: worker %d has no scheduler meta", w.Node.ID)
 		}
@@ -627,7 +708,7 @@ func (s *schedState) check() error {
 				return
 			}
 			w := n.w
-			if mw := s.meta[w]; mw == nil || !mw.indexed {
+			if mw := w.smeta; mw == nil || !mw.indexed {
 				err = fmt.Errorf("wq: %s index holds unindexed worker %d", name, w.Node.ID)
 				return
 			}
@@ -677,12 +758,33 @@ func (s *schedState) check() error {
 				}
 				if e.t.State != TaskReady {
 					err = fmt.Errorf("wq: blocked task %d in state %d, want ready", e.t.ID, e.t.State)
+					return
+				}
+				if pinned {
+					// Pinned nodes carry their negated effective requirement
+					// for the bestBlockedCandidate prune.
+					if e.dec.WholeNode {
+						if !math.IsInf(n.v1, -1) || n.vi != 0 {
+							err = fmt.Errorf("wq: whole-node blocked task %d has prune values (%v, vi=%d)", e.t.ID, n.v1, n.vi)
+						}
+						return
+					}
+					req := e.dec.Request
+					if req.Cores <= 0 {
+						req.Cores = 1
+					}
+					if n.v1 != -req.Cores || n.v2 != -req.MemoryMB || n.v3 != -req.DiskMB || n.vi != 1 {
+						err = fmt.Errorf("wq: blocked task %d prune values stale", e.t.ID)
+					}
 				}
 			}
 		}
 		cb.unpinned.each(countStates(false))
 		cb.pinned.each(countStates(true))
 		if err != nil {
+			return err
+		}
+		if err := checkAggregates(fmt.Sprintf("blocked[%q] pinned", cat), cb.pinned.root); err != nil {
 			return err
 		}
 	}
@@ -693,6 +795,28 @@ func (s *schedState) check() error {
 		if t.State != TaskReady {
 			return fmt.Errorf("wq: queued task %d in state %d, want ready", t.ID, t.State)
 		}
+	}
+	// The dirty index must hold exactly the dirty workers, with fresh
+	// capacity values (the wake gate prunes on its aggregates).
+	ndirty := 0
+	for _, w := range m.workers {
+		if mw := w.smeta; mw != nil && mw.dirty {
+			ndirty++
+			n := s.dirtyIx.nodes[w]
+			if n == nil {
+				return fmt.Errorf("wq: dirty worker %d missing from dirty index", w.Node.ID)
+			}
+			free := w.free()
+			if n.v1 != free.Cores || n.v2 != free.MemoryMB || n.v3 != free.DiskMB || n.vi != w.running {
+				return fmt.Errorf("wq: dirty index capacity for worker %d is stale", w.Node.ID)
+			}
+		}
+	}
+	if got := s.dirtyIx.tr.len(); got != ndirty {
+		return fmt.Errorf("wq: dirty index holds %d workers, want %d", got, ndirty)
+	}
+	if err := checkAggregates("dirty", s.dirtyIx.tr.root); err != nil {
+		return err
 	}
 	return nil
 }

@@ -86,7 +86,13 @@ type Task struct {
 	// readySeq is the task's position in scheduling order, stamped each
 	// time it enters the ready queue (indexed matcher).
 	readySeq int64
-	spans    taskSpans
+	// cacheKey/cacheFiles memoize the task's cacheable input set (see
+	// cacheSet): inputs are frozen at Submit, and re-deriving the canonical
+	// key on every scheduler examination dominated large-queue rounds.
+	cacheKey   string
+	cacheFiles map[string]int64
+	cacheMemo  bool
+	spans      taskSpans
 	// active lists this task's in-flight placements — usually one, two while
 	// a speculative copy races the original.
 	active []*attempt
@@ -261,11 +267,15 @@ type Worker struct {
 	diedAt         sim.Time
 	joinedAt       sim.Time
 	slow           float64
-	suspectEv      *sim.Event
+	suspectEv      sim.Event
 	consecFails    int
 	quarantined    bool
 	probationRound int
-	probationEv    *sim.Event
+	probationEv    sim.Event
+
+	// smeta is the indexed matcher's bookkeeping for this worker, owned by
+	// schedState (nil under the scan matcher or once the worker has left).
+	smeta *workerMeta
 
 	cache      map[string]bool
 	cacheBytes int64
@@ -343,6 +353,8 @@ type Master struct {
 	telem *tseries.Collector
 
 	scheduling bool
+	// schedFn is the deferred scheduling-pass closure, built once.
+	schedFn func()
 
 	// Fault-injection hooks (see resilience.go). stageFault fails a landed
 	// staging transfer; stageDelay stalls one before it starts.
@@ -354,13 +366,21 @@ type Master struct {
 	// specArmed is true while the speculation scan loop is scheduled;
 	// specEv is the pending scan event (cancelled when the queue drains).
 	specArmed bool
-	specEv    *sim.Event
+	specEv    sim.Event
 
 	// utilization accounting: integrals of allocated and available
-	// core-seconds, advanced whenever allocation changes.
+	// core-seconds, advanced whenever allocation changes. poolCores and
+	// poolUsedCores mirror the sums over the live pool so one advance is
+	// O(1) instead of a scan over every worker.
 	coreSecondsUsed  float64
 	coreSecondsAvail float64
 	lastAccount      sim.Time
+	poolCores        float64
+	poolUsedCores    float64
+
+	// attemptSlab is a chunked arena for attempt records; placements carve
+	// from it instead of allocating one object each.
+	attemptSlab []attempt
 }
 
 // NewMaster returns a master on the engine.
@@ -412,10 +432,8 @@ func (m *Master) account() {
 	if dt <= 0 {
 		return
 	}
-	for _, w := range m.workers {
-		m.coreSecondsAvail += w.Node.Cores * dt
-		m.coreSecondsUsed += w.usedCores * dt
-	}
+	m.coreSecondsAvail += m.poolCores * dt
+	m.coreSecondsUsed += m.poolUsedCores * dt
 }
 
 // Utilization reports the fraction of provisioned core-time that was
@@ -453,6 +471,7 @@ func (m *Master) AddWorker(node *cluster.Node) *Worker {
 		staging:  make(map[string][]stagingWaiter),
 	}
 	m.workers = append(m.workers, w)
+	m.poolCores += node.Cores
 	if m.sched != nil {
 		m.sched.workerJoined(w)
 	}
@@ -475,6 +494,8 @@ func (m *Master) RemoveWorker(w *Worker) {
 	}
 	m.account()
 	w.alive = false
+	m.poolCores -= w.Node.Cores
+	m.poolUsedCores -= w.usedCores
 	m.Eng.Cancel(w.suspectEv)
 	if m.sched != nil {
 		m.sched.workerLeft(w)
@@ -561,17 +582,22 @@ func (m *Master) makeReady(t *Task) {
 	m.schedule()
 }
 
-// schedule places as many ready tasks as possible. It defers to an
-// immediate event so that bursts of submissions coalesce into one pass.
+// schedule places as many ready tasks as possible. It defers to the end of
+// the current dispatch round so that every same-timestamp burst — a wave of
+// submissions, completions, or worker arrivals — coalesces into one pass
+// instead of one pass per event.
 func (m *Master) schedule() {
 	if m.scheduling {
 		return
 	}
 	m.scheduling = true
-	m.Eng.After(0, func() {
-		m.scheduling = false
-		m.schedulePass()
-	})
+	if m.schedFn == nil {
+		m.schedFn = func() {
+			m.scheduling = false
+			m.schedulePass()
+		}
+	}
+	m.Eng.Defer(m.schedFn)
 }
 
 // schedulePass runs one scheduling round under the configured matcher.
@@ -632,6 +658,9 @@ func (m *Master) place(t *Task) bool {
 // utilization integrals and scheduler indexes current.
 func (m *Master) allocCapacity(w *Worker, req monitor.Resources) {
 	m.account()
+	if w.alive {
+		m.poolUsedCores += req.Cores
+	}
 	w.usedCores += req.Cores
 	w.usedMemMB += req.MemoryMB
 	w.usedDiskMB += req.DiskMB
@@ -647,6 +676,11 @@ func (m *Master) allocCapacity(w *Worker, req monitor.Resources) {
 // tasks against it.
 func (m *Master) releaseCapacity(w *Worker, req monitor.Resources) {
 	m.account()
+	if w.alive {
+		// Removed workers already surrendered their whole allocation when
+		// they left the pool aggregates; only live releases adjust them.
+		m.poolUsedCores -= req.Cores
+	}
 	w.usedCores -= req.Cores
 	w.usedMemMB -= req.MemoryMB
 	w.usedDiskMB -= req.DiskMB
@@ -682,11 +716,26 @@ func effectiveRequest(w *Worker, dec alloc.Decision) monitor.Resources {
 	return req
 }
 
+// newAttempt carves an attempt record from the chunked slab, so a million
+// placements cost thousands of allocations rather than a million. Records
+// are never recycled within a run — chunks become collectable as the
+// attempts in them reach terminal states and drop out of the worker and
+// task lists.
+func (m *Master) newAttempt() *attempt {
+	if len(m.attemptSlab) == 0 {
+		m.attemptSlab = make([]attempt, 512)
+	}
+	a := &m.attemptSlab[0]
+	m.attemptSlab = m.attemptSlab[1:]
+	return a
+}
+
 // startAttempt runs one placement: stage inputs, execute under the LFM,
 // return outputs, then release and account. Speculative attempts skip the
 // task-level bookkeeping (state, attempt count, wait times) of the original.
 func (m *Master) startAttempt(t *Task, w *Worker, dec alloc.Decision, speculative bool) {
-	a := &attempt{
+	a := m.newAttempt()
+	*a = attempt{
 		t: t, w: w, dec: dec, speculative: speculative,
 		placedAt: m.Eng.Now(),
 		span:     trace.NoSpan, phase: trace.NoSpan,

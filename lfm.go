@@ -295,6 +295,18 @@ const (
 	MatcherScan    = wq.MatcherScan
 )
 
+// QueueKind selects the simulation engine's event-queue implementation: the
+// default calendar queue or the legacy binary heap kept as its executable
+// specification. Both dispatch events byte-identically; they differ only in
+// cost.
+type QueueKind = sim.QueueKind
+
+// Event-queue implementations.
+const (
+	QueueCalendar = sim.QueueCalendar
+	QueueHeap     = sim.QueueHeap
+)
+
 // SchedStats reports the scheduler's work counters for a run (rounds,
 // tasks and candidate workers examined, wall-clock time), available on
 // Outcome.Sched.
