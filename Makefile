@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race chaos bench profile
+.PHONY: check build vet test test-race chaos bench profile obs
 
 check: build vet test-race
 
@@ -34,6 +34,20 @@ chaos:
 # reproduce the committed full-size numbers, including the 1M-task point.
 bench:
 	$(GO) run ./cmd/lfmbench -scale -quick -scale-out BENCH_scheduler.json -cpuprofile BENCH_cpu.pprof
+
+# Observability smoke: stream a seeded chaos run's snapshot bus to JSONL
+# plus the unified summary, re-run it with the same seed and byte-compare
+# the two streams (the determinism contract), then render the health
+# report. CI uploads OBS_stream.jsonl as an artifact.
+obs:
+	$(GO) run ./cmd/lfmbench -chaos-profile storm -seed 7 \
+		-obs-out OBS_stream.jsonl -summary-out OBS_summary.json
+	$(GO) run ./cmd/lfmbench -chaos-profile storm -seed 7 \
+		-obs-out OBS_stream.rerun.jsonl -summary-out OBS_summary.rerun.json
+	cmp OBS_stream.jsonl OBS_stream.rerun.jsonl
+	cmp OBS_summary.json OBS_summary.rerun.json
+	rm -f OBS_stream.rerun.jsonl OBS_summary.rerun.json
+	$(GO) run ./cmd/lfmreport OBS_stream.jsonl
 
 # Telemetry sweep in quick mode: record every paper workload under every
 # strategy with resource time-series capture on, write the combined JSONL

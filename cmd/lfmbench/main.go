@@ -50,6 +50,10 @@ func main() {
 	scale := flag.Bool("scale", false, "run the scheduler scale sweep (up to 1M tasks x 50k workers; -quick shrinks it) and write BENCH_scheduler.json")
 	scaleOut := flag.String("scale-out", "BENCH_scheduler.json", "with -scale: write the sweep report JSON to this file (- for stdout)")
 	scalePoints := flag.String("scale-points", "", "with -scale: override sweep points, e.g. 100000x5000,1000000x50000")
+	obsOut := flag.String("obs-out", "", "run with the streaming observability plane and write the snapshot stream as JSONL to this file (- for stdout); combines with -chaos-profile; render it with cmd/lfmreport")
+	obsCadence := flag.Float64("obs-cadence", 1, "with -obs-out/-top/-summary-out: snapshot cadence in simulated seconds")
+	topFlag := flag.Bool("top", false, "render a live lfmtop dashboard on stderr while the observed benchmark runs")
+	summaryOut := flag.String("summary-out", "", "write the unified run summary JSON (stats, sched counters, latency quantiles, health) to this file (- for stdout)")
 	telemetryOut := flag.String("telemetry-out", "", "run with resource time-series telemetry and write the JSONL export to this file (- for stdout); render it with cmd/lfmprof")
 	telemetrySweep := flag.Bool("telemetry-sweep", false, "with -telemetry-out: record every paper workload under every strategy and print a utilization/waste table")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
@@ -101,8 +105,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	obsOpts := &obsOptions{out: *obsOut, cadence: *obsCadence, top: *topFlag, summary: *summaryOut}
 	if *chaosProfile != "" {
-		if err := runChaos(*seed, *chaosSeed, *chaosProfile, *chaosTrace); err != nil {
+		if err := runChaos(*seed, *chaosSeed, *chaosProfile, *chaosTrace, obsOpts); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else if obsOpts.enabled() {
+		if err := runObs(*seed, obsOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -123,7 +133,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale || *telemetryOut != "") && flag.NArg() == 0 {
+	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale || *telemetryOut != "" || obsOpts.enabled()) && flag.NArg() == 0 {
 		return
 	}
 
@@ -221,8 +231,10 @@ func runTraced(seed int64, path, format string) error {
 
 // runChaos executes the HEP benchmark point under a canned fault schedule
 // with every hardening feature enabled, prints the survival report, and
-// fails if any scheduler invariant broke.
-func runChaos(seed, chaosSeed int64, profile, tracePath string) error {
+// fails if any scheduler invariant broke. The observability options, when
+// enabled, attach the snapshot bus to the same run, so one invocation
+// yields both the chaos verdict and the obs stream.
+func runChaos(seed, chaosSeed int64, profile, tracePath string, opts *obsOptions) error {
 	w := lfm.HEPWorkload(seed, 200)
 	strategy, err := lfm.StrategyFor("auto", w)
 	if err != nil {
@@ -236,6 +248,14 @@ func runChaos(seed, chaosSeed int64, profile, tracePath string) error {
 	if tracePath != "" {
 		tr = &lfm.ExecutionTrace{}
 	}
+	var ocfg *lfm.ObsConfig
+	var top *lfm.ObsTop
+	cleanup := func() error { return nil }
+	if opts.enabled() {
+		if ocfg, top, cleanup, err = opts.attach(); err != nil {
+			return err
+		}
+	}
 	out, err := lfm.RunWorkload(w, lfm.RunConfig{
 		SiteName: "ndcrc", Workers: 20,
 		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
@@ -248,12 +268,16 @@ func runChaos(seed, chaosSeed int64, profile, tracePath string) error {
 		},
 		Faults: sched,
 		Trace:  tr,
+		Obs:    ocfg,
 	})
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
 	msg := io.Writer(os.Stdout)
-	if tracePath == "-" {
+	if tracePath == "-" || opts.out == "-" || opts.summary == "-" {
 		msg = os.Stderr
 	}
 	fmt.Fprintf(msg, "chaos %q over %s: %d/%d tasks completed (%d failed), makespan %.0fs\n",
@@ -272,6 +296,11 @@ func runChaos(seed, chaosSeed int64, profile, tracePath string) error {
 			return err
 		}
 		fmt.Fprintf(msg, "  analyze with: lfmtrace %s\n", tracePath)
+	}
+	if opts.enabled() {
+		if err := opts.finish(out, top, msg); err != nil {
+			return err
+		}
 	}
 	if len(out.Chaos.Violations) > 0 {
 		return fmt.Errorf("%d invariant violations: %v", len(out.Chaos.Violations), out.Chaos.Violations)

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lfm"
+)
+
+// obsOptions gathers the observability flags shared by the chaos and
+// standalone obs runs.
+type obsOptions struct {
+	out     string  // -obs-out: JSONL stream destination ("-" for stdout)
+	cadence float64 // -obs-cadence: snapshot period in simulated seconds
+	top     bool    // -top: live lfmtop dashboard on stderr
+	summary string  // -summary-out: unified run summary JSON destination
+}
+
+func (o *obsOptions) enabled() bool {
+	return o.out != "" || o.top || o.summary != ""
+}
+
+// attach builds the run's ObsConfig and returns a cleanup that flushes and
+// closes whatever the stream writes to. The dashboard renders to stderr so
+// a stdout stream stays parseable.
+func (o *obsOptions) attach() (*lfm.ObsConfig, *lfm.ObsTop, func() error, error) {
+	cfg := &lfm.ObsConfig{Cadence: lfm.Time(o.cadence)}
+	cleanup := func() error { return nil }
+	if o.out != "" {
+		if o.out == "-" {
+			cfg.Stream = os.Stdout
+		} else {
+			f, err := os.Create(o.out)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cfg.Stream = f
+			cleanup = f.Close
+		}
+	}
+	var top *lfm.ObsTop
+	if o.top {
+		top = &lfm.ObsTop{W: os.Stderr}
+		cfg.OnSnapshot = top.OnSnapshot
+	}
+	return cfg, top, cleanup, nil
+}
+
+// finish renders the final dashboard frame, writes the summary document,
+// and prints the health verdict.
+func (o *obsOptions) finish(out *lfm.Outcome, top *lfm.ObsTop, msg io.Writer) error {
+	if top != nil && out.Obs != nil {
+		top.Final(out.Obs.Final)
+		fmt.Fprintln(os.Stderr)
+	}
+	if o.summary != "" {
+		if err := writeTo(o.summary, out.WriteSummaryJSON); err != nil {
+			return err
+		}
+	}
+	if h := out.Health; h != nil {
+		verdict := "healthy"
+		if !h.Healthy {
+			verdict = "UNHEALTHY (worst: " + h.Worst() + ")"
+		}
+		fmt.Fprintf(msg, "  health: %s, %d findings over %d snapshots\n",
+			verdict, len(h.Findings), h.Snapshots)
+		for _, f := range h.Findings {
+			fmt.Fprintf(msg, "    [%s] %s: %s\n", f.Severity, f.Rule, f.Detail)
+		}
+		if o.out != "" && o.out != "-" {
+			fmt.Fprintf(msg, "  render the report with: lfmreport %s\n", o.out)
+		}
+	}
+	return nil
+}
+
+// runObs executes the HEP benchmark point (no faults) with the streaming
+// observability plane attached — the quiet-run counterpart of runChaos for
+// -obs-out / -top / -summary-out without -chaos-profile.
+func runObs(seed int64, opts *obsOptions) error {
+	w := lfm.HEPWorkload(seed, 200)
+	strategy, err := lfm.StrategyFor("auto", w)
+	if err != nil {
+		return err
+	}
+	ocfg, top, cleanup, err := opts.attach()
+	if err != nil {
+		return err
+	}
+	out, err := lfm.RunWorkload(w, lfm.RunConfig{
+		SiteName: "ndcrc", Workers: 20,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: strategy, Seed: seed, NoBatchLatency: true,
+		Obs: ocfg,
+	})
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	msg := io.Writer(os.Stdout)
+	if opts.out == "-" || opts.summary == "-" {
+		msg = os.Stderr
+	}
+	fin := out.Obs.Final
+	fmt.Fprintf(msg, "observed %s run: %d tasks, makespan %.0fs, %d snapshot boundaries, sched p99 %.3gs, e2e p99 %.3gs\n",
+		out.Workload, out.TaskCount, float64(out.Makespan), out.Obs.Boundaries,
+		fin.SchedLatency.P99, fin.E2ELatency.P99)
+	return opts.finish(out, top, msg)
+}

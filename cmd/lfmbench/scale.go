@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -61,6 +62,30 @@ type scaleResult struct {
 	// outcome (and trace, when captured) was byte-identical to the calendar
 	// engine's; only present with LegacyHeap.
 	EngineIdenticalOutput *bool `json:"engine_identical_output,omitempty"`
+
+	// Obs is the measured cost and latency yield of re-running the point
+	// with the streaming observability plane attached; present on points
+	// small enough to afford the re-run.
+	Obs *obsCost `json:"obs,omitempty"`
+}
+
+// obsCost reports the observability re-run at a sweep point: the
+// scheduling-latency (submit→placement) quantiles the snapshot bus
+// recorded, the re-run's wall time, and its overhead against the obs-off
+// run. IdenticalOutput confirms the obs run's outcome JSON was
+// byte-identical to the base run's (behavior neutrality at scale).
+type obsCost struct {
+	SchedLatencyP50  float64 `json:"sched_latency_p50_s"`
+	SchedLatencyP99  float64 `json:"sched_latency_p99_s"`
+	SchedLatencyP999 float64 `json:"sched_latency_p999_s"`
+	E2EP50           float64 `json:"e2e_latency_p50_s"`
+	E2EP99           float64 `json:"e2e_latency_p99_s"`
+	Boundaries       int     `json:"boundaries"`
+	WallMillis       float64 `json:"wall_ms"`
+	// OverheadFraction is (obs wall − base wall)/base wall for the same
+	// point and seed; the plane targets < 0.05.
+	OverheadFraction float64 `json:"overhead_fraction"`
+	IdenticalOutput  bool    `json:"identical_output"`
 }
 
 // scaleReport is the BENCH_scheduler.json document.
@@ -75,8 +100,9 @@ const scaleCategories = 8
 
 // scaleRun executes one sweep point under one matcher and engine queue and
 // returns the outcome, the trace JSON (only captured when withTrace, to keep
-// the big points lean), and the process wall time.
-func scaleRun(seed int64, p scalePoint, m lfm.Matcher, q lfm.QueueKind, withTrace bool) (*lfm.Outcome, []byte, time.Duration, error) {
+// the big points lean), and the process wall time. A non-nil ocfg attaches
+// the observability plane to the run.
+func scaleRun(seed int64, p scalePoint, m lfm.Matcher, q lfm.QueueKind, withTrace bool, ocfg *lfm.ObsConfig) (*lfm.Outcome, []byte, time.Duration, error) {
 	w := lfm.ScaleWorkload(seed, p.Tasks, scaleCategories)
 	// The fixed "guess" label keeps Strategy.Next O(1) so the measurement
 	// isolates matcher cost; "auto" recomputes labels from the full
@@ -97,12 +123,16 @@ func scaleRun(seed int64, p scalePoint, m lfm.Matcher, q lfm.QueueKind, withTrac
 	if withTrace {
 		tr = &lfm.ExecutionTrace{}
 	}
+	// Collect the previous run's garbage outside the timed window: the
+	// sweep re-runs points back to back in one process, and inherited GC
+	// debt otherwise skews whichever run happens to pay it.
+	runtime.GC()
 	start := time.Now()
 	out, err := lfm.RunWorkload(w, lfm.RunConfig{
 		Site: &site, Workers: p.Workers,
 		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
 		Strategy: strategy, Seed: seed, NoBatchLatency: true,
-		Matcher: m, EventQueue: q, Trace: tr,
+		Matcher: m, EventQueue: q, Trace: tr, Obs: ocfg,
 	})
 	wall := time.Since(start)
 	if err != nil {
@@ -157,10 +187,15 @@ func runScale(seed int64, quick bool, outPath, pointSpec string) error {
 	// byte-identity verification and an old-vs-new timing comparison; only
 	// the top (million-task) point is calendar-only.
 	heapDualMax := 100000
+	// Points up to this size also re-run with the observability plane
+	// attached, to record scheduling-latency quantiles and measure the
+	// plane's wall-clock overhead against the obs-off base run.
+	obsDualMax := 100000
 	if quick {
 		points = []scalePoint{{1000, 64}, {5000, 512}, {20000, 1000}}
 		dualMax = 1000
 		heapDualMax = 20000
+		obsDualMax = 20000
 	}
 	if pointSpec != "" {
 		var err error
@@ -171,7 +206,7 @@ func runScale(seed int64, quick bool, outPath, pointSpec string) error {
 	rep := scaleReport{GeneratedBy: "lfmbench -scale", Quick: quick, Seed: seed}
 	for _, p := range points {
 		dual := p.Tasks <= dualMax
-		out, trIdx, wall, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueCalendar, dual)
+		out, trIdx, wall, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueCalendar, dual, nil)
 		if err != nil {
 			return err
 		}
@@ -191,7 +226,7 @@ func runScale(seed int64, quick bool, outPath, pointSpec string) error {
 				res.ScanEquivalent.CandidatesPerRound / res.Indexed.CandidatesPerRound
 		}
 		if dual {
-			outScan, trScan, wallScan, err := scaleRun(seed, p, lfm.MatcherScan, lfm.QueueCalendar, true)
+			outScan, trScan, wallScan, err := scaleRun(seed, p, lfm.MatcherScan, lfm.QueueCalendar, true, nil)
 			if err != nil {
 				return err
 			}
@@ -221,7 +256,7 @@ func runScale(seed int64, quick bool, outPath, pointSpec string) error {
 			msg = os.Stderr
 		}
 		if p.Tasks <= heapDualMax {
-			outHeap, trHeap, wallHeap, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueHeap, dual)
+			outHeap, trHeap, wallHeap, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueHeap, dual, nil)
 			if err != nil {
 				return err
 			}
@@ -244,6 +279,79 @@ func runScale(seed int64, quick bool, outPath, pointSpec string) error {
 			fmt.Fprintf(msg, "engine %6d tasks x %4d workers: wall calendar %.1fs vs heap %.1fs (%.2fx), identical output\n",
 				p.Tasks, p.Workers, wall.Seconds(), wallHeap.Seconds(),
 				wallHeap.Seconds()/wall.Seconds())
+		}
+		if p.Tasks <= obsDualMax {
+			// Wall-clock noise (GC pauses, machine jitter across the
+			// re-runs in this process) easily exceeds the obs plane's real
+			// cost, so the overhead baseline is NOT the first run above:
+			// base and obs runs are re-measured as interleaved pairs —
+			// order alternating between iterations so slot position
+			// cancels — and the per-arm minima compared. Four pairs keep
+			// the minima within ~1% of the true walls on a noisy host.
+			var outObs *lfm.Outcome
+			var wallBase, wallObs time.Duration
+			for i := 0; i < 4; i++ {
+				arm := func(obs bool) (time.Duration, error) {
+					var oc *lfm.ObsConfig
+					if obs {
+						oc = &lfm.ObsConfig{}
+					}
+					o, _, w, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueCalendar, false, oc)
+					if obs && err == nil {
+						outObs = o
+					}
+					return w, err
+				}
+				first, second := false, true
+				if i%2 == 1 {
+					first, second = true, false
+				}
+				w1, err := arm(first)
+				if err != nil {
+					return err
+				}
+				w2, err := arm(second)
+				if err != nil {
+					return err
+				}
+				wb, wo := w1, w2
+				if first {
+					wb, wo = w2, w1
+				}
+				if i == 0 || wb < wallBase {
+					wallBase = wb
+				}
+				if i == 0 || wo < wallObs {
+					wallObs = wo
+				}
+			}
+			fin := outObs.Obs.Final
+			oc := obsCost{
+				SchedLatencyP50:  fin.SchedLatency.P50,
+				SchedLatencyP99:  fin.SchedLatency.P99,
+				SchedLatencyP999: fin.SchedLatency.P999,
+				E2EP50:           fin.E2ELatency.P50,
+				E2EP99:           fin.E2ELatency.P99,
+				Boundaries:       outObs.Obs.Boundaries,
+				WallMillis:       float64(wallObs.Nanoseconds()) / 1e6,
+				OverheadFraction: (wallObs.Seconds() - wallBase.Seconds()) / wallBase.Seconds(),
+			}
+			oi, err := json.Marshal(out)
+			if err != nil {
+				return err
+			}
+			oo, err := json.Marshal(outObs)
+			if err != nil {
+				return err
+			}
+			oc.IdenticalOutput = bytes.Equal(oi, oo)
+			res.Obs = &oc
+			if !oc.IdenticalOutput {
+				return fmt.Errorf("scale point %dx%d: obs-on and obs-off outcomes diverge", p.Tasks, p.Workers)
+			}
+			fmt.Fprintf(msg, "obs    %6d tasks x %4d workers: sched p50/p99/p999 %.3g/%.3g/%.3gs, wall %.1fs (%+.1f%% vs base), identical output\n",
+				p.Tasks, p.Workers, oc.SchedLatencyP50, oc.SchedLatencyP99, oc.SchedLatencyP999,
+				wallObs.Seconds(), 100*oc.OverheadFraction)
 		}
 		rep.Points = append(rep.Points, res)
 		fmt.Fprintf(msg, "scale %6d tasks x %4d workers: %d rounds, %.0f candidates/round indexed vs %.0f scan-equivalent (%.0fx), sched %.0fms, run %.1fs\n",

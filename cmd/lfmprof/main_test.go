@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"lfm"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestRenderGolden locks lfmprof's report rendering against a canned
+// telemetry fixture: the simulation is deterministic, so the rendered text
+// must be byte-stable. Regenerate with `go test ./cmd/lfmprof -update`
+// after an intentional format change.
+func TestRenderGolden(t *testing.T) {
+	f, err := os.Open("testdata/telemetry.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runs, err := lfm.ReadTelemetry(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("fixture holds %d runs, want 1", len(runs))
+	}
+	var buf bytes.Buffer
+	render(&buf, runs[0], 60)
+
+	const golden = "testdata/render.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("render output drifted from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"lfm"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+func readFixture(t *testing.T) *lfm.ObsStream {
+	t.Helper()
+	f, err := os.Open("testdata/obs.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := lfm.ReadObsStream(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRenderGolden locks lfmreport's health report rendering against a
+// canned obs stream captured from a deterministic churn-chaos run.
+// Regenerate with `go test ./cmd/lfmreport -update` after an intentional
+// format change.
+func TestRenderGolden(t *testing.T) {
+	st := readFixture(t)
+	health := st.Health
+	if health == nil {
+		health = lfm.AnalyzeObs(st.RunObs(), nil)
+	}
+	var buf bytes.Buffer
+	render(&buf, st, health, 60)
+
+	const golden = "testdata/render.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("render output drifted from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestRenderWithoutHealthLine drops the stream's trailing health line and
+// checks the report re-derives the analysis from the snapshots instead of
+// rendering an empty verdict.
+func TestRenderWithoutHealthLine(t *testing.T) {
+	st := readFixture(t)
+	st.Health = nil
+	health := lfm.AnalyzeObs(st.RunObs(), nil)
+	var buf bytes.Buffer
+	render(&buf, st, health, 60)
+	out := buf.String()
+	if !strings.Contains(out, "verdict:") || !strings.Contains(out, "snapshots") {
+		t.Fatalf("re-derived report missing verdict:\n%s", out)
+	}
+}

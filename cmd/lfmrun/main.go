@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	lfmrun [-mem MB] [-cpu SECONDS] [-wall SECONDS] [-poll MS] -- command [args...]
+//	lfmrun [-mem MB] [-cpu SECONDS] [-wall SECONDS] [-poll MS] [-top] -- command [args...]
+//
+// -top redraws a one-line live view of the monitored tree on stderr: an
+// RSS sparkline against the memory limit, the CPU clock, and the process
+// count, updated at the poll cadence.
 package main
 
 import (
@@ -25,8 +29,9 @@ func main() {
 	wallS := flag.Float64("wall", 0, "wall-clock limit in seconds (0 = unlimited)")
 	pollMS := flag.Int("poll", 50, "poll interval in milliseconds")
 	quiet := flag.Bool("q", false, "suppress the report; exit status only")
+	top := flag.Bool("top", false, "live one-line resource view on stderr while the command runs")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lfmrun [-mem MB] [-cpu S] [-wall S] [-poll MS] -- command [args...]")
+		fmt.Fprintln(os.Stderr, "usage: lfmrun [-mem MB] [-cpu S] [-wall S] [-poll MS] [-top] -- command [args...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,8 +50,17 @@ func main() {
 		CPUTime:  time.Duration(*cpuS * float64(time.Second)),
 		WallTime: time.Duration(*wallS * float64(time.Second)),
 	}
-	rep, err := lfm.RunMonitored(context.Background(), cmd, limits,
-		time.Duration(*pollMS)*time.Millisecond)
+	poll := time.Duration(*pollMS) * time.Millisecond
+
+	var rep *lfm.ProcessReport
+	var err error
+	if *top {
+		rep, err = lfm.RunMonitoredObserved(context.Background(), cmd, limits, poll,
+			liveLine(limits))
+		fmt.Fprintln(os.Stderr)
+	} else {
+		rep, err = lfm.RunMonitored(context.Background(), cmd, limits, poll)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lfmrun: %v\n", err)
 		os.Exit(1)
@@ -63,4 +77,24 @@ func main() {
 		os.Exit(125)
 	}
 	os.Exit(rep.ExitCode)
+}
+
+// liveLine returns a sample callback that redraws one status line on
+// stderr: a trailing RSS sparkline, the RSS meter against the memory
+// limit when one is set, the accumulated CPU clock, and the tree size.
+func liveLine(limits lfm.ProcessLimits) func(lfm.ProcessSample) {
+	var rss []float64
+	return func(s lfm.ProcessSample) {
+		rss = append(rss, float64(s.RSSBytes))
+		if len(rss) > 256 {
+			rss = rss[len(rss)-256:]
+		}
+		line := fmt.Sprintf("\r\x1b[Klfm: rss %6.1f MB |%s|",
+			float64(s.RSSBytes)/(1<<20), lfm.Sparkline(rss, 24))
+		if limits.RSSBytes > 0 {
+			line += fmt.Sprintf(" [%s]", lfm.Bar(float64(s.RSSBytes)/float64(limits.RSSBytes), 10))
+		}
+		line += fmt.Sprintf(" cpu %6.2fs  procs %d", s.CPUTime.Seconds(), s.Procs)
+		fmt.Fprint(os.Stderr, line)
+	}
 }

@@ -152,6 +152,9 @@ type Engine struct {
 	cl      *cluster.Cluster
 	st      *trace.Store
 	replace func()
+	// observer, if set, is told about every injection as it is counted
+	// (the obs snapshot bus's chaos ticker rides on it).
+	observer func(FaultKind)
 
 	rep Report
 
@@ -183,6 +186,11 @@ func (e *Engine) SetTrace(st *trace.Store) { e.st = st }
 
 // SetChurnRNG dedicates a stream to the churn loop (default: the fault rng).
 func (e *Engine) SetChurnRNG(r *sim.RNG) { e.churnRNG = r }
+
+// SetObserver installs (or, with nil, removes) a callback fired on every
+// counted injection. Observation is passive: it runs after the count and
+// must not inject, reschedule, or otherwise touch the run.
+func (e *Engine) SetObserver(fn func(FaultKind)) { e.observer = fn }
 
 // SetReplacer installs the callback that provisions one replacement worker
 // after a crash with Replace (or churn with ChurnReplace).
@@ -367,6 +375,9 @@ func (e *Engine) count(k FaultKind) {
 		e.rep.Injected = make(map[FaultKind]int)
 	}
 	e.rep.Injected[k]++
+	if e.observer != nil {
+		e.observer(k)
+	}
 }
 
 // instant records a point-in-time injection as a chaos span.

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"lfm/internal/alloc"
 	"lfm/internal/chaos"
@@ -16,6 +17,7 @@ import (
 	"lfm/internal/envpack"
 	"lfm/internal/funcx"
 	"lfm/internal/metrics"
+	"lfm/internal/obs"
 	"lfm/internal/pypkg"
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
@@ -95,6 +97,15 @@ type RunConfig struct {
 	// anomaly detector becomes an extra speculation trigger when resilience
 	// speculation is enabled.
 	Telemetry *tseries.Config
+	// Obs, when non-nil, attaches the streaming observability plane: a
+	// snapshot bus that seals a RunSnapshot of scheduler state every
+	// Obs.Cadence of simulated time, keeps a bounded downsampled ring, and
+	// optionally streams every boundary as JSONL. Observation is strictly
+	// passive — the run's outcome, placements, and traces are byte-identical
+	// with Obs on or off, and two same-seed runs produce byte-identical
+	// streams. The outcome carries the retained snapshots (Outcome.Obs) and
+	// the rule-driven health report (Outcome.Health).
+	Obs *obs.Config
 }
 
 // Outcome summarizes one run.
@@ -135,6 +146,15 @@ type Outcome struct {
 	// Sched) so outcome snapshots stay byte-identical; export it with
 	// tseries.RunTelemetry.WriteJSONL.
 	Telemetry *tseries.RunTelemetry `json:"-"`
+	// Obs carries the retained run snapshots when RunConfig.Obs was set,
+	// nil otherwise. Excluded from JSON (like Sched) so outcome snapshots
+	// stay byte-identical; export the stream via obs.Config.Stream or
+	// summarize with WriteSummaryJSON.
+	Obs *obs.RunObs `json:"-"`
+	// Health is the rule-driven end-of-run health report derived from the
+	// retained snapshots when RunConfig.Obs was set, nil otherwise.
+	// Excluded from JSON like Obs; WriteSummaryJSON includes it.
+	Health *obs.Health `json:"-"`
 }
 
 // Run executes the workload on the configured site and strategy.
@@ -171,6 +191,14 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		site.BatchLatency = 0
 		site.Jitter = 0
 	}
+	if err := checkTimeKnob("MetricsResolution", cfg.MetricsResolution); err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		if err := cfg.Obs.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	strategy := cfg.Strategy
 	if strategy == nil {
 		strategy = alloc.NewAuto()
@@ -190,6 +218,19 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		// so exports show batch-queue waits alongside task phases.
 		cl.SetTrace(cfg.Trace.Store())
 	}
+	var bus *obs.Bus
+	if cfg.Obs != nil {
+		ocfg := *cfg.Obs
+		ocfg.Meta = obs.StreamMeta{
+			Workload: w.Name, Strategy: strategy.Name(),
+			Workers: cfg.Workers, Seed: cfg.Seed,
+		}
+		var err error
+		if bus, err = obs.NewBus(eng, &ocfg); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		master.SetObs(bus)
+	}
 	var telem *tseries.Collector
 	if cfg.Telemetry != nil {
 		telem = tseries.NewCollector(eng, cfg.Telemetry)
@@ -198,6 +239,9 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		}
 		if auto, ok := strategy.(*alloc.Auto); ok {
 			telem.SetLabelAudit(auto.CurrentLabel)
+		}
+		if bus != nil {
+			telem.SetAnomalyObserver(bus.AnomalyFlagged)
 		}
 		master.SetTelemetry(telem)
 	}
@@ -310,6 +354,9 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		if cfg.Faults != nil && cfg.Trace != nil {
 			chaosEng.SetTrace(cfg.Trace.Store())
 		}
+		if bus != nil {
+			chaosEng.SetObserver(func(k chaos.FaultKind) { bus.ChaosInjected(string(k)) })
+		}
 		chaosEng.SetReplacer(func() { provisionReplacement(0) })
 		if err := chaosEng.Start(); err != nil {
 			return nil, err
@@ -374,7 +421,31 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		_ = chaosEng.Finish()
 		out.Chaos = chaosEng.Report()
 	}
+	if bus != nil {
+		ro, err := bus.Finalize(makespan)
+		if err != nil {
+			return nil, fmt.Errorf("core: obs stream: %w", err)
+		}
+		out.Obs = ro
+		out.Health = obs.Analyze(ro, cfg.Obs.Health)
+		if err := bus.WriteHealth(out.Health); err != nil {
+			return nil, fmt.Errorf("core: obs stream: %w", err)
+		}
+	}
 	return out, nil
+}
+
+// checkTimeKnob rejects negative or non-finite durations on a RunConfig time
+// knob with a clear error; zero is allowed and means "use the default".
+func checkTimeKnob(name string, v sim.Time) error {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("core: %s must be finite, got %v", name, f)
+	}
+	if v < 0 {
+		return fmt.Errorf("core: %s must be >= 0, got %v", name, f)
+	}
+	return nil
 }
 
 // StrategyFor builds the named strategy for a workload: "oracle", "auto",

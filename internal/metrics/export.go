@@ -105,6 +105,7 @@ func writeHistogram(w io.Writer, name string, ins *instrument) error {
 // jsonPoint serializes a Point as a compact [t, v] pair.
 type jsonPoint Point
 
+// MarshalJSON implements the compact pair encoding.
 func (p jsonPoint) MarshalJSON() ([]byte, error) {
 	return json.Marshal([2]float64{float64(p.At), p.V})
 }

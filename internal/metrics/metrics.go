@@ -38,6 +38,8 @@ const (
 	kindHistogram
 )
 
+// String names the kind as it appears in exports ("counter", "gauge",
+// "histogram").
 func (k kind) String() string {
 	switch k {
 	case kindCounter:
@@ -90,6 +92,8 @@ func (g *Gauge) Value() float64 {
 
 // Histogram accumulates observations into fixed buckets. Bounds are upper
 // bucket edges in ascending order; an implicit +Inf bucket catches the rest.
+// Construct through Registry.Histogram, or with NewHistogram for a
+// standalone instrument outside any registry.
 type Histogram struct {
 	bounds []float64
 	counts []uint64 // len(bounds)+1, last is the +Inf bucket
@@ -131,7 +135,7 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Min and Max report the extreme observations (0 with none).
+// Min reports the smallest observation, or 0 with none.
 func (h *Histogram) Min() float64 { return h.min }
 
 // Max reports the largest observation, or 0 with none.
@@ -212,6 +216,20 @@ func ExpBuckets(start, factor float64, count int) []float64 {
 // DefTimeBuckets spans 50ms to ~27min, suitable for task wait and execution
 // times in the simulated workloads.
 func DefTimeBuckets() []float64 { return ExpBuckets(0.05, 2, 16) }
+
+// NewHistogram returns a standalone histogram with the given bucket bounds
+// (DefTimeBuckets when empty) — for subsystems that aggregate privately
+// and export through their own surface rather than a registry, like the
+// obs snapshot bus's latency quantiles. Bounds are copied and sorted.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefTimeBuckets()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		sort.Float64s(bounds)
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
 
 // instrument is one registered series.
 type instrument struct {
@@ -334,13 +352,7 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
 func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
 	ins := r.lookup(name, kindHistogram, labels)
 	if ins.hist == nil {
-		if len(bounds) == 0 {
-			bounds = DefTimeBuckets()
-		} else {
-			bounds = append([]float64(nil), bounds...)
-			sort.Float64s(bounds)
-		}
-		ins.hist = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		ins.hist = NewHistogram(bounds)
 	}
 	return ins.hist
 }

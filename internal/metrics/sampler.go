@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math"
+
 	"lfm/internal/sim"
 )
 
@@ -53,9 +55,13 @@ type Sampler struct {
 	Samples int
 }
 
-// NewSampler returns a sampler over reg at the given resolution (default 1s).
+// NewSampler returns a sampler over reg at the given resolution.
+// Non-positive and non-finite resolutions fall back to the 1s default, so
+// a sampler can never feed NaN/Inf tick times into the engine; callers
+// wanting a hard error should validate the resolution up front (core.Run
+// does).
 func NewSampler(eng *sim.Engine, reg *Registry, resolution sim.Time) *Sampler {
-	if resolution <= 0 {
+	if f := float64(resolution); resolution <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 		resolution = sim.Second
 	}
 	return &Sampler{eng: eng, reg: reg, res: resolution, series: make(map[string]*TimeSeries)}

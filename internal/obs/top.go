@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// sparkRunes and barRunes draw the dashboard's mini-charts.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width unicode sparkline scaled to the
+// slice's maximum (the last `width` values are shown). All-zero input
+// renders as baseline ticks.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v / max * float64(len(sparkRunes)-1))
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// Bar renders frac (0..1, clamped) as a fixed-width block bar.
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	full := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", full) + strings.Repeat("░", width-full)
+}
+
+// Top is the lfmtop-style live dashboard: it renders the newest snapshot
+// as a compact ANSI frame, throttled by wall-clock time so a fast
+// simulation doesn't flood the terminal. Rendering is presentation only —
+// it never touches simulation state, so enabling it cannot change a run.
+type Top struct {
+	// W receives the frames (typically a terminal). Required.
+	W io.Writer
+	// MinInterval is the least wall-clock time between frames
+	// (default 150ms). The final frame always renders.
+	MinInterval time.Duration
+	// Width is the chart width in cells (default 48).
+	Width int
+	// Clock substitutes a fake wall clock in tests; nil uses time.Now.
+	Clock func() time.Time
+
+	last   time.Time
+	frames int
+	depths []float64
+	utils  []float64
+}
+
+// OnSnapshot feeds the dashboard; wire it as Config.OnSnapshot. Every
+// snapshot extends the history; frames render at most every MinInterval.
+func (t *Top) OnSnapshot(s *Snapshot) {
+	t.push(s)
+	now := t.now()
+	min := t.MinInterval
+	if min == 0 {
+		min = 150 * time.Millisecond
+	}
+	if !t.last.IsZero() && now.Sub(t.last) < min {
+		return
+	}
+	t.last = now
+	t.Render(s)
+}
+
+// Final renders one last unthrottled frame (call after Finalize with the
+// final snapshot).
+func (t *Top) Final(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	t.push(s)
+	t.Render(s)
+}
+
+func (t *Top) now() time.Time {
+	if t.Clock != nil {
+		return t.Clock()
+	}
+	return time.Now()
+}
+
+func (t *Top) push(s *Snapshot) {
+	w := t.width()
+	t.depths = appendBounded(t.depths, float64(s.QueueDepth), w)
+	t.utils = appendBounded(t.utils, s.Utilization, w)
+}
+
+func appendBounded(xs []float64, v float64, cap int) []float64 {
+	xs = append(xs, v)
+	if len(xs) > cap {
+		xs = xs[len(xs)-cap:]
+	}
+	return xs
+}
+
+func (t *Top) width() int {
+	if t.Width > 0 {
+		return t.Width
+	}
+	return 48
+}
+
+// Render draws one frame unconditionally.
+func (t *Top) Render(s *Snapshot) {
+	t.frames++
+	w := t.width()
+	var b strings.Builder
+	// Clear screen and home the cursor; each frame fully repaints.
+	b.WriteString("\x1b[H\x1b[2J")
+	fmt.Fprintf(&b, "lfmtop · t=%s · workers %d", fmtDur(float64(s.At)), s.WorkersAlive)
+	if s.WorkersQuarantined > 0 {
+		fmt.Fprintf(&b, " (%d quarantined)", s.WorkersQuarantined)
+	}
+	fmt.Fprintf(&b, " · util %3.0f%%\n", 100*s.Utilization)
+	fmt.Fprintf(&b, "queue %6d %s\n", s.QueueDepth, Sparkline(t.depths, w))
+	fmt.Fprintf(&b, "util   %s %3.0f%%  %.0f of %.0f cores allocated\n",
+		Bar(s.Utilization, w/2), 100*s.Utilization, s.AllocatedCores, s.PoolCores)
+	fmt.Fprintf(&b, "tasks  run %d", s.Running)
+	if s.Speculating > 0 {
+		fmt.Fprintf(&b, "  spec %d", s.Speculating)
+	}
+	if s.Blocked > 0 {
+		fmt.Fprintf(&b, "  blocked %d", s.Blocked)
+	}
+	fmt.Fprintf(&b, "  done %d/%d", s.Completed, s.Submitted)
+	if s.Failed > 0 {
+		fmt.Fprintf(&b, "  failed %d", s.Failed)
+	}
+	if s.Retries > 0 {
+		fmt.Fprintf(&b, "  retries %d", s.Retries)
+	}
+	b.WriteByte('\n')
+	if s.SchedLatency.Count > 0 {
+		fmt.Fprintf(&b, "sched  p50 %s  p99 %s  p999 %s",
+			fmtDur(s.SchedLatency.P50), fmtDur(s.SchedLatency.P99), fmtDur(s.SchedLatency.P999))
+		if s.E2ELatency.Count > 0 {
+			fmt.Fprintf(&b, "   e2e p50 %s  p99 %s",
+				fmtDur(s.E2ELatency.P50), fmtDur(s.E2ELatency.P99))
+		}
+		b.WriteByte('\n')
+	}
+	if s.Sched.Passes > 0 {
+		fmt.Fprintf(&b, "rounds +%d (tasks +%d, cands +%d", s.Sched.Passes, s.Sched.Tasks, s.Sched.Candidates)
+		if s.Sched.Wakes > 0 {
+			fmt.Fprintf(&b, ", wakes +%d", s.Sched.Wakes)
+		}
+		b.WriteString(")\n")
+	}
+	if s.ChaosInjected > 0 || s.Anomalies > 0 {
+		b.WriteString("chaos ")
+		for _, e := range s.Events {
+			fmt.Fprintf(&b, " %s@%s", e.Kind, fmtDur(float64(e.At)))
+		}
+		fmt.Fprintf(&b, "  injected %d", s.ChaosInjected)
+		if s.Anomalies > 0 {
+			fmt.Fprintf(&b, "  anomalies %d", s.Anomalies)
+		}
+		b.WriteByte('\n')
+	}
+	io.WriteString(t.W, b.String())
+}
+
+// Frames reports how many frames rendered (for tests and end-of-run
+// summaries).
+func (t *Top) Frames() int { return t.frames }

@@ -40,6 +40,10 @@ type Collector struct {
 	open      []*AttemptRecorder
 	attempts  []AttemptSummary
 	anomalies []Anomaly
+
+	// anomalyFn, if set, observes every flagged anomaly (the obs snapshot
+	// bus's anomaly counter rides on it).
+	anomalyFn func()
 }
 
 // NewCollector returns a collector on the engine. A nil cfg uses defaults.
@@ -77,6 +81,15 @@ func (c *Collector) SetLabelAudit(fn func(category string) (monitor.Resources, b
 func (c *Collector) SetCategoryMeans(fn func(category string) (mean float64, n int)) {
 	if c != nil {
 		c.meansFn = fn
+	}
+}
+
+// SetAnomalyObserver installs (or, with nil, removes) a callback fired on
+// every flagged anomaly. Observation is passive: the callback must not
+// schedule events or mutate run state.
+func (c *Collector) SetAnomalyObserver(fn func()) {
+	if c != nil {
+		c.anomalyFn = fn
 	}
 }
 
@@ -203,6 +216,9 @@ func (c *Collector) flagAnomaly(kind string, rec *AttemptRecorder, at sim.Time, 
 		Kind: kind, Task: rec.task, Attempt: rec.attempt,
 		Category: rec.category, Node: rec.node, At: at, Detail: detail,
 	})
+	if c.anomalyFn != nil {
+		c.anomalyFn()
+	}
 	if c.tr != nil {
 		c.tr.Instant(trace.Span{
 			Kind: trace.KindAnomaly, Task: rec.task, Category: rec.category,

@@ -208,6 +208,7 @@ func (m *Master) failStaging(a *attempt, f *File) {
 	t, w := a.t, a.w
 	w.dropAttempt(a)
 	t.dropActive(a)
+	m.obs.AttemptEnded(a.speculative)
 	m.releaseAttempt(a)
 	rs := m.stats.resilience()
 	rs.StagingFailures++
@@ -244,6 +245,7 @@ func (m *Master) loseAttempt(a *attempt) {
 	t := a.t
 	a.w.dropAttempt(a)
 	t.dropActive(a)
+	m.obs.AttemptEnded(a.speculative)
 	if !a.speculative {
 		t.Attempts--
 	}
@@ -271,6 +273,7 @@ func (m *Master) cancelAttempt(a *attempt) {
 	a.done = true
 	a.w.dropAttempt(a)
 	a.t.dropActive(a)
+	m.obs.AttemptEnded(a.speculative)
 	if a.exec != nil {
 		a.exec.Abort()
 	}
@@ -306,6 +309,7 @@ func (m *Master) workerAttemptFailed(w *Worker) {
 		return
 	}
 	w.quarantined = true
+	m.obs.WorkerQuarantined()
 	if m.sched != nil {
 		m.sched.exclude(w)
 	}
@@ -330,6 +334,7 @@ func (m *Master) workerAttemptFailed(w *Worker) {
 			return
 		}
 		w.quarantined = false
+		m.obs.WorkerUnquarantined()
 		w.consecFails = 0
 		if m.sched != nil {
 			m.sched.admit(w)
@@ -436,6 +441,9 @@ func (m *Master) drainCheck() {
 		if !w.probationEv.Cancelled() {
 			m.Eng.Cancel(w.probationEv)
 			w.probationEv = sim.Event{}
+			if w.quarantined {
+				m.obs.WorkerUnquarantined()
+			}
 			w.quarantined = false
 			w.consecFails = 0
 			if m.sched != nil {

@@ -40,6 +40,7 @@ import (
 	"lfm/internal/experiments"
 	"lfm/internal/metrics"
 	"lfm/internal/monitor"
+	"lfm/internal/obs"
 	"lfm/internal/parsl"
 	"lfm/internal/procmon"
 	"lfm/internal/pyast"
@@ -177,6 +178,17 @@ type ProcessReport = procmon.Report
 // limits, killing the whole process tree on violation. Linux only.
 func RunMonitored(ctx context.Context, cmd *exec.Cmd, limits ProcessLimits, poll time.Duration) (*ProcessReport, error) {
 	m := &procmon.Monitor{PollInterval: poll}
+	return m.RunLimited(ctx, cmd, limits)
+}
+
+// ProcessSample is one live /proc measurement of a monitored process tree.
+type ProcessSample = procmon.Sample
+
+// RunMonitoredObserved is RunMonitored with a live observer: onSample
+// receives every poll as it is taken (lfmrun's -top view renders from it).
+// A nil onSample is equivalent to RunMonitored.
+func RunMonitoredObserved(ctx context.Context, cmd *exec.Cmd, limits ProcessLimits, poll time.Duration, onSample func(ProcessSample)) (*ProcessReport, error) {
+	m := &procmon.Monitor{PollInterval: poll, Callback: onSample}
 	return m.RunLimited(ctx, cmd, limits)
 }
 
@@ -483,6 +495,69 @@ func DefaultTelemetryConfig() *TelemetryConfig { return tseries.DefaultConfig() 
 // ReadTelemetry parses a JSONL telemetry export (as written by
 // RunTelemetry.WriteJSONL, possibly several runs concatenated).
 func ReadTelemetry(r io.Reader) ([]*RunTelemetry, error) { return tseries.ReadJSONL(r) }
+
+// ---- Streaming run observability ----
+
+// ObsConfig attaches the streaming observability plane to a run: set it on
+// RunConfig.Obs to seal deterministic RunSnapshots at a simulated-time
+// cadence, stream them as JSONL, and feed a live dashboard — all without
+// perturbing the run (outcomes, placements, and traces stay byte-identical).
+type ObsConfig = obs.Config
+
+// ObsStreamMeta identifies a run on its obs stream's leading meta line.
+type ObsStreamMeta = obs.StreamMeta
+
+// RunSnapshot is the run's state sealed at one cadence boundary: queue
+// depth, running/blocked/speculating tasks, pool utilization, scheduler
+// round deltas, chaos and quarantine state, and cumulative scheduling
+// (submit→placement) and end-to-end (submit→completion) latency quantiles.
+type RunSnapshot = obs.Snapshot
+
+// RunObs is a run's retained observability: the decimated snapshot ring
+// spanning the whole timeline plus the final snapshot; see Outcome.Obs.
+type RunObs = obs.RunObs
+
+// ObsLatencyQuantiles summarizes one latency distribution
+// (count/mean/p50/p99/p999/max).
+type ObsLatencyQuantiles = obs.LatencyQuantiles
+
+// RunHealth is the rule-driven end-of-run health report; see
+// Outcome.Health and cmd/lfmreport.
+type RunHealth = obs.Health
+
+// HealthFinding is one health-rule hit with its evidence window.
+type HealthFinding = obs.Finding
+
+// HealthConfig tunes the health rules' thresholds and optional latency
+// SLOs; set it on ObsConfig.Health.
+type HealthConfig = obs.HealthConfig
+
+// ObsStream is a parsed obs JSONL stream (meta, snapshots, final, health).
+type ObsStream = obs.Stream
+
+// ObsTop is the lfmtop-style live terminal dashboard; wire its OnSnapshot
+// method as ObsConfig.OnSnapshot.
+type ObsTop = obs.Top
+
+// RunSummary is the unified single-document summary of a run (headline
+// stats, scheduler work, telemetry waste, latency quantiles, health);
+// rendered by Outcome.WriteSummaryJSON.
+type RunSummary = core.RunSummary
+
+// ReadObsStream parses an obs JSONL stream written via ObsConfig.Stream.
+func ReadObsStream(r io.Reader) (*ObsStream, error) { return obs.ReadStream(r) }
+
+// AnalyzeObs runs the health rules over a run's retained snapshots. A nil
+// cfg uses the default thresholds.
+func AnalyzeObs(ro *RunObs, cfg *HealthConfig) *RunHealth { return obs.Analyze(ro, cfg) }
+
+// Sparkline renders vals as a fixed-width unicode sparkline (the lfmtop
+// queue-depth chart).
+func Sparkline(vals []float64, width int) string { return obs.Sparkline(vals, width) }
+
+// Bar renders a 0..1 fraction as a fixed-width block bar (the lfmtop
+// utilization gauge).
+func Bar(frac float64, width int) string { return obs.Bar(frac, width) }
 
 // ---- Experiment reproduction ----
 
