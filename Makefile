@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race chaos bench profile obs
+.PHONY: check build vet test test-race chaos bench profile obs serve
 
 check: build vet test-race
 
@@ -48,6 +48,14 @@ obs:
 	cmp OBS_summary.json OBS_summary.rerun.json
 	rm -f OBS_stream.rerun.jsonl OBS_summary.rerun.json
 	$(GO) run ./cmd/lfmreport OBS_stream.jsonl
+
+# Open-loop serving sweep in quick mode: stream Poisson arrivals at
+# fractions of cluster capacity through the admission-control frontend,
+# verify the heaviest point is byte-deterministic on a same-seed re-run,
+# and write BENCH_serving.json (CI uploads it as an artifact). Drop -quick
+# for the full seven-point sweep.
+serve:
+	$(GO) run ./cmd/lfmbench -serve -quick -serve-out BENCH_serving.json
 
 # Telemetry sweep in quick mode: record every paper workload under every
 # strategy with resource time-series capture on, write the combined JSONL

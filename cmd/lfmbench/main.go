@@ -50,6 +50,9 @@ func main() {
 	scale := flag.Bool("scale", false, "run the scheduler scale sweep (up to 1M tasks x 50k workers; -quick shrinks it) and write BENCH_scheduler.json")
 	scaleOut := flag.String("scale-out", "BENCH_scheduler.json", "with -scale: write the sweep report JSON to this file (- for stdout)")
 	scalePoints := flag.String("scale-points", "", "with -scale: override sweep points, e.g. 100000x5000,1000000x50000")
+	serveFlag := flag.Bool("serve", false, "run the open-loop serving sweep (Poisson arrivals at fractions of cluster capacity with admission control and load shedding) and write BENCH_serving.json")
+	serveOut := flag.String("serve-out", "BENCH_serving.json", "with -serve: write the sweep report JSON to this file (- for stdout)")
+	serveLoads := flag.String("serve-loads", "", "with -serve: override sweep load fractions, e.g. 0.5,1,2")
 	obsOut := flag.String("obs-out", "", "run with the streaming observability plane and write the snapshot stream as JSONL to this file (- for stdout); combines with -chaos-profile; render it with cmd/lfmreport")
 	obsCadence := flag.Float64("obs-cadence", 1, "with -obs-out/-top/-summary-out: snapshot cadence in simulated seconds")
 	topFlag := flag.Bool("top", false, "render a live lfmtop dashboard on stderr while the observed benchmark runs")
@@ -123,6 +126,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *serveFlag {
+		if err := runServe(*seed, *quick, *serveOut, *serveLoads); err != nil {
+			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *telemetrySweep && *telemetryOut == "" {
 		fmt.Fprintln(os.Stderr, "lfmbench: -telemetry-sweep requires -telemetry-out")
 		os.Exit(2)
@@ -133,7 +142,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale || *telemetryOut != "" || obsOpts.enabled()) && flag.NArg() == 0 {
+	if (*metricsOut != "" || *traceOut != "" || *chaosProfile != "" || *scale || *serveFlag || *telemetryOut != "" || obsOpts.enabled()) && flag.NArg() == 0 {
 		return
 	}
 

@@ -156,6 +156,10 @@ func render(w io.Writer, st *lfm.ObsStream, health *lfm.RunHealth, width int) {
 		}
 		fmt.Fprintf(w, "\ntasks: %d submitted, %d completed, %d failed, %d retries\n",
 			fin.Submitted, fin.Completed, fin.Failed, fin.Retries)
+		if fin.Offered > 0 {
+			fmt.Fprintf(w, "serving: %d offered, %d shed, %d rejected, %d throttled, %d backpressured\n",
+				fin.Offered, fin.Shed, fin.Rejected, fin.Throttled, fin.Backpressured)
+		}
 		fmt.Fprintf(w, "pool: %d workers alive, %d quarantined (%d trips), %.0f of %.0f cores allocated\n",
 			fin.WorkersAlive, fin.WorkersQuarantined, fin.QuarantineTrips,
 			fin.AllocatedCores, fin.PoolCores)

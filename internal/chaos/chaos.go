@@ -44,6 +44,11 @@ const (
 	// ZombieKill defers monitor enforcement kills issued within the window
 	// by Delay, leaving zombie processes holding their allocations.
 	ZombieKill FaultKind = "zombie-kill"
+	// TenantStampede multiplies one serving tenant's arrival rate by Factor
+	// for Duration — a client retry storm or misconfigured producer. Worker
+	// picks the tenant by index (negative = random). No-op unless a serving
+	// frontend is attached via SetServing.
+	TenantStampede FaultKind = "tenant-stampede"
 )
 
 // Fault is one scheduled injection. Windowed kinds (fs-slow, fs-outage,
@@ -86,7 +91,7 @@ type Schedule struct {
 func (s *Schedule) Validate() error {
 	for i, f := range s.Faults {
 		switch f.Kind {
-		case WorkerCrash, WorkerSlow, FSSlow, FSOutage, StagingFailure, ProvisionReject, ZombieKill:
+		case WorkerCrash, WorkerSlow, FSSlow, FSOutage, StagingFailure, ProvisionReject, ZombieKill, TenantStampede:
 		default:
 			return fmt.Errorf("chaos: fault %d has unknown kind %q", i, f.Kind)
 		}
@@ -136,6 +141,20 @@ func (r *Report) Summary() string {
 	return s
 }
 
+// ServingDisruptor is the slice of the serving frontend the chaos engine
+// needs for tenant-stampede faults and for knowing when an open-loop run is
+// still in motion. Declared here (rather than importing internal/serve) so
+// the dependency points serve→chaos-free in both directions.
+type ServingDisruptor interface {
+	// TenantCount reports the number of configured tenants.
+	TenantCount() int
+	// Stampede multiplies the tenant's arrival rate by factor for the
+	// duration (non-positive duration = until the arrival window closes).
+	Stampede(tenant int, factor float64, duration sim.Time)
+	// Active reports whether arrivals or accepted work are still in motion.
+	Active() bool
+}
+
 // Engine injects one schedule into one run. Zero-config layers are left
 // untouched: hooks are installed only for the fault kinds the schedule
 // actually contains.
@@ -151,6 +170,8 @@ type Engine struct {
 	m       *wq.Master
 	cl      *cluster.Cluster
 	st      *trace.Store
+	serving ServingDisruptor
+	checks  []func() error
 	replace func()
 	// observer, if set, is told about every injection as it is counted
 	// (the obs snapshot bus's chaos ticker rides on it).
@@ -195,6 +216,15 @@ func (e *Engine) SetObserver(fn func(FaultKind)) { e.observer = fn }
 // SetReplacer installs the callback that provisions one replacement worker
 // after a crash with Replace (or churn with ChurnReplace).
 func (e *Engine) SetReplacer(fn func()) { e.replace = fn }
+
+// SetServing attaches a serving frontend: tenant-stampede faults apply to
+// it, and the churn loop keeps shaking the cluster while the open-loop run
+// is active even when the master is momentarily drained.
+func (e *Engine) SetServing(sd ServingDisruptor) { e.serving = sd }
+
+// AddCheck registers an extra invariant checker run by Finish alongside the
+// master's (the serving frontend's reconciliation check rides on it).
+func (e *Engine) AddCheck(fn func() error) { e.checks = append(e.checks, fn) }
 
 // Report returns the injection counts and invariant findings so far.
 func (e *Engine) Report() *Report { return &e.rep }
@@ -270,7 +300,8 @@ func (e *Engine) startChurn() {
 	var churn func()
 	churn = func() {
 		st := e.m.Stats()
-		if st.Completed+st.Failed >= st.Submitted && st.Submitted > 0 {
+		drained := st.Completed+st.Failed >= st.Submitted && st.Submitted > 0
+		if drained && (e.serving == nil || !e.serving.Active()) {
 			return // workload drained; stop shaking the cluster
 		}
 		if live := e.m.LiveWorkers(); len(live) > 0 {
@@ -355,6 +386,30 @@ func (e *Engine) apply(f Fault) {
 		e.zombieUntil = now + f.Duration
 		e.count(f.Kind)
 		e.window(f.Kind, fmt.Sprintf("kills deferred %.0fs", float64(d)), f.Duration)
+	case TenantStampede:
+		if e.serving == nil {
+			return // no serving frontend attached; nothing to stampede
+		}
+		n := e.serving.TenantCount()
+		if n == 0 {
+			return
+		}
+		idx := f.Worker
+		if idx < 0 || idx >= n {
+			idx = e.rng.Intn(n)
+		}
+		factor := f.Factor
+		if factor <= 1 {
+			factor = 8
+		}
+		e.count(f.Kind)
+		detail := fmt.Sprintf("tenant %d arrivals x%.1f", idx, factor)
+		if f.Duration > 0 {
+			e.window(f.Kind, detail, f.Duration)
+		} else {
+			e.instant(f.Kind, detail+" until window close")
+		}
+		e.serving.Stampede(idx, factor, f.Duration)
 	}
 }
 
@@ -403,11 +458,17 @@ func (e *Engine) window(k FaultKind, detail string, d sim.Time) {
 	e.eng.After(d, func() { e.st.End(sp, e.eng.Now(), trace.OutcomeOK, "") })
 }
 
-// Finish runs the invariant checker against the drained master and folds
-// any findings into the report. A clean chaos run returns nil.
+// Finish runs the invariant checker against the drained master — plus any
+// extra checkers registered with AddCheck — and folds findings into the
+// report. A clean chaos run returns nil.
 func (e *Engine) Finish() error {
 	if err := e.m.CheckInvariants(); err != nil {
 		e.rep.Violations = append(e.rep.Violations, err.Error())
+	}
+	for _, check := range e.checks {
+		if err := check(); err != nil {
+			e.rep.Violations = append(e.rep.Violations, err.Error())
+		}
 	}
 	if len(e.rep.Violations) > 0 {
 		return fmt.Errorf("chaos: %d invariant violations, first: %s",

@@ -42,6 +42,32 @@ var profiles = map[string]func(h sim.Time) *Schedule{
 			{Kind: ProvisionReject, At: h / 3, Duration: h / 3},
 		}}
 	},
+	// tenant-stampede hammers random serving tenants with two arrival-rate
+	// storms; token buckets, fair-share shedding, and backpressure are the
+	// intended mitigations. No-op on batch (non-serving) runs.
+	"tenant-stampede": func(h sim.Time) *Schedule {
+		return &Schedule{Faults: []Fault{
+			{Kind: TenantStampede, At: h / 8, Duration: h / 4, Factor: 8, Worker: -1},
+			{Kind: TenantStampede, At: h / 2, Duration: h / 3, Factor: 12, Worker: -1},
+		}}
+	},
+	// overload-storm combines sustained overload with capacity loss: tenant
+	// stampedes while workers churn, crash, slow down, and staging flakes —
+	// the serving frontend must shed exactly (offered == accepted + dropped)
+	// while accepted work still terminates.
+	"overload-storm": func(h sim.Time) *Schedule {
+		return &Schedule{
+			ChurnMTBF:    h / 2,
+			ChurnReplace: true,
+			Faults: []Fault{
+				{Kind: TenantStampede, At: h / 8, Duration: h / 4, Factor: 6, Worker: -1},
+				{Kind: WorkerCrash, At: h / 6, Worker: -1, Replace: true},
+				{Kind: WorkerSlow, At: h / 4, Duration: h / 4, Factor: 4, Worker: -1},
+				{Kind: StagingFailure, At: h / 3, Duration: h / 4, Prob: 0.2},
+				{Kind: TenantStampede, At: h / 2, Duration: h / 4, Factor: 10, Worker: -1},
+			},
+		}
+	},
 	// storm throws everything at once: continuous churn, flaky staging, a
 	// filesystem brownout, deferred kills, and two targeted crashes.
 	"storm": func(h sim.Time) *Schedule {

@@ -19,6 +19,7 @@ import (
 	"lfm/internal/metrics"
 	"lfm/internal/obs"
 	"lfm/internal/pypkg"
+	"lfm/internal/serve"
 	"lfm/internal/sharedfs"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
@@ -97,6 +98,16 @@ type RunConfig struct {
 	// anomaly detector becomes an extra speculation trigger when resilience
 	// speculation is enabled.
 	Telemetry *tseries.Config
+	// Serving, when non-nil, runs the workload open-loop: instead of
+	// submitting every task at t=0, a serving frontend streams tasks in
+	// from per-tenant arrival processes under layered overload protection
+	// (token buckets, bounded intake admission, fair-share priority-aware
+	// shedding, cooperative backpressure). Tenants without a Feed share a
+	// cursor over the workload's task list in order. The outcome then
+	// carries the frontend's report (Outcome.Serving). Runs with Serving
+	// nil never construct a frontend and stay byte-identical to before the
+	// serving layer existed.
+	Serving *serve.Config
 	// Obs, when non-nil, attaches the streaming observability plane: a
 	// snapshot bus that seals a RunSnapshot of scheduler state every
 	// Obs.Cadence of simulated time, keeps a bounded downsampled ring, and
@@ -137,6 +148,10 @@ type Outcome struct {
 	// Chaos carries the fault-injection report (injection counts and any
 	// invariant violations) when RunConfig.Faults was set, nil otherwise.
 	Chaos *chaos.Report `json:",omitempty"`
+	// Serving carries the serving frontend's accounting (offered/accepted/
+	// rejected/shed/throttled, per-tenant breakdowns, e2e latency
+	// quantiles) when RunConfig.Serving was set, nil otherwise.
+	Serving *serve.Report `json:",omitempty"`
 	// Sched measures the matching loop's work (rounds, candidates
 	// examined, wall time). Excluded from JSON so seeded outcome snapshots
 	// stay byte-identical across matcher implementations and hardware.
@@ -196,6 +211,11 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	}
 	if cfg.Obs != nil {
 		if err := cfg.Obs.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if cfg.Serving != nil {
+		if err := cfg.Serving.Validate(); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
@@ -284,10 +304,12 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 	provBackoff := sim.Backoff{Base: 2 * sim.Second, Max: 2 * sim.Minute, Jitter: 0.5}
 	var provRNG *sim.RNG
 	const provisionAttempts = 6
+	var fe *serve.Frontend // open-loop serving frontend; nil on batch runs
 	var provisionReplacement func(try int)
 	provisionReplacement = func(try int) {
 		st := master.Stats()
-		if st.Submitted > 0 && st.Completed+st.Failed >= st.Submitted {
+		drained := st.Submitted > 0 && st.Completed+st.Failed >= st.Submitted
+		if drained && (fe == nil || !fe.Active()) {
 			return // drained; a replacement would never run anything
 		}
 		if err := cl.Provision(1, join); err == nil {
@@ -363,6 +385,41 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		}
 	}
 
+	if cfg.Serving != nil {
+		// Tenants without an explicit Feed share a cursor over the workload's
+		// task list, streaming it in arrival order instead of the t=0 bulk
+		// submit below.
+		scfg := *cfg.Serving
+		scfg.Tenants = append([]serve.TenantConfig(nil), cfg.Serving.Tenants...)
+		cursor := 0
+		sharedFeed := func() *wq.Task {
+			if cursor >= len(w.Tasks) {
+				return nil
+			}
+			t := w.Tasks[cursor]
+			cursor++
+			return t
+		}
+		for i := range scfg.Tenants {
+			if scfg.Tenants[i].Feed == nil {
+				scfg.Tenants[i].Feed = sharedFeed
+			}
+		}
+		var err error
+		fe, err = serve.New(eng, master, &scfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		master.OnTaskDone(fe.TaskDone)
+		if bus != nil {
+			fe.SetObs(bus)
+		}
+		if chaosEng != nil {
+			chaosEng.SetServing(fe)
+			chaosEng.AddCheck(fe.CheckInvariants)
+		}
+	}
+
 	if scaler != nil && cfg.Faults != nil {
 		// Injected provisioning rejections are survivable by design: the
 		// autoscaler retries through fault windows instead of dying on the
@@ -374,8 +431,12 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		if scaler != nil {
 			scaler.Start()
 		}
-		for _, t := range w.Tasks {
-			master.Submit(t)
+		if fe != nil {
+			fe.Start()
+		} else {
+			for _, t := range w.Tasks {
+				master.Submit(t)
+			}
 		}
 		if sampler != nil {
 			sampler.Start()
@@ -420,6 +481,12 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		// no matter what the schedule did to the run.
 		_ = chaosEng.Finish()
 		out.Chaos = chaosEng.Report()
+	}
+	if fe != nil {
+		if err := fe.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		out.Serving = fe.Report()
 	}
 	if bus != nil {
 		ro, err := bus.Finalize(makespan)

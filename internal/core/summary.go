@@ -6,6 +6,7 @@ import (
 
 	"lfm/internal/chaos"
 	"lfm/internal/obs"
+	"lfm/internal/serve"
 	"lfm/internal/sim"
 	"lfm/internal/tseries"
 	"lfm/internal/wq"
@@ -38,6 +39,10 @@ type RunSummary struct {
 	Waste *tseries.UtilizationSummary `json:"waste,omitempty"`
 	// Chaos is the fault-injection report of a faulted run.
 	Chaos *chaos.Report `json:"chaos,omitempty"`
+	// Serving is the open-loop frontend's accounting: offered vs
+	// accepted/rejected/shed/throttled, per-tenant breakdowns, and the
+	// arrival→completion latency quantiles of an open-loop run.
+	Serving *serve.Report `json:"serving,omitempty"`
 	// Obs summarizes the observability plane's final snapshot.
 	Obs *ObsSummary `json:"obs,omitempty"`
 	// Health is the rule-driven health report (Outcome.Health).
@@ -69,6 +74,7 @@ func (o *Outcome) Summary() *RunSummary {
 		ProvisionFailures:    o.ProvisionFailures,
 		ProvisionError:       o.ProvisionError,
 		Chaos:                o.Chaos,
+		Serving:              o.Serving,
 		Health:               o.Health,
 	}
 	if o.Sched != nil {

@@ -169,6 +169,26 @@ func Analyze(ro *RunObs, cfg *HealthConfig) *Health {
 		})
 	}
 
+	// Serving overload rule: fires only when a serving frontend pushed
+	// counters (Offered > 0), so batch runs are unaffected. Shedding is the
+	// designed response to overload — info when mild, warning once a large
+	// slice of offered load is being turned away.
+	if fin.Offered > 0 {
+		drops := fin.Shed + fin.Rejected + fin.Throttled
+		if drops > 0 {
+			frac := float64(drops) / float64(fin.Offered)
+			sev := SevInfo
+			if frac > 0.3 {
+				sev = SevWarning
+			}
+			add(Finding{
+				Rule: "overload-shedding", Severity: sev, Value: frac,
+				Detail: fmt.Sprintf("%d of %d offered tasks were turned away (%d shed, %d rejected, %d throttled, %.0f%%): offered load exceeded serving capacity",
+					drops, fin.Offered, fin.Shed, fin.Rejected, fin.Throttled, 100*frac),
+			})
+		}
+	}
+
 	// Terminal-state rules.
 	if fin.Failed > 0 {
 		add(Finding{

@@ -96,10 +96,11 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// latencyBuckets spans ~1ms to ~52h in 1.5x steps — fine enough for
+// LatencyBuckets spans ~1ms to ~52h in 1.5x steps — fine enough for
 // interpolated p50/p99/p999 over both sub-second placements and long
-// end-to-end waits.
-func latencyBuckets() []float64 { return metrics.ExpBuckets(1e-3, 1.5, 48) }
+// end-to-end waits. Exported so the serving frontend's e2e histograms use
+// the same buckets as the bus's.
+func LatencyBuckets() []float64 { return metrics.ExpBuckets(1e-3, 1.5, 48) }
 
 // catAgg holds one category's latency histograms.
 type catAgg struct {
@@ -121,6 +122,16 @@ type Truth struct {
 	Submitted          int
 	Completed          int
 	Failed             int
+}
+
+// ServeTruth is the serving frontend's ground-truth counters, compared by
+// CheckConsistency when a frontend is attached.
+type ServeTruth struct {
+	Offered       int
+	Shed          int
+	Rejected      int
+	Throttled     int
+	Backpressured int
 }
 
 // Bus accumulates pushed state changes and seals them into snapshots at
@@ -149,6 +160,8 @@ type Bus struct {
 	poolCores, allocCores                     float64
 	chaosInjected, anomalies                  int
 	recent                                    []ChaosEvent
+	offered, shedTasks, rejectedTasks         int
+	throttledTasks, backpressured             int
 
 	schedCum  SchedDelta // cumulative scheduler-round work
 	schedPrev SchedDelta // value at the previously built snapshot
@@ -157,9 +170,10 @@ type Bus struct {
 	catOrder   []string
 	cats       map[string]*catAgg
 
-	latest *Snapshot
-	final  *Snapshot
-	truth  func() Truth
+	latest     *Snapshot
+	final      *Snapshot
+	truth      func() Truth
+	serveTruth func() ServeTruth
 }
 
 // NewBus returns a bus sealing snapshots of eng's simulation at cfg's
@@ -185,8 +199,8 @@ func NewBus(eng *sim.Engine, cfg *Config) (*Bus, error) {
 	b := &Bus{
 		eng: eng, cfg: c, cadence: c.Cadence, ringCap: c.RingCap,
 		stride: 1,
-		sched:  metrics.NewHistogram(latencyBuckets()),
-		e2e:    metrics.NewHistogram(latencyBuckets()),
+		sched:  metrics.NewHistogram(LatencyBuckets()),
+		e2e:    metrics.NewHistogram(LatencyBuckets()),
 		cats:   map[string]*catAgg{},
 	}
 	if c.Stream != nil {
@@ -206,6 +220,15 @@ func (b *Bus) SetTruth(fn func() Truth) {
 		return
 	}
 	b.truth = fn
+}
+
+// SetServeTruth installs the serving frontend's ground-truth closure; the
+// frontend installs it on attach.
+func (b *Bus) SetServeTruth(fn func() ServeTruth) {
+	if b == nil {
+		return
+	}
+	b.serveTruth = fn
 }
 
 // advance seals every boundary the clock has crossed. A boundary B seals
@@ -272,8 +295,13 @@ func (b *Bus) build(at sim.Time, seq int) *Snapshot {
 		},
 		ChaosInjected: b.chaosInjected,
 		Anomalies:     b.anomalies,
-		SchedLatency:  summarize(b.sched),
-		E2ELatency:    summarize(b.e2e),
+		Offered:       b.offered,
+		Shed:          b.shedTasks,
+		Rejected:      b.rejectedTasks,
+		Throttled:     b.throttledTasks,
+		Backpressured: b.backpressured,
+		SchedLatency:  Summarize(b.sched),
+		E2ELatency:    Summarize(b.e2e),
 	}
 	if b.poolCores > 0 {
 		s.Utilization = b.allocCores / b.poolCores
@@ -284,7 +312,7 @@ func (b *Bus) build(at sim.Time, seq int) *Snapshot {
 	for _, cat := range b.catOrder {
 		ca := b.cats[cat]
 		s.Categories = append(s.Categories, CategoryLatency{
-			Category: cat, Sched: summarize(ca.sched), E2E: summarize(ca.e2e),
+			Category: cat, Sched: Summarize(ca.sched), E2E: Summarize(ca.e2e),
 		})
 	}
 	b.schedPrev = b.schedCum
@@ -295,8 +323,8 @@ func (b *Bus) cat(category string) *catAgg {
 	ca := b.cats[category]
 	if ca == nil {
 		ca = &catAgg{
-			sched: metrics.NewHistogram(latencyBuckets()),
-			e2e:   metrics.NewHistogram(latencyBuckets()),
+			sched: metrics.NewHistogram(LatencyBuckets()),
+			e2e:   metrics.NewHistogram(LatencyBuckets()),
 		}
 		b.cats[category] = ca
 		b.catOrder = append(b.catOrder, category)
@@ -487,6 +515,53 @@ func (b *Bus) ChaosInjected(kind string) {
 	b.recent = append(b.recent, ChaosEvent{At: now, Kind: kind})
 }
 
+// ServeOffered records one open-loop arrival offered to the serving
+// frontend's admission pipeline.
+func (b *Bus) ServeOffered() {
+	if b == nil {
+		return
+	}
+	b.advance(b.eng.Now())
+	b.offered++
+}
+
+// ServeShed records the shed band dropping an offer (graceful degradation).
+func (b *Bus) ServeShed() {
+	if b == nil {
+		return
+	}
+	b.advance(b.eng.Now())
+	b.shedTasks++
+}
+
+// ServeRejected records the hard intake bound rejecting an offer.
+func (b *Bus) ServeRejected() {
+	if b == nil {
+		return
+	}
+	b.advance(b.eng.Now())
+	b.rejectedTasks++
+}
+
+// ServeThrottled records a tenant's token bucket dropping an offer.
+func (b *Bus) ServeThrottled() {
+	if b == nil {
+		return
+	}
+	b.advance(b.eng.Now())
+	b.throttledTasks++
+}
+
+// ServeBackpressured records a cooperative tenant being paused instead of
+// dropped.
+func (b *Bus) ServeBackpressured() {
+	if b == nil {
+		return
+	}
+	b.advance(b.eng.Now())
+	b.backpressured++
+}
+
 // AnomalyFlagged records the telemetry layer flagging a leak/flatline
 // anomaly.
 func (b *Bus) AnomalyFlagged() {
@@ -599,6 +674,20 @@ func (b *Bus) CheckConsistency() error {
 	}
 	if math.Abs(b.allocCores-t.AllocatedCores) > 1e-6 {
 		return fmt.Errorf("obs: allocated cores drifted: bus has %g, master has %g", b.allocCores, t.AllocatedCores)
+	}
+	if b.serveTruth != nil {
+		st := b.serveTruth()
+		for _, p := range []pair{
+			{"offered", b.offered, st.Offered},
+			{"shed", b.shedTasks, st.Shed},
+			{"rejected", b.rejectedTasks, st.Rejected},
+			{"throttled", b.throttledTasks, st.Throttled},
+			{"backpressured", b.backpressured, st.Backpressured},
+		} {
+			if p.got != p.want {
+				return fmt.Errorf("obs: serving %s drifted: bus has %d, frontend has %d", p.name, p.got, p.want)
+			}
+		}
 	}
 	return nil
 }

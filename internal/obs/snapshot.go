@@ -22,8 +22,9 @@ type LatencyQuantiles struct {
 	Max   float64 `json:"max,omitempty"`
 }
 
-// summarize reads the standard quantile set off a histogram.
-func summarize(h *metrics.Histogram) LatencyQuantiles {
+// Summarize reads the standard quantile set off a histogram (the serving
+// frontend summarizes its e2e histograms with it too).
+func Summarize(h *metrics.Histogram) LatencyQuantiles {
 	return LatencyQuantiles{
 		Count: h.Count(),
 		Mean:  h.Mean(),
@@ -94,6 +95,16 @@ type Snapshot struct {
 	ChaosInjected int          `json:"chaos_injected,omitempty"`
 	Events        []ChaosEvent `json:"events,omitempty"`
 	Anomalies     int          `json:"anomalies,omitempty"`
+
+	// Serving-frontend counters (cumulative), pushed by internal/serve when
+	// RunConfig.Serving is set; all zero — and omitted from the JSON, so
+	// serving-off streams stay byte-identical — otherwise. Accepted tasks
+	// are exactly Submitted.
+	Offered       int `json:"offered,omitempty"`
+	Shed          int `json:"shed,omitempty"`
+	Rejected      int `json:"rejected,omitempty"`
+	Throttled     int `json:"throttled,omitempty"`
+	Backpressured int `json:"backpressured,omitempty"`
 
 	SchedLatency LatencyQuantiles  `json:"sched_latency"`
 	E2ELatency   LatencyQuantiles  `json:"e2e_latency"`

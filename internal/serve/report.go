@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"lfm/internal/obs"
+	"lfm/internal/sim"
+)
+
+// TenantReport is one tenant's serving outcome: how its offers fared
+// through the pipeline and the latency of what was accepted.
+type TenantReport struct {
+	Name     string  `json:"name"`
+	Weight   float64 `json:"weight"`
+	Priority int     `json:"priority,omitempty"`
+	// ShedMark is the tenant's effective shed threshold (priority band).
+	ShedMark      int `json:"shed_mark"`
+	Offered       int `json:"offered"`
+	Accepted      int `json:"accepted"`
+	Rejected      int `json:"rejected,omitempty"`
+	Shed          int `json:"shed,omitempty"`
+	Throttled     int `json:"throttled,omitempty"`
+	Backpressured int `json:"backpressured,omitempty"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed,omitempty"`
+	// E2E is arrival→completion latency over this tenant's completed tasks.
+	E2E obs.LatencyQuantiles `json:"e2e"`
+}
+
+// Report is the frontend's end-of-run accounting. The reconciliation
+// invariant holds exactly: Offered == Accepted+Rejected+Shed+Throttled and
+// Accepted == Completed+Failed (CheckInvariants enforces both).
+type Report struct {
+	Window        sim.Time `json:"window"`
+	MaxInflight   int      `json:"max_inflight"`
+	ShedWatermark int      `json:"shed_watermark"`
+	PeakInflight  int      `json:"peak_inflight"`
+
+	Offered       int `json:"offered"`
+	Accepted      int `json:"accepted"`
+	Rejected      int `json:"rejected,omitempty"`
+	Shed          int `json:"shed,omitempty"`
+	Throttled     int `json:"throttled,omitempty"`
+	Backpressured int `json:"backpressured,omitempty"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed,omitempty"`
+
+	// E2E is arrival→completion latency over all completed tasks; bounded
+	// intake keeps its p99 bounded no matter the offered load.
+	E2E obs.LatencyQuantiles `json:"e2e"`
+
+	Tenants []TenantReport `json:"tenants"`
+	// SampleDrops holds the first few typed Overload errors, so an
+	// overloaded run is explainable from the summary alone.
+	SampleDrops []string `json:"sample_drops,omitempty"`
+}
+
+// Report assembles the frontend's accounting after the run drains.
+func (f *Frontend) Report() *Report {
+	r := &Report{
+		Window:        f.cfg.Window,
+		MaxInflight:   f.cfg.MaxInflight,
+		ShedWatermark: f.cfg.ShedWatermark,
+		PeakInflight:  f.peakInflight,
+		Offered:       f.offered,
+		Accepted:      f.accepted,
+		Rejected:      f.rejected,
+		Shed:          f.shed,
+		Throttled:     f.throttled,
+		Backpressured: f.backpressured,
+		Completed:     f.completed,
+		Failed:        f.failed,
+		E2E:           obs.Summarize(f.e2e),
+		SampleDrops:   f.sampleDrops,
+	}
+	for _, tn := range f.tenants {
+		r.Tenants = append(r.Tenants, TenantReport{
+			Name: tn.cfg.Name, Weight: tn.cfg.Weight, Priority: tn.cfg.Priority,
+			ShedMark: tn.shedMark,
+			Offered:  tn.offered, Accepted: tn.accepted,
+			Rejected: tn.rejected, Shed: tn.shed, Throttled: tn.throttled,
+			Backpressured: tn.backpressured,
+			Completed:     tn.completed, Failed: tn.failed,
+			E2E: obs.Summarize(tn.e2e),
+		})
+	}
+	return r
+}

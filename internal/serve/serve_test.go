@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"lfm/internal/alloc"
+	"lfm/internal/cluster"
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// rig builds an engine, a zero-latency site, and a master for deterministic
+// frontend tests.
+func rig(t *testing.T, workers int) (*sim.Engine, *wq.Master) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	site := cluster.Sites()["ndcrc"]
+	site.BatchLatency = 0
+	site.Jitter = 0
+	cl := cluster.New(eng, site)
+	cfg := wq.DefaultConfig()
+	cfg.Strategy = &alloc.Unmanaged{}
+	cfg.Monitor.Overhead = 0
+	m := wq.NewMaster(eng, cfg)
+	if err := cl.Provision(workers, func(n *cluster.Node) { m.AddWorker(n) }); err != nil {
+		t.Fatal(err)
+	}
+	return eng, m
+}
+
+// feeder returns a Feed producing unlimited 1-core tasks of the given
+// duration with unique IDs drawn from a shared counter.
+func feeder(next *int, dur sim.Time) func() *wq.Task {
+	return func() *wq.Task {
+		*next++
+		return &wq.Task{
+			ID:       *next,
+			Category: "serve",
+			Spec:     monitor.Proc(dur, monitor.Resources{Cores: 1, MemoryMB: 64, DiskMB: 10}),
+		}
+	}
+}
+
+// every builds a trace-replay arrival with n fixed gaps.
+func every(gap sim.Time, n int) workloads.Arrival {
+	gaps := make([]sim.Time, n)
+	for i := range gaps {
+		gaps[i] = gap
+	}
+	return &workloads.TraceReplay{Gaps: gaps}
+}
+
+// runFrontend wires the frontend to the master, runs the simulation to
+// drain, and fails the test on any invariant violation.
+func runFrontend(t *testing.T, eng *sim.Engine, m *wq.Master, cfg *Config) *Frontend {
+	t.Helper()
+	fe, err := New(eng, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnTaskDone(fe.TaskDone)
+	eng.At(0, func() { fe.Start() })
+	eng.Run()
+	if err := fe.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return fe
+}
+
+// TestUnderCapacityAcceptsAll checks the pipeline is invisible below
+// capacity: every offer admitted, nothing dropped or backpressured.
+func TestUnderCapacityAcceptsAll(t *testing.T) {
+	eng, m := rig(t, 4)
+	id := 0
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 100, MaxInflight: 64,
+		Tenants: []TenantConfig{
+			{Name: "calm", Arrival: every(1, 50), Feed: feeder(&id, 2)},
+		},
+	})
+	r := fe.Report()
+	if r.Offered == 0 || r.Accepted != r.Offered {
+		t.Fatalf("under capacity: %d offered, %d accepted", r.Offered, r.Accepted)
+	}
+	if r.Shed+r.Rejected+r.Throttled+r.Backpressured != 0 {
+		t.Fatalf("under capacity dropped work: %+v", r)
+	}
+	if r.Completed != r.Accepted {
+		t.Fatalf("%d accepted but %d completed", r.Accepted, r.Completed)
+	}
+}
+
+// TestHardBoundNeverExceeded floods a frontend whose shed band is empty
+// (ShedWatermark == MaxInflight): intake must reject at the bound, and
+// inflight must never exceed it — the queue is bounded, not best-effort.
+func TestHardBoundNeverExceeded(t *testing.T) {
+	eng, m := rig(t, 2)
+	id := 0
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 10, MaxInflight: 16, ShedWatermark: 16,
+		Tenants: []TenantConfig{
+			{Name: "flood", Arrival: every(0.01, 900), Feed: feeder(&id, 500)},
+		},
+	})
+	r := fe.Report()
+	if r.PeakInflight > 16 {
+		t.Fatalf("peak inflight %d exceeded MaxInflight 16", r.PeakInflight)
+	}
+	if r.Rejected == 0 {
+		t.Fatalf("flood at 100/s was never rejected: %+v", r)
+	}
+	if r.Shed != 0 {
+		t.Fatalf("empty shed band still shed %d", r.Shed)
+	}
+}
+
+// TestShedBandGraceful floods a single tenant with a default shed band: a
+// lone tenant is always at fair share, so overload resolves as graceful
+// shedding at the watermark and the hard bound is never reached.
+func TestShedBandGraceful(t *testing.T) {
+	eng, m := rig(t, 2)
+	id := 0
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 10, MaxInflight: 16,
+		Tenants: []TenantConfig{
+			{Name: "flood", Arrival: every(0.01, 900), Feed: feeder(&id, 500)},
+		},
+	})
+	r := fe.Report()
+	if r.Shed == 0 {
+		t.Fatalf("overload never shed: %+v", r)
+	}
+	if r.Rejected != 0 {
+		t.Fatalf("graceful shedding should keep the flood off the hard bound, got %d rejects", r.Rejected)
+	}
+	if r.PeakInflight > 12 {
+		t.Fatalf("peak inflight %d exceeded the 3/4 watermark 12", r.PeakInflight)
+	}
+	// The reconciliation the chaos invariant sweep relies on.
+	if r.Offered != r.Shed+r.Completed+r.Failed {
+		t.Fatalf("offered %d != shed %d + completed %d + failed %d",
+			r.Offered, r.Shed, r.Completed, r.Failed)
+	}
+}
+
+// TestTokenBucketThrottles rate-limits a non-cooperative tenant far below
+// its offer rate: admission must track Rate×Window plus the initial burst.
+func TestTokenBucketThrottles(t *testing.T) {
+	eng, m := rig(t, 8)
+	id := 0
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 10, MaxInflight: 256,
+		Tenants: []TenantConfig{
+			{Name: "greedy", Arrival: every(0.1, 200), Feed: feeder(&id, 0.01),
+				Rate: 2, Burst: 1},
+		},
+	})
+	r := fe.Report()
+	if r.Throttled == 0 {
+		t.Fatalf("10/s against a 2/s bucket never throttled: %+v", r)
+	}
+	// ~1 burst token + 2/s over ~10s of arrivals, small slack for refill
+	// timing.
+	if r.Accepted < 18 || r.Accepted > 24 {
+		t.Fatalf("2/s bucket admitted %d over 10s, want ~21", r.Accepted)
+	}
+}
+
+// TestCooperativeNeverLoses backpressures a cooperative tenant through the
+// same 2/s bucket: it must lose nothing — the generator pauses instead.
+func TestCooperativeNeverLoses(t *testing.T) {
+	eng, m := rig(t, 8)
+	id := 0
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 10, MaxInflight: 256,
+		Tenants: []TenantConfig{
+			{Name: "polite", Arrival: every(0.1, 200), Feed: feeder(&id, 0.01),
+				Rate: 2, Burst: 1, Cooperative: true},
+		},
+	})
+	r := fe.Report()
+	if r.Throttled+r.Shed+r.Rejected != 0 {
+		t.Fatalf("cooperative tenant lost work: %+v", r)
+	}
+	if r.Backpressured == 0 {
+		t.Fatal("rate-limited cooperative tenant was never backpressured")
+	}
+	if r.Accepted != r.Offered {
+		t.Fatalf("%d offered but %d accepted", r.Offered, r.Accepted)
+	}
+	// Backpressure slows admission to the bucket rate.
+	if r.Accepted > 24 {
+		t.Fatalf("backpressured tenant still admitted %d in 10s through a 2/s bucket", r.Accepted)
+	}
+}
+
+// TestFairShareProtectsLightTenant overloads the frontend with one flooding
+// tenant while a light tenant trickles: shedding must land on the flooder
+// (over its share) and the light tenant must not be starved.
+func TestFairShareProtectsLightTenant(t *testing.T) {
+	eng, m := rig(t, 2)
+	hogID, lightID := 0, 100000
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 20, MaxInflight: 16,
+		Tenants: []TenantConfig{
+			{Name: "hog", Arrival: every(0.01, 1900), Feed: feeder(&hogID, 500)},
+			{Name: "light", Arrival: every(1, 19), Feed: feeder(&lightID, 500)},
+		},
+	})
+	r := fe.Report()
+	var hog, light TenantReport
+	for _, tr := range r.Tenants {
+		switch tr.Name {
+		case "hog":
+			hog = tr
+		case "light":
+			light = tr
+		}
+	}
+	if hog.Shed == 0 {
+		t.Fatalf("flooding tenant never shed: %+v", hog)
+	}
+	if light.Offered == 0 || light.Accepted == 0 {
+		t.Fatalf("light tenant starved: %+v", light)
+	}
+	hogFrac := float64(hog.Accepted) / float64(hog.Offered)
+	lightFrac := float64(light.Accepted) / float64(light.Offered)
+	if lightFrac <= hogFrac {
+		t.Fatalf("fair share failed: light tenant accept fraction %.2f <= hog %.2f",
+			lightFrac, hogFrac)
+	}
+}
+
+// TestPriorityBandsShedLowFirst floods two equal-rate tenants that differ
+// only in priority: the low-priority band opens first, so the first shed of
+// the run must land on the low tenant, and the high tenant must end with at
+// least an equal accepted share (fair-share debt balances equal-weight
+// tenants toward an even split; priority decides who crosses into the band
+// first).
+func TestPriorityBandsShedLowFirst(t *testing.T) {
+	eng, m := rig(t, 2)
+	loID, hiID := 0, 100000
+	firstShed := ""
+	onOver := func(o *Overload) {
+		if o.Reason == ReasonShed && firstShed == "" {
+			firstShed = o.Tenant
+		}
+	}
+	fe := runFrontend(t, eng, m, &Config{
+		Window: 20, MaxInflight: 32,
+		Tenants: []TenantConfig{
+			{Name: "lo", Priority: 0, Arrival: every(0.02, 950), Feed: feeder(&loID, 500), OnOverload: onOver},
+			{Name: "hi", Priority: 5, Arrival: every(0.02, 950), Feed: feeder(&hiID, 500), OnOverload: onOver},
+		},
+	})
+	r := fe.Report()
+	var lo, hi TenantReport
+	for _, tr := range r.Tenants {
+		switch tr.Name {
+		case "lo":
+			lo = tr
+		case "hi":
+			hi = tr
+		}
+	}
+	if hi.ShedMark <= lo.ShedMark {
+		t.Fatalf("priority bands not ordered: hi mark %d <= lo mark %d", hi.ShedMark, lo.ShedMark)
+	}
+	if lo.Shed == 0 {
+		t.Fatalf("low-priority tenant never shed under overload: %+v", lo)
+	}
+	if firstShed != "lo" {
+		t.Fatalf("first shed landed on %q, want the low-priority tenant", firstShed)
+	}
+	if hi.Accepted < lo.Accepted {
+		t.Fatalf("high-priority tenant got less: hi accepted %d < lo accepted %d", hi.Accepted, lo.Accepted)
+	}
+}
+
+// TestDepDroppedCascade drops a task at admission and then offers its
+// dependent: admitting the dependent would strand it forever (its dep can
+// never complete), so the frontend must cascade the drop with a typed
+// reason.
+func TestDepDroppedCascade(t *testing.T) {
+	eng, m := rig(t, 1)
+	mk := func(id int, deps ...*wq.Task) *wq.Task {
+		return &wq.Task{
+			ID: id, Category: "serve", DependsOn: deps,
+			Spec: monitor.Proc(50, monitor.Resources{Cores: 1, MemoryMB: 64, DiskMB: 10}),
+		}
+	}
+	filler := mk(1)
+	depTask := mk(2)
+	dependent := mk(3, depTask)
+	queue := []*wq.Task{filler, depTask, dependent}
+	var reasons []OverloadReason
+	fe := runFrontend(t, eng, m, &Config{
+		// One slot, no shed band: the filler occupies it, the dep is
+		// rejected, the dependent must cascade.
+		Window: 10, MaxInflight: 1, ShedWatermark: 1,
+		Tenants: []TenantConfig{
+			{Name: "chain", Arrival: every(1, 3),
+				Feed: func() *wq.Task {
+					if len(queue) == 0 {
+						return nil
+					}
+					t := queue[0]
+					queue = queue[1:]
+					return t
+				},
+				OnOverload: func(o *Overload) { reasons = append(reasons, o.Reason) }},
+		},
+	})
+	r := fe.Report()
+	if r.Accepted != 1 || r.Rejected != 1 || r.Shed != 1 {
+		t.Fatalf("want 1 accepted / 1 rejected / 1 dep-dropped, got %+v", r)
+	}
+	if len(reasons) != 2 || reasons[0] != ReasonQueueFull || reasons[1] != ReasonDepDropped {
+		t.Fatalf("overload reasons = %v, want [queue-full dep-dropped]", reasons)
+	}
+}
+
+// TestOverloadErrorTyped checks the typed error carries tenant, reason, and
+// load context.
+func TestOverloadErrorTyped(t *testing.T) {
+	e := &Overload{Tenant: "api", Reason: ReasonShed, At: 12.5, Inflight: 96}
+	for _, want := range []string{"api", "shed", "96"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Fatalf("overload error %q missing %q", e.Error(), want)
+		}
+	}
+}
+
+// TestConfigValidation checks every unusable knob is rejected with an error
+// naming the field.
+func TestConfigValidation(t *testing.T) {
+	ok := func() *Config {
+		return &Config{
+			Window: 10, MaxInflight: 8,
+			Tenants: []TenantConfig{{Name: "t", Arrival: &workloads.Poisson{Rate: 1}}},
+		}
+	}
+	cases := []struct {
+		mut  func(*Config)
+		want string
+	}{
+		{func(c *Config) { c.Window = 0 }, "Window"},
+		{func(c *Config) { c.Window = -5 }, "Window"},
+		{func(c *Config) { c.MaxInflight = 0 }, "MaxInflight"},
+		{func(c *Config) { c.MaxInflight = -2 }, "MaxInflight"},
+		{func(c *Config) { c.ShedWatermark = -1 }, "ShedWatermark"},
+		{func(c *Config) { c.ShedWatermark = 9 }, "ShedWatermark"},
+		{func(c *Config) { c.Tenants = nil }, "Tenants"},
+		{func(c *Config) { c.Tenants[0].Arrival = nil }, "Arrival"},
+		{func(c *Config) { c.Tenants[0].Arrival = &workloads.Poisson{Rate: -1} }, "Rate"},
+		{func(c *Config) { c.Tenants[0].Weight = -1 }, "Weight"},
+		{func(c *Config) { c.Tenants[0].Rate = -3 }, "Rate"},
+		{func(c *Config) { c.Tenants[0].Burst = -1 }, "Burst"},
+	}
+	for i, tc := range cases {
+		c := ok()
+		tc.mut(c)
+		err := c.Validate()
+		if err == nil {
+			t.Fatalf("case %d: want error naming %s, got nil", i, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q does not name %s", i, err, tc.want)
+		}
+	}
+	if err := ok().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lfm/internal/sim"
+)
+
+// drawGaps collects n inter-arrival gaps from an arrival process, advancing
+// a simulated clock.
+func drawGaps(a Arrival, n int, rng *sim.RNG) []float64 {
+	gaps := make([]float64, 0, n)
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		g := a.Next(now, rng)
+		if g < 0 {
+			break
+		}
+		gaps = append(gaps, float64(g))
+		now += g
+	}
+	return gaps
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// TestPoissonMeanGap checks the memoryless process converges on 1/Rate.
+func TestPoissonMeanGap(t *testing.T) {
+	p := &Poisson{Rate: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gaps := drawGaps(p, 20000, sim.NewRNG(1))
+	if m := mean(gaps); math.Abs(m-0.25) > 0.01 {
+		t.Fatalf("poisson(4) mean gap %.4f, want ~0.25", m)
+	}
+}
+
+// TestDiurnalModulation checks arrivals cluster at the sinusoid's peak: the
+// half-period centred on the peak must see substantially more arrivals than
+// the trough half, and the overall count must track the base rate.
+func TestDiurnalModulation(t *testing.T) {
+	period := sim.Time(100)
+	d := &Diurnal{Base: 10, Amplitude: 0.8, Period: period}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	// Peak of sin(2πt/100) is at t=25, trough at t=75.
+	peakN, troughN, total := 0, 0, 0
+	now := sim.Time(0)
+	for now < 40*period {
+		g := d.Next(now, rng)
+		now += g
+		total++
+		phase := math.Mod(float64(now), float64(period))
+		switch {
+		case phase >= 0 && phase < 50:
+			peakN++
+		default:
+			troughN++
+		}
+	}
+	if peakN < 2*troughN {
+		t.Fatalf("diurnal arrivals not modulated: %d in peak half vs %d in trough half", peakN, troughN)
+	}
+	wantTotal := 10.0 * 40 * float64(period)
+	if ratio := float64(total) / wantTotal; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("diurnal produced %d arrivals, want ~%.0f (base rate off by %.0f%%)",
+			total, wantTotal, 100*math.Abs(ratio-1))
+	}
+}
+
+// TestBurstAlternation checks the MMPP produces both calm-phase and
+// burst-phase gaps, with the burst-phase gaps much shorter.
+func TestBurstAlternation(t *testing.T) {
+	b := &Burst{BaseRate: 1, BurstRate: 50, MeanCalm: 10, MeanBurst: 5}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gaps := drawGaps(b, 20000, sim.NewRNG(3))
+	short, long := 0, 0
+	for _, g := range gaps {
+		if g < 0.1 {
+			short++
+		} else if g > 0.3 {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("burst process never alternated: %d short gaps, %d long gaps", short, long)
+	}
+	if short < 10*long {
+		t.Fatalf("burst phases not dominant at 50x rate: %d short vs %d long", short, long)
+	}
+}
+
+// TestTraceReplayExact checks the replay returns its gaps verbatim and then
+// reports exhaustion with a negative gap.
+func TestTraceReplayExact(t *testing.T) {
+	tr := &TraceReplay{Gaps: []sim.Time{1, 0.5, 2}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(4)
+	for i, want := range []sim.Time{1, 0.5, 2} {
+		if g := tr.Next(0, rng); g != want {
+			t.Fatalf("replay gap %d = %v, want %v", i, g, want)
+		}
+	}
+	if g := tr.Next(0, rng); g >= 0 {
+		t.Fatalf("exhausted replay returned %v, want negative", g)
+	}
+}
+
+// TestArrivalDeterminism checks same-seed draws replay byte-for-byte.
+func TestArrivalDeterminism(t *testing.T) {
+	mk := func() []Arrival {
+		return []Arrival{
+			&Poisson{Rate: 3},
+			&Diurnal{Base: 5, Amplitude: 0.5, Period: 60},
+			&Burst{BaseRate: 2, BurstRate: 40},
+		}
+	}
+	as, bs := mk(), mk()
+	for i := range as {
+		ga := drawGaps(as[i], 500, sim.NewRNG(9))
+		gb := drawGaps(bs[i], 500, sim.NewRNG(9))
+		if len(ga) != len(gb) {
+			t.Fatalf("%s: lengths differ", as[i].Name())
+		}
+		for j := range ga {
+			if ga[j] != gb[j] {
+				t.Fatalf("%s: gap %d differs: %v vs %v", as[i].Name(), j, ga[j], gb[j])
+			}
+		}
+	}
+}
+
+// TestArrivalValidation checks every bad knob is rejected with an error
+// naming the field.
+func TestArrivalValidation(t *testing.T) {
+	cases := []struct {
+		a    Arrival
+		want string
+	}{
+		{&Poisson{Rate: 0}, "Rate"},
+		{&Poisson{Rate: -1}, "Rate"},
+		{&Poisson{Rate: math.Inf(1)}, "Rate"},
+		{&Diurnal{Base: 0}, "Base"},
+		{&Diurnal{Base: 2, Amplitude: 1.5}, "Amplitude"},
+		{&Diurnal{Base: 2, Amplitude: -0.1}, "Amplitude"},
+		{&Diurnal{Base: 2, Amplitude: 0.5, Period: -3}, "Period"},
+		{&Burst{BaseRate: 0, BurstRate: 10}, "BaseRate"},
+		{&Burst{BaseRate: 1, BurstRate: 0.5}, "BurstRate"},
+		{&Burst{BaseRate: 1, BurstRate: 10, MeanCalm: -1}, "MeanCalm"},
+		{&Burst{BaseRate: 1, BurstRate: 10, MeanBurst: -1}, "MeanBurst"},
+		{&TraceReplay{}, "Gaps"},
+		{&TraceReplay{Gaps: []sim.Time{1, -2}}, "Gaps"},
+	}
+	for _, c := range cases {
+		err := c.a.Validate()
+		if err == nil {
+			t.Fatalf("%s %+v: want error naming %s, got nil", c.a.Name(), c.a, c.want)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s error %q does not name %s", c.a.Name(), err, c.want)
+		}
+	}
+}

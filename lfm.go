@@ -41,6 +41,7 @@ import (
 	"lfm/internal/metrics"
 	"lfm/internal/monitor"
 	"lfm/internal/obs"
+	"lfm/internal/serve"
 	"lfm/internal/parsl"
 	"lfm/internal/procmon"
 	"lfm/internal/pyast"
@@ -558,6 +559,48 @@ func Sparkline(vals []float64, width int) string { return obs.Sparkline(vals, wi
 // Bar renders a 0..1 fraction as a fixed-width block bar (the lfmtop
 // utilization gauge).
 func Bar(frac float64, width int) string { return obs.Bar(frac, width) }
+
+// ---- Open-loop serving ----
+
+// ServingConfig drives a run open-loop: set it on RunConfig.Serving to
+// stream tasks in from per-tenant arrival processes under admission
+// control, token-bucket rate limits, fair-share load shedding, and
+// cooperative backpressure instead of submitting everything at t=0.
+type ServingConfig = serve.Config
+
+// ServingTenant configures one traffic source of a serving run: its
+// arrival process, fair-share weight, shed priority, rate limit, and
+// whether it cooperates with backpressure.
+type ServingTenant = serve.TenantConfig
+
+// ServingReport is the frontend's end-of-run accounting: offered vs
+// accepted/rejected/shed/throttled, per-tenant breakdowns, and
+// arrival→completion latency quantiles; see Outcome.Serving.
+type ServingReport = serve.Report
+
+// ServingTenantReport is one tenant's slice of the ServingReport.
+type ServingTenantReport = serve.TenantReport
+
+// Overload is the typed error describing why the frontend turned an
+// arrival away (throttled, shed, queue-full, dep-dropped).
+type Overload = serve.Overload
+
+// Arrival generates deterministic inter-arrival gaps for a serving
+// tenant; implementations include PoissonArrivals, DiurnalArrivals,
+// BurstArrivals, and TraceArrivals.
+type Arrival = workloads.Arrival
+
+// PoissonArrivals is a memoryless constant-rate arrival process.
+type PoissonArrivals = workloads.Poisson
+
+// DiurnalArrivals modulates a base rate sinusoidally (day/night load).
+type DiurnalArrivals = workloads.Diurnal
+
+// BurstArrivals alternates calm and burst phases (correlated bursts).
+type BurstArrivals = workloads.Burst
+
+// TraceArrivals replays a recorded gap sequence exactly.
+type TraceArrivals = workloads.TraceReplay
 
 // ---- Experiment reproduction ----
 
