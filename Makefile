@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race chaos bench profile obs serve
+.PHONY: check build vet test test-race chaos bench profile obs serve scenarios
 
 check: build vet test-race
 
@@ -64,3 +64,19 @@ serve:
 profile:
 	$(GO) run ./cmd/lfmbench -telemetry-sweep -quick -telemetry-out TELEMETRY_profile.jsonl
 	$(GO) run ./cmd/lfmprof TELEMETRY_profile.jsonl
+
+# Scenario regression gate: run every canned scenario and fail on any
+# invariant breach (writes SCENARIOS.json; CI uploads it as an artifact),
+# then prove bit-exact replay on the diurnal-tenants scenario — record a
+# trace, replay it with digest verification, record again and byte-compare
+# the two trace files — and finally regenerate the scenario catalog
+# (README.md) and regression table (EXPERIMENTS.md), failing on drift.
+scenarios:
+	$(GO) run ./cmd/lfmscenario run -all -json SCENARIOS.json
+	$(GO) run ./cmd/lfmscenario record diurnal-tenants -o SCENARIO_dt.trace
+	$(GO) run ./cmd/lfmscenario replay SCENARIO_dt.trace -verify
+	$(GO) run ./cmd/lfmscenario record diurnal-tenants -o SCENARIO_dt.rerun.trace
+	cmp SCENARIO_dt.trace SCENARIO_dt.rerun.trace
+	rm -f SCENARIO_dt.trace SCENARIO_dt.rerun.trace
+	$(GO) run ./cmd/lfmscenario export -refresh
+	git diff --exit-code README.md EXPERIMENTS.md SCENARIOS.json

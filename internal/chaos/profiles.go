@@ -33,6 +33,22 @@ var profiles = map[string]func(h sim.Time) *Schedule{
 			{Kind: StagingFailure, At: h / 2, Duration: h / 4, Prob: 0.3},
 		}}
 	},
+	// shard-blackout takes a whole slice of the pool dark at one instant —
+	// a rack or shard losing power — while the batch system refuses
+	// replacement pilots for a long window; the master must detect the
+	// correlated loss, recover the stranded work onto the surviving
+	// workers, and re-grow the pool once provisioning returns.
+	"shard-blackout": func(h sim.Time) *Schedule {
+		s := &Schedule{Faults: []Fault{
+			{Kind: ProvisionReject, At: h / 6, Duration: h / 3},
+		}}
+		for i := 0; i < 6; i++ {
+			s.Faults = append(s.Faults, Fault{
+				Kind: WorkerCrash, At: h / 5, Worker: -1, Replace: true,
+			})
+		}
+		return s
+	},
 	// blackout takes the shared filesystem down mid-run and then has the
 	// batch system refuse provisioning for a while.
 	"blackout": func(h sim.Time) *Schedule {

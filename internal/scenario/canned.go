@@ -1,0 +1,642 @@
+package scenario
+
+import (
+	"fmt"
+
+	"lfm/internal/chaos"
+	"lfm/internal/core"
+	"lfm/internal/sim"
+	"lfm/internal/tseries"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// The canned suite. Every scenario here is deterministic for its seed and
+// sized to run in seconds, so the whole suite is cheap enough to be a CI
+// gate. Scales are fixed — the committed regression table in EXPERIMENTS.md
+// holds exactly these runs, so CI can regenerate it and fail on drift.
+
+// pool returns the standard benchmark pool: 20 ndcrc nodes, trimmed to
+// 4 cores / 4 GB / 8 GB each, provisioned instantly (the lfmbench serving
+// convention — scenarios stress scheduling and policy, not batch latency).
+func pool() core.ScenarioConfig {
+	return core.ScenarioConfig{
+		Workers:        20,
+		WorkerCores:    4,
+		WorkerMemoryMB: 4 * 1024,
+		WorkerDiskMB:   8 * 1024,
+		NoBatchLatency: true,
+	}
+}
+
+// hardened is the full resilience stack: heartbeat failure detection,
+// straggler speculation, worker quarantine, and staging retries.
+func hardened() wq.ResilienceConfig {
+	return wq.ResilienceConfig{
+		HeartbeatInterval:     10 * sim.Second,
+		SpeculationMultiplier: 2,
+		QuarantineThreshold:   3,
+		StagingRetries:        3,
+	}
+}
+
+// profile resolves a canned chaos profile scaled to the scenario's expected
+// horizon; unknown names are a scenario-definition bug, so it panics.
+func profile(name string, horizon sim.Time) *chaos.Schedule {
+	s, err := chaos.Profile(name, horizon)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// frac guards a ratio against a zero denominator.
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// envHitFraction is the fraction of attempts whose cacheable environment
+// was already on (or inflight to) the chosen worker. Stats.CacheMisses
+// counts every transfer — including each attempt's unique, uncacheable
+// per-task input, which can never hit — so the raw hit/miss ratio is
+// structurally capped well below 1. Cache lookups only ever match
+// cacheable files, and cache-thrash attempts stage exactly one each, so
+// hits per attempt is the clean affinity signal.
+func envHitFraction(r *Result) float64 {
+	st := r.Summary.Stats
+	return frac(st.CacheHits, st.Submitted+st.Retries)
+}
+
+// wallTimes collects the per-task wall times (final-attempt start to
+// finish) of completed tasks.
+func wallTimes(r *Result) sim.Stats {
+	var st sim.Stats
+	for _, t := range r.Spec.Workload.Tasks {
+		if t.State == wq.TaskDone {
+			st.Add(float64(t.FinishedAt - t.StartedAt))
+		}
+	}
+	return st
+}
+
+// ---- Shared invariants ----
+
+// allTerminate asserts every generated task reached a terminal state and
+// none failed: the baseline liveness property of a healthy run.
+func allTerminate() Invariant {
+	return Invariant{
+		Name:   "all-tasks-terminate",
+		Detail: "every generated task completes; none fail or hang",
+		Check: func(r *Result) error {
+			n := len(r.Spec.Workload.Tasks)
+			st := r.Summary.Stats
+			if st.Completed != n || st.Failed != 0 {
+				return fmt.Errorf("completed %d + failed %d of %d tasks", st.Completed, st.Failed, n)
+			}
+			return nil
+		},
+	}
+}
+
+// acceptedTerminate is allTerminate's open-loop cousin: in a serving run
+// only admitted tasks are owed completion (the rest were shed by design).
+func acceptedTerminate() Invariant {
+	return Invariant{
+		Name:   "accepted-work-terminates",
+		Detail: "every admitted task reaches a terminal state: accepted == completed + failed",
+		Check: func(r *Result) error {
+			sv := r.Summary.Serving
+			if sv == nil {
+				return fmt.Errorf("no serving report")
+			}
+			if sv.Accepted != sv.Completed+sv.Failed {
+				return fmt.Errorf("accepted %d != completed %d + failed %d", sv.Accepted, sv.Completed, sv.Failed)
+			}
+			return nil
+		},
+	}
+}
+
+// noChaosViolations asserts the global fault-injection invariant checker
+// found nothing: no lost tasks, no leaked state, despite the injected
+// faults.
+func noChaosViolations() Invariant {
+	return Invariant{
+		Name:   "no-chaos-violations",
+		Detail: "the global chaos invariant checker reports zero violations",
+		Check: func(r *Result) error {
+			ch := r.Summary.Chaos
+			if ch == nil {
+				return fmt.Errorf("no chaos report")
+			}
+			if len(ch.Violations) > 0 {
+				return fmt.Errorf("%d violations, first: %s", len(ch.Violations), ch.Violations[0])
+			}
+			return nil
+		},
+	}
+}
+
+// injected asserts the schedule actually fired: at least min faults of the
+// kind were applied (a scenario whose chaos silently no-ops tests nothing).
+func injected(kind chaos.FaultKind, min int) Invariant {
+	return Invariant{
+		Name:   fmt.Sprintf("injects-%s", kind),
+		Detail: fmt.Sprintf("at least %d %s fault(s) actually fire", min, kind),
+		Check: func(r *Result) error {
+			ch := r.Summary.Chaos
+			if ch == nil {
+				return fmt.Errorf("no chaos report")
+			}
+			if got := ch.Injected[kind]; got < min {
+				return fmt.Errorf("injected %d %s faults, want >= %d", got, kind, min)
+			}
+			return nil
+		},
+	}
+}
+
+// inflightBounded asserts hard admission control held: the frontend never
+// tracked more inflight tasks than its configured ceiling.
+func inflightBounded() Invariant {
+	return Invariant{
+		Name:   "inflight-bounded",
+		Detail: "peak inflight never exceeds the configured MaxInflight ceiling",
+		Check: func(r *Result) error {
+			sv := r.Summary.Serving
+			if sv == nil {
+				return fmt.Errorf("no serving report")
+			}
+			if sv.PeakInflight > sv.MaxInflight {
+				return fmt.Errorf("peak inflight %d > max %d", sv.PeakInflight, sv.MaxInflight)
+			}
+			return nil
+		},
+	}
+}
+
+// shedBand asserts the shed fraction landed inside [lo, hi]: below lo the
+// scenario is not actually overloaded (it tests nothing), above hi the
+// frontend is dropping work it had capacity for.
+func shedBand(lo, hi float64) Invariant {
+	return Invariant{
+		Name:   "shed-fraction-in-band",
+		Detail: fmt.Sprintf("load shedding engages but stays proportionate: shed/offered in [%.2f, %.2f]", lo, hi),
+		Check: func(r *Result) error {
+			sv := r.Summary.Serving
+			if sv == nil {
+				return fmt.Errorf("no serving report")
+			}
+			f := frac(sv.Shed, sv.Offered)
+			if f < lo || f > hi {
+				return fmt.Errorf("shed fraction %.3f outside [%.2f, %.2f] (shed %d / offered %d)",
+					f, lo, hi, sv.Shed, sv.Offered)
+			}
+			return nil
+		},
+	}
+}
+
+func init() {
+	Register(heavyTailScenario())
+	Register(diurnalTenantsScenario())
+	Register(cacheThrashScenario())
+	Register(stragglersScenario())
+	Register(shardBlackoutScenario())
+	Register(leakUnderLoadScenario())
+	Register(overloadStormScenario())
+}
+
+// ---- heavy-tail ----
+
+func heavyTailScenario() *Scenario {
+	return &Scenario{
+		Name:     "heavy-tail",
+		Summary:  "bounded-Pareto task durations: elephants and mice through one queue",
+		Headline: "tail_ratio",
+		Seed:     1009,
+		Details: "600 independent single-core tasks whose durations follow a " +
+			"bounded Pareto (alpha 1.1, 4-400 s): most finish in seconds, a few " +
+			"run two orders of magnitude longer, and memory rides the same tail. " +
+			"The scheduler must keep the mice flowing around the elephants and " +
+			"the Auto allocator must label a category whose per-task usage spans " +
+			"a 25x range without excessive exhaustion retries.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			return &Spec{Workload: workloads.HeavyTail(rng, 600), Config: cfg}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			wt := wallTimes(r)
+			return []Metric{
+				{Name: "tail_ratio", Value: wt.Max() / wt.Percentile(50)},
+				{Name: "makespan_s", Value: float64(r.Summary.Makespan), Unit: "s"},
+				{Name: "retry_fraction", Value: r.Summary.RetryFraction, Unit: "frac"},
+				{Name: "p99_wall_s", Value: wt.Percentile(99), Unit: "s"},
+			}
+		},
+		Invariants: []Invariant{
+			allTerminate(),
+			{
+				Name:   "tail-is-heavy",
+				Detail: "max wall time is >= 10x the median: the distribution the scenario exists to stress is actually present",
+				Check: func(r *Result) error {
+					wt := wallTimes(r)
+					ratio := wt.Max() / wt.Percentile(50)
+					if ratio < 10 {
+						return fmt.Errorf("max/median wall ratio %.1f < 10 — tail not heavy", ratio)
+					}
+					return nil
+				},
+			},
+			{
+				Name:   "bounded-retries",
+				Detail: "Auto's labels absorb the 25x memory spread with a retry fraction under 0.30",
+				Check: func(r *Result) error {
+					if f := r.Summary.RetryFraction; f > 0.30 {
+						return fmt.Errorf("retry fraction %.3f > 0.30", f)
+					}
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// ---- diurnal-tenants ----
+
+// diurnalShape builds the three-tenant diurnal serving layer: gold, silver,
+// and bronze tenants with phase-shifted day/night cycles whose aggregate
+// base rate (~4.4 tasks/s) modestly exceeds the pool's ~4 tasks/s capacity,
+// so shedding engages at peak overlap but no tenant class is starved.
+func diurnalShape() *ServingShape {
+	period := 120 * sim.Second
+	mk := func(name string, base float64, priority int, weight float64, phase sim.Time) TenantShape {
+		return TenantShape{
+			Name: name, Weight: weight, Priority: priority,
+			Arrival: &workloads.Diurnal{Base: base, Amplitude: 0.8, Period: period, Phase: phase},
+		}
+	}
+	return &ServingShape{
+		Window:        300 * sim.Second,
+		MaxInflight:   256,
+		ShedWatermark: 192,
+		Tenants: []TenantShape{
+			mk("gold", 2.2, 2, 3, 0),
+			mk("silver", 1.5, 1, 2, period/3),
+			mk("bronze", 0.7, 0, 1, 2*period/3),
+		},
+	}
+}
+
+func diurnalTenantsScenario() *Scenario {
+	return &Scenario{
+		Name:     "diurnal-tenants",
+		Summary:  "three tenant classes with phase-shifted day/night load through admission control",
+		Headline: "shed_fraction",
+		Seed:     2003,
+		Details: "An open-loop serving run: gold, silver, and bronze tenants " +
+			"offer work on sinusoidally modulated (diurnal) arrival processes, " +
+			"phase-shifted a third of a cycle apart, with aggregate demand about " +
+			"1.1x pool capacity. When the peaks overlap, the frontend must shed " +
+			"from the over-share tenants by fair-share debt — never starving " +
+			"bronze outright — while hard admission control keeps inflight " +
+			"bounded. This is also the trace-replay conformance scenario: CI " +
+			"records it, replays it, and byte-compares the two runs.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			return &Spec{
+				Workload: workloads.Scale(rng, 2200, 12),
+				Config:   cfg,
+				Serving:  diurnalShape(),
+			}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			sv := r.Summary.Serving
+			return []Metric{
+				{Name: "shed_fraction", Value: frac(sv.Shed, sv.Offered), Unit: "frac"},
+				{Name: "offered", Value: float64(sv.Offered)},
+				{Name: "accepted", Value: float64(sv.Accepted)},
+				{Name: "p99_e2e_s", Value: sv.E2E.P99, Unit: "s"},
+			}
+		},
+		Invariants: []Invariant{
+			acceptedTerminate(),
+			inflightBounded(),
+			shedBand(0.01, 0.40),
+			{
+				Name:   "no-tenant-starves",
+				Detail: "every tenant, including lowest-priority bronze, gets at least 30% of its offers accepted",
+				Check: func(r *Result) error {
+					for _, tn := range r.Summary.Serving.Tenants {
+						if tn.Offered == 0 {
+							return fmt.Errorf("tenant %s offered nothing", tn.Name)
+						}
+						if f := frac(tn.Accepted, tn.Offered); f < 0.30 {
+							return fmt.Errorf("tenant %s accepted fraction %.3f < 0.30", tn.Name, f)
+						}
+					}
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// ---- cache-thrash ----
+
+func cacheThrashScenario() *Scenario {
+	return &Scenario{
+		Name:     "cache-thrash",
+		Summary:  "48 categories with 400 MB environments contend for 8 workers' caches",
+		Headline: "env_hit_fraction",
+		Seed:     3001,
+		Details: "800 short tasks spread over 48 categories, each category " +
+			"pinned to its own 400 MB cacheable environment, on a pool of only " +
+			"8 workers. Every placement onto a worker that has not staged the " +
+			"category's environment pays a full transfer plus a 10 s unpack, so " +
+			"the cache-affinity index — not execution time — decides the " +
+			"makespan. Each attempt also stages a unique per-task input that " +
+			"can never hit, so the environment hit fraction (cache hits per " +
+			"attempt — each attempt stages exactly one cacheable environment) " +
+			"is the signal, not the raw hit/miss ratio. The invariants pin the " +
+			"cold-start floor and the environment hit fraction the affinity " +
+			"scheduler must sustain.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			cfg.Workers = 8
+			cfg.WorkerDiskMB = 64 * 1024
+			return &Spec{Workload: workloads.CacheThrash(rng, 800, 48), Config: cfg}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			st := r.Summary.Stats
+			return []Metric{
+				{Name: "env_hit_fraction", Value: envHitFraction(r), Unit: "frac"},
+				{Name: "cache_hit_fraction", Value: frac(st.CacheHits, st.CacheHits+st.CacheMisses), Unit: "frac"},
+				{Name: "makespan_s", Value: float64(r.Summary.Makespan), Unit: "s"},
+				{Name: "bytes_in_gb", Value: float64(st.BytesIn) / 1e9, Unit: "GB"},
+			}
+		},
+		Invariants: []Invariant{
+			allTerminate(),
+			{
+				Name:   "cold-start-floor",
+				Detail: "misses cover at least every unique per-task input plus one cold pull per category",
+				Check: func(r *Result) error {
+					st := r.Summary.Stats
+					floor := st.Submitted + 48
+					if st.CacheMisses < floor {
+						return fmt.Errorf("%d cache misses < floor %d (tasks + categories)", st.CacheMisses, floor)
+					}
+					return nil
+				},
+			},
+			{
+				Name:   "affinity-earns-hits",
+				Detail: "cache affinity keeps the environment hit fraction above 0.50 despite 6x more categories than workers",
+				Check: func(r *Result) error {
+					if f := envHitFraction(r); f < 0.50 {
+						return fmt.Errorf("environment hit fraction %.3f < 0.50", f)
+					}
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// ---- stragglers ----
+
+func stragglersScenario() *Scenario {
+	return &Scenario{
+		Name:     "stragglers",
+		Summary:  "chaos slows three workers 6-8x mid-run; speculation must rescue their tasks",
+		Headline: "spec_wins",
+		Seed:     4001,
+		Details: "The HEP workflow (200 analysis tasks) under the 'stragglers' " +
+			"chaos profile: three workers are permanently slowed 6-8x at " +
+			"staggered times. With heartbeats, speculation (2x category mean), " +
+			"quarantine, and staging retries enabled, the master must notice " +
+			"attempts outliving their category's distribution, launch backup " +
+			"copies elsewhere, and let the copies win — turning a 6x slowdown " +
+			"of random tasks into a bounded makespan hit.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			cfg.Resilience = hardened()
+			cfg.Faults = profile("stragglers", 300*sim.Second)
+			return &Spec{Workload: workloads.HEP(rng, 200), Config: cfg}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			var wins, launched float64
+			if res := r.Summary.Stats.Resilience; res != nil {
+				wins = float64(res.SpecWins)
+				launched = float64(res.SpecLaunched)
+			}
+			return []Metric{
+				{Name: "spec_wins", Value: wins},
+				{Name: "spec_launched", Value: launched},
+				{Name: "makespan_s", Value: float64(r.Summary.Makespan), Unit: "s"},
+			}
+		},
+		Invariants: []Invariant{
+			allTerminate(),
+			noChaosViolations(),
+			injected(chaos.WorkerSlow, 3),
+			{
+				Name:   "speculation-rescues-stragglers",
+				Detail: "at least 2 speculative copies beat their slowed originals",
+				Check: func(r *Result) error {
+					res := r.Summary.Stats.Resilience
+					if res == nil {
+						return fmt.Errorf("no resilience activity recorded")
+					}
+					if res.SpecWins < 2 {
+						return fmt.Errorf("%d speculation wins, want >= 2", res.SpecWins)
+					}
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// ---- shard-blackout ----
+
+func shardBlackoutScenario() *Scenario {
+	return &Scenario{
+		Name:     "shard-blackout",
+		Summary:  "six workers die at one instant while provisioning is refused; work must survive",
+		Headline: "makespan_s",
+		Seed:     5003,
+		Details: "The HEP workflow (300 analysis tasks) under the " +
+			"'shard-blackout' chaos profile: a provision-reject window opens, " +
+			"then six workers — a rack's worth — crash simultaneously inside " +
+			"it. Replacements are refused until the window lifts, so the master " +
+			"must detect the correlated loss via heartbeats, recover every " +
+			"stranded attempt onto the surviving workers, absorb the rejected " +
+			"provisioning attempts, and re-grow the pool once the batch system " +
+			"relents — without losing a single task.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			cfg.Resilience = hardened()
+			cfg.Faults = profile("shard-blackout", 300*sim.Second)
+			return &Spec{Workload: workloads.HEP(rng, 300), Config: cfg}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			return []Metric{
+				{Name: "makespan_s", Value: float64(r.Summary.Makespan), Unit: "s"},
+				{Name: "provision_failures", Value: float64(r.Summary.ProvisionFailures)},
+				{Name: "lost_tasks", Value: float64(r.Summary.Stats.LostTasks)},
+			}
+		},
+		Invariants: []Invariant{
+			allTerminate(),
+			noChaosViolations(),
+			injected(chaos.WorkerCrash, 6),
+			{
+				Name:   "provisioning-was-refused",
+				Detail: "the reject window actually bit: at least one replacement attempt failed",
+				Check: func(r *Result) error {
+					if r.Summary.ProvisionFailures < 1 {
+						return fmt.Errorf("no provisioning failures — reject window never engaged")
+					}
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// ---- leak-under-load ----
+
+func leakUnderLoadScenario() *Scenario {
+	return &Scenario{
+		Name:     "leak-under-load",
+		Summary:  "every 10th task leaks ~11 MB/s; the telemetry detector must flag them all and only them",
+		Headline: "leaks_flagged",
+		Seed:     6007,
+		Details: "400 service-like tasks where every 10th climbs a monotone " +
+			"memory staircase (~11 MB/s for a minute) instead of holding its " +
+			"category's plateau. With telemetry enabled, the online anomaly " +
+			"detector watches 1 s poll samples for sustained monotone growth " +
+			"and must flag the leaky category's attempts — and nothing else: " +
+			"precision is an invariant, not just recall, because a detector " +
+			"that cries wolf on steady tasks would be worse than none.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			cfg.Telemetry = tseries.DefaultConfig()
+			return &Spec{Workload: workloads.LeakUnder(rng, 400, 10), Config: cfg}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			var leaks, onLeaky float64
+			if tel := r.Outcome.Telemetry; tel != nil {
+				for _, a := range tel.Anomalies {
+					if a.Kind != tseries.AnomalyMemLeak {
+						continue
+					}
+					leaks++
+					if a.Category == "svc-leaky" {
+						onLeaky++
+					}
+				}
+			}
+			precision := 1.0
+			if leaks > 0 {
+				precision = onLeaky / leaks
+			}
+			return []Metric{
+				{Name: "leaks_flagged", Value: leaks},
+				{Name: "leak_precision", Value: precision, Unit: "frac"},
+				{Name: "makespan_s", Value: float64(r.Summary.Makespan), Unit: "s"},
+			}
+		},
+		Invariants: []Invariant{
+			allTerminate(),
+			{
+				Name:   "leaks-detected",
+				Detail: "at least 30 of the 40 leaky tasks are flagged as mem-leak anomalies",
+				Check: func(r *Result) error {
+					n, _ := r.Metric("leaks_flagged")
+					if n < 30 {
+						return fmt.Errorf("%.0f mem-leak anomalies, want >= 30", n)
+					}
+					return nil
+				},
+			},
+			{
+				Name:   "no-false-positives",
+				Detail: "every mem-leak flag lands on the svc-leaky category; steady tasks are never accused",
+				Check: func(r *Result) error {
+					p, _ := r.Metric("leak_precision")
+					if p < 1 {
+						return fmt.Errorf("leak precision %.3f < 1.0 — steady tasks flagged", p)
+					}
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// ---- overload-storm ----
+
+func overloadStormScenario() *Scenario {
+	return &Scenario{
+		Name:     "overload-storm",
+		Summary:  "2x sustained overload plus churn, crashes, slowdowns, and flaky staging at once",
+		Headline: "shed_fraction",
+		Seed:     7001,
+		Details: "The compound worst case: three Poisson tenants offer about " +
+			"2x pool capacity for five minutes while the 'overload-storm' " +
+			"chaos profile stampedes tenants, churns and crashes workers, slows " +
+			"survivors, and makes staging flaky — with the full resilience " +
+			"stack on. The frontend must shed hard but proportionately, hard " +
+			"admission control must hold the inflight ceiling through capacity " +
+			"loss, and every task it admits must still reach a terminal state.",
+		Build: func(seed int64) (*Spec, error) {
+			rng := sim.NewRNG(seed)
+			cfg := pool()
+			cfg.Resilience = hardened()
+			cfg.Faults = profile("overload-storm", 300*sim.Second)
+			serving := &ServingShape{
+				Window:        300 * sim.Second,
+				MaxInflight:   256,
+				ShedWatermark: 192,
+				Tenants: []TenantShape{
+					{Name: "api", Weight: 2, Priority: 1, Arrival: &workloads.Poisson{Rate: 4}},
+					{Name: "batch", Weight: 1, Arrival: &workloads.Poisson{Rate: 2.5}},
+					{Name: "adhoc", Weight: 1, Arrival: &workloads.Poisson{Rate: 1.5}},
+				},
+			}
+			return &Spec{
+				Workload: workloads.Scale(rng, 4000, 8),
+				Config:   cfg,
+				Serving:  serving,
+			}, nil
+		},
+		Metrics: func(r *Result) []Metric {
+			sv := r.Summary.Serving
+			return []Metric{
+				{Name: "shed_fraction", Value: frac(sv.Shed, sv.Offered), Unit: "frac"},
+				{Name: "peak_inflight", Value: float64(sv.PeakInflight)},
+				{Name: "completed", Value: float64(sv.Completed)},
+				{Name: "p99_e2e_s", Value: sv.E2E.P99, Unit: "s"},
+			}
+		},
+		Invariants: []Invariant{
+			acceptedTerminate(),
+			noChaosViolations(),
+			inflightBounded(),
+			shedBand(0.15, 0.85),
+			injected(chaos.TenantStampede, 1),
+		},
+	}
+}

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Export: the generated documentation tables. `lfmscenario export` renders
+// the scenario catalog (README.md) and the regression table (EXPERIMENTS.md)
+// from the registry and a fresh run of the suite, then splices them between
+// marker comments — the committed docs are generated, never hand-written,
+// and CI fails on drift (`git diff --exit-code` after regenerating).
+
+// Marker comments bracketing the generated sections.
+const (
+	CatalogBegin    = "<!-- lfmscenario:catalog:begin -->"
+	CatalogEnd      = "<!-- lfmscenario:catalog:end -->"
+	RegressionBegin = "<!-- lfmscenario:regression:begin -->"
+	RegressionEnd   = "<!-- lfmscenario:regression:end -->"
+)
+
+// num formats a metric value compactly but deterministically (plain Go
+// float formatting; everything upstream is simulated, so the same seed
+// yields the same digits on any machine).
+func num(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Catalog renders the scenario catalog as a markdown table: one row per
+// registered scenario with what it stresses, its invariants, and its
+// headline metric.
+func Catalog() string {
+	var b strings.Builder
+	b.WriteString("| Scenario | What it stresses | Invariants | Headline metric |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, s := range All() {
+		names := make([]string, 0, len(s.Invariants))
+		for _, iv := range s.Invariants {
+			names = append(names, "`"+iv.Name+"`")
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | `%s` |\n",
+			s.Name, s.Summary, strings.Join(names, ", "), s.Headline)
+	}
+	return b.String()
+}
+
+// RegressionTable renders the suite's results as a markdown table: per
+// scenario the seed, the pass/fail verdict, the headline metric, and the
+// full metric list.
+func RegressionTable(results []*Result) string {
+	var b strings.Builder
+	b.WriteString("| Scenario | Seed | Verdict | Headline | Metrics |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, r := range results {
+		verdict := "pass"
+		if !r.Passed {
+			verdict = "FAIL"
+			for _, iv := range r.Invariants {
+				if !iv.OK {
+					verdict = "FAIL (" + iv.Name + ")"
+					break
+				}
+			}
+		}
+		s, err := Get(r.Scenario)
+		headline := ""
+		if err == nil {
+			if v, ok := r.Metric(s.Headline); ok {
+				headline = fmt.Sprintf("%s = %s", s.Headline, num(v))
+			}
+		}
+		var ms []string
+		for _, m := range r.Metrics {
+			v := num(m.Value)
+			if m.Unit != "" && m.Unit != "frac" {
+				v += " " + m.Unit
+			}
+			ms = append(ms, fmt.Sprintf("%s %s", m.Name, v))
+		}
+		fmt.Fprintf(&b, "| `%s` | %d | %s | %s | %s |\n",
+			r.Scenario, r.Seed, verdict, headline, strings.Join(ms, " · "))
+	}
+	return b.String()
+}
+
+// RefreshSection splices content between the begin/end markers in the file
+// at path, preserving everything outside them. It reports whether the file
+// changed. Missing markers are an error — the generated block's location is
+// a human decision, so export never invents one.
+func RefreshSection(path, begin, end, content string) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	text := string(raw)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 {
+		return false, fmt.Errorf("scenario: %s lacks the %s / %s markers", path, begin, end)
+	}
+	if j < i {
+		return false, fmt.Errorf("scenario: %s has %s before %s", path, end, begin)
+	}
+	next := text[:i+len(begin)] + "\n" + strings.TrimRight(content, "\n") + "\n" + text[j:]
+	if next == text {
+		return false, nil
+	}
+	return true, os.WriteFile(path, []byte(next), 0o644)
+}

@@ -1,0 +1,311 @@
+// Package scenario is the repo's regression harness: a registry of canned,
+// seeded, self-describing scenarios in the FGM "list → run → view → export"
+// style. Each scenario composes an existing workload generator with a chaos
+// profile, a resilience configuration, and (for open-loop scenarios) a
+// serving frontend, declares its own invariants beyond the global chaos
+// checker — "speculation rescues stragglers", "no tenant starves", "the
+// shed fraction stays inside its band" — and emits a deterministic
+// headline-numbers record. The cmd/lfmscenario CLI drives the registry and
+// refreshes the scenario tables in EXPERIMENTS.md and README.md, which makes
+// `make scenarios` the regression gate every later PR must keep green.
+//
+// The package also owns the versioned trace-record format (trace.go): any
+// scenario run — batch or open-loop — can be captured as a JSONL trace of
+// its submissions (dependencies, requirements, tenant, arrival gaps, chaos
+// schedule, seeds) and replayed byte-identically from the trace alone,
+// without the generator that produced it.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"lfm/internal/core"
+	"lfm/internal/serve"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// Metric is one deterministic headline number a scenario reports: same
+// seed, same value, on any hardware (everything is simulated time).
+type Metric struct {
+	// Name is a stable snake_case identifier (e.g. "shed_fraction").
+	Name string `json:"name"`
+	// Value is the measured number; Unit its human unit ("s", "frac", "").
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Invariant is one scenario-specific assertion checked after the run, on
+// top of the global chaos invariant checker and the serving reconciliation
+// that core always enforces. Check returns nil when the invariant holds.
+type Invariant struct {
+	// Name is a stable kebab-case identifier (e.g. "no-tenant-starves").
+	Name string
+	// Detail is one sentence of what must hold and why it matters.
+	Detail string
+	// Check inspects the finished run.
+	Check func(*Result) error
+}
+
+// InvariantResult is one invariant's verdict on one run.
+type InvariantResult struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+}
+
+// TenantShape is the serializable description of one serving tenant: the
+// admission-pipeline knobs without the live Feed closure. Arrival carries
+// the tenant's arrival process when the shape is part of a runnable Spec;
+// trace headers persist only the scalar knobs (replay substitutes the
+// recorded gap sequence).
+type TenantShape struct {
+	Name        string  `json:"name,omitempty"`
+	Weight      float64 `json:"weight,omitempty"`
+	Priority    int     `json:"priority,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`
+	Burst       float64 `json:"burst,omitempty"`
+	Cooperative bool    `json:"cooperative,omitempty"`
+
+	// Arrival is the live arrival process; not serialized.
+	Arrival workloads.Arrival `json:"-"`
+}
+
+// ServingShape is the serializable description of a scenario's open-loop
+// serving layer; nil on batch scenarios.
+type ServingShape struct {
+	Window        sim.Time      `json:"window"`
+	MaxInflight   int           `json:"max_inflight"`
+	ShedWatermark int           `json:"shed_watermark,omitempty"`
+	Tenants       []TenantShape `json:"tenants"`
+}
+
+// config builds the live serve.Config from the shape. Feeds, when non-nil,
+// provides each tenant's explicit task feed (the trace recorder and
+// replayer use this); nil leaves Feed unset so core wires every tenant to
+// its shared cursor over the workload's task list.
+func (s *ServingShape) config(feeds []func() *wq.Task) *serve.Config {
+	cfg := &serve.Config{
+		Window:        s.Window,
+		MaxInflight:   s.MaxInflight,
+		ShedWatermark: s.ShedWatermark,
+	}
+	for i, t := range s.Tenants {
+		tc := serve.TenantConfig{
+			Name: t.Name, Weight: t.Weight, Priority: t.Priority,
+			Rate: t.Rate, Burst: t.Burst, Cooperative: t.Cooperative,
+			Arrival: t.Arrival,
+		}
+		if feeds != nil {
+			tc.Feed = feeds[i]
+		}
+		cfg.Tenants = append(cfg.Tenants, tc)
+	}
+	return cfg
+}
+
+// Spec is one fully materialized, runnable scenario instance: the generated
+// workload plus the serializable run configuration. Record captures a Spec
+// as a trace; Replay rebuilds an equivalent Spec from one.
+type Spec struct {
+	// Workload is the generated task set.
+	Workload *workloads.Workload
+	// Config is the serializable behavioural configuration (core's thin
+	// scenario entry point).
+	Config core.ScenarioConfig
+	// Serving, when non-nil, runs the workload open-loop through the
+	// admission-control frontend.
+	Serving *ServingShape
+}
+
+// Result is one scenario run's deterministic record: the unified run
+// summary, the ordered headline metrics, and every invariant's verdict.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// Summary is the run's unified summary (stats, sched counters zeroed of
+	// wall time, chaos report, serving accounting) — byte-deterministic for
+	// a seed.
+	Summary *core.RunSummary `json:"summary"`
+	// Metrics are the scenario's headline numbers, in declaration order.
+	Metrics []Metric `json:"metrics"`
+	// Invariants are the per-invariant verdicts; Passed is their
+	// conjunction.
+	Invariants []InvariantResult `json:"invariants"`
+	Passed     bool              `json:"passed"`
+
+	// Outcome and Spec give invariant checks and callers full access to the
+	// run; excluded from the serialized record.
+	Outcome *core.Outcome `json:"-"`
+	Spec    *Spec         `json:"-"`
+}
+
+// Metric returns the named headline metric's value (0, false when absent).
+func (r *Result) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Scenario is one canned, seeded, self-describing regression scenario.
+type Scenario struct {
+	// Name is the registry key, kebab-case.
+	Name string
+	// Summary is the one-line catalog entry: what the scenario stresses.
+	Summary string
+	// Details is the longer `lfmscenario describe` prose: the failure mode
+	// or load shape being reproduced and what the invariants pin down.
+	Details string
+	// Headline names the scenario's single most important metric (must be
+	// one of the names Metrics emits).
+	Headline string
+	// Seed is the default seed.
+	Seed int64
+	// Build materializes the scenario at the given seed.
+	Build func(seed int64) (*Spec, error)
+	// Metrics derives the ordered headline numbers from a finished run.
+	Metrics func(*Result) []Metric
+	// Invariants are the scenario's own assertions.
+	Invariants []Invariant
+}
+
+// Validate rejects an ill-formed scenario definition with an error naming
+// the offending field.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: empty Name")
+	}
+	if s.Summary == "" || s.Details == "" {
+		return fmt.Errorf("scenario %s: Summary and Details must describe the scenario", s.Name)
+	}
+	if s.Build == nil || s.Metrics == nil {
+		return fmt.Errorf("scenario %s: Build and Metrics are required", s.Name)
+	}
+	if len(s.Invariants) == 0 {
+		return fmt.Errorf("scenario %s: declares no invariants — a scenario that asserts nothing gates nothing", s.Name)
+	}
+	for _, iv := range s.Invariants {
+		if iv.Name == "" || iv.Detail == "" || iv.Check == nil {
+			return fmt.Errorf("scenario %s: invariant needs Name, Detail, and Check", s.Name)
+		}
+	}
+	if s.Headline == "" {
+		return fmt.Errorf("scenario %s: Headline must name the leading metric", s.Name)
+	}
+	return nil
+}
+
+// Instantiate materializes the scenario's Spec. A non-positive seed uses
+// the scenario default.
+func (s *Scenario) Instantiate(seed int64) (*Spec, error) {
+	if seed <= 0 {
+		seed = s.Seed
+	}
+	spec, err := s.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	spec.Config.Seed = seed
+	return spec, nil
+}
+
+// RunSpec executes a materialized spec. The optional trace store records
+// every scheduler event of the run (the round-trip tests byte-compare it
+// across record and replay).
+func RunSpec(spec *Spec, tr *wq.Trace) (*core.Outcome, error) {
+	return spec.Config.RunScenario(spec.Workload, func(cfg *core.RunConfig) {
+		cfg.Trace = tr
+		if spec.Serving != nil {
+			cfg.Serving = spec.Serving.config(nil)
+		}
+	})
+}
+
+// Run executes the scenario at the seed (non-positive = default), derives
+// its metrics, and checks its invariants. The returned Result is
+// deterministic for a seed; Run never fails a Result — invariant breaches
+// land in Result.Invariants with Passed false.
+func (s *Scenario) Run(seed int64) (*Result, error) {
+	spec, err := s.Instantiate(seed)
+	if err != nil {
+		return nil, err
+	}
+	out, err := RunSpec(spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return s.evaluate(spec, out), nil
+}
+
+// evaluate assembles the Result for a finished run.
+func (s *Scenario) evaluate(spec *Spec, out *core.Outcome) *Result {
+	r := &Result{
+		Scenario: s.Name,
+		Seed:     spec.Config.Seed,
+		Summary:  out.Summary(),
+		Outcome:  out,
+		Spec:     spec,
+	}
+	r.Metrics = s.Metrics(r)
+	r.Passed = true
+	for _, iv := range s.Invariants {
+		ir := InvariantResult{Name: iv.Name, Detail: iv.Detail, OK: true}
+		if err := iv.Check(r); err != nil {
+			ir.OK = false
+			ir.Error = err.Error()
+			r.Passed = false
+		}
+		r.Invariants = append(r.Invariants, ir)
+	}
+	return r
+}
+
+// ---- Registry ----
+
+var registry = map[string]*Scenario{}
+
+// Register adds a scenario to the registry; duplicate or invalid
+// definitions panic (registration happens at init time from canned.go).
+func Register(s *Scenario) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the named scenario.
+func Get(name string) (*Scenario, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []*Scenario {
+	out := make([]*Scenario, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

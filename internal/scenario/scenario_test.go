@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Every canned scenario must be self-consistent: registered under its own
+// name, fully described, and carrying at least one invariant.
+func TestRegistryValidates(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("expected at least 7 canned scenarios, got %d: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, name := range names {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("registered as %q but Name is %q", name, s.Name)
+		}
+	}
+	if len(All()) != len(names) {
+		t.Errorf("All() returned %d scenarios, Names() %d", len(All()), len(names))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-scenario"); err == nil {
+		t.Fatal("Get of unknown scenario succeeded")
+	} else if !strings.Contains(err.Error(), "no-such-scenario") {
+		t.Errorf("error does not name the missing scenario: %v", err)
+	}
+}
+
+// Instantiate with seed<=0 uses the scenario's default and stamps it into
+// the run config, so a trace header always carries the effective seed.
+func TestInstantiateSeeds(t *testing.T) {
+	s, err := Get("heavy-tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := s.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Config.Seed != s.Seed {
+		t.Errorf("default seed: got %d, want %d", spec.Config.Seed, s.Seed)
+	}
+	spec, err = s.Instantiate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Config.Seed != 42 {
+		t.Errorf("explicit seed: got %d, want 42", spec.Config.Seed)
+	}
+}
+
+// The regression gate itself: every canned scenario runs at its default
+// seed and passes all of its invariants.
+func TestCannedScenariosPass(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			r, err := s.Run(0)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if r.Seed != s.Seed {
+				t.Errorf("result seed %d != default %d", r.Seed, s.Seed)
+			}
+			if len(r.Metrics) == 0 {
+				t.Error("no metrics emitted")
+			}
+			if _, ok := r.Metric(s.Headline); !ok {
+				t.Errorf("headline metric %q not among emitted metrics", s.Headline)
+			}
+			for _, iv := range r.Invariants {
+				if !iv.OK {
+					t.Errorf("invariant %s failed: %s", iv.Name, iv.Error)
+				}
+			}
+			if !r.Passed {
+				t.Error("scenario did not pass")
+			}
+		})
+	}
+}
+
+// Registering an invalid or duplicate scenario is a programming error and
+// must panic rather than silently shadow a canned scenario.
+func TestRegisterRejects(t *testing.T) {
+	expectPanic := func(name string, s *Scenario) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	expectPanic("invalid", &Scenario{Name: "half-built"})
+	dup, err := Get("heavy-tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic("duplicate", dup)
+}

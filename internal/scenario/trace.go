@@ -1,0 +1,627 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"lfm/internal/core"
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+	"lfm/internal/workloads"
+	"lfm/internal/wq"
+)
+
+// The versioned trace-record format: a JSONL capture of everything a run
+// consumed from the outside world — the serializable config (pool, strategy,
+// seeds, resilience, full chaos schedule), the complete task definitions
+// (specs, inputs, dependencies, priorities), and for open-loop runs the raw
+// inter-arrival gaps each tenant's process drew plus the exact task-offer
+// order. Replay rebuilds the run from the trace alone, with no reference to
+// the generator that produced it, and is byte-identical to the recording
+// run (see DESIGN.md §14 for the determinism argument).
+//
+// Every line is one envelope object {"kind": "...", "<kind>": {...}}. The
+// first line is the header, the last the footer; files, tasks, and
+// per-tenant arrival streams sit between. Readers accept any version up to
+// TraceVersion (forward compatibility: new versions may add line kinds or
+// fields, which old traces simply lack) and refuse newer versions with a
+// typed *TraceError rather than misreading them.
+
+// TraceFormat and TraceVersion identify the trace container. Bump
+// TraceVersion when the schema changes shape; never reuse a version.
+const (
+	TraceFormat  = "lfm-scenario-trace"
+	TraceVersion = 1
+)
+
+// TraceError reasons.
+const (
+	// TraceBadFormat: the file is not an lfm scenario trace at all.
+	TraceBadFormat = "bad-format"
+	// TraceBadVersion: the trace was written by a newer schema version.
+	TraceBadVersion = "bad-version"
+	// TraceCorrupt: the container parses as the right format but its
+	// contents are inconsistent (bad JSON, dangling references, missing
+	// footer, count mismatches).
+	TraceCorrupt = "corrupt"
+	// TraceDigestMismatch: the replayed run did not reproduce the recorded
+	// outcome digest.
+	TraceDigestMismatch = "digest-mismatch"
+)
+
+// TraceError is the typed error for every way a trace can fail to load or
+// verify, so callers can distinguish "not a trace" from "damaged trace"
+// from "replay diverged" without string matching.
+type TraceError struct {
+	// Reason is one of the Trace* reason constants.
+	Reason string
+	// Line is the 1-based offending line, 0 when not line-specific.
+	Line int
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// Error implements error.
+func (e *TraceError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("trace: %s at line %d: %s", e.Reason, e.Line, e.Detail)
+	}
+	return fmt.Sprintf("trace: %s: %s", e.Reason, e.Detail)
+}
+
+// TraceHeader is the first line: the format tag, the serializable run
+// configuration, and the counts the footer re-asserts.
+type TraceHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Scenario is the registry name of the recorded scenario, empty for
+	// ad-hoc recordings.
+	Scenario string `json:"scenario,omitempty"`
+	// Workload is the generated workload's display name.
+	Workload string `json:"workload"`
+	// Config is the behavioural run configuration, including the full chaos
+	// schedule — replay re-injects the same faults (and the same
+	// tenant-stampede gap compression) at the same times.
+	Config core.ScenarioConfig `json:"config"`
+	// Serving is the open-loop layer's scalar knobs (arrival processes are
+	// replaced by the recorded gap streams); nil for batch runs.
+	Serving *ServingShape `json:"serving,omitempty"`
+	// Guess and OraclePeaks reproduce the workload's strategy knowledge.
+	Guess       monitor.Resources            `json:"guess"`
+	OraclePeaks map[string]monitor.Resources `json:"oracle_peaks,omitempty"`
+	// Tasks and Files are the expected line counts of each kind.
+	Tasks int `json:"tasks"`
+	Files int `json:"files"`
+}
+
+// TraceFileEntry is one unique input file, keyed by name; tasks reference
+// files by name and replay rebuilds exactly one *wq.File per entry, so the
+// pointer-sharing structure (shared cacheable environments) survives the
+// round trip.
+type TraceFileEntry struct {
+	Name       string   `json:"name"`
+	SizeBytes  int64    `json:"size"`
+	Cacheable  bool     `json:"cacheable,omitempty"`
+	UnpackTime sim.Time `json:"unpack,omitempty"`
+}
+
+// TracePhase is one usage phase of a recorded process spec.
+type TracePhase struct {
+	Duration sim.Time `json:"d"`
+	Cores    float64  `json:"c,omitempty"`
+	MemoryMB float64  `json:"m,omitempty"`
+	DiskMB   float64  `json:"k,omitempty"`
+}
+
+// TraceChild is one forked child process of a recorded spec.
+type TraceChild struct {
+	StartOffset sim.Time  `json:"off"`
+	Proc        TraceProc `json:"proc"`
+}
+
+// TraceProc mirrors monitor.ProcSpec: the phase staircase plus children.
+type TraceProc struct {
+	Phases   []TracePhase `json:"phases"`
+	Children []TraceChild `json:"children,omitempty"`
+}
+
+func encodeProc(s monitor.ProcSpec) TraceProc {
+	var p TraceProc
+	for _, ph := range s.Phases {
+		p.Phases = append(p.Phases, TracePhase{
+			Duration: ph.Duration, Cores: ph.Usage.Cores,
+			MemoryMB: ph.Usage.MemoryMB, DiskMB: ph.Usage.DiskMB,
+		})
+	}
+	for _, c := range s.Children {
+		p.Children = append(p.Children, TraceChild{
+			StartOffset: c.StartOffset, Proc: encodeProc(c.Spec),
+		})
+	}
+	return p
+}
+
+func decodeProc(p TraceProc) monitor.ProcSpec {
+	var s monitor.ProcSpec
+	for _, ph := range p.Phases {
+		s.Phases = append(s.Phases, monitor.Phase{
+			Duration: ph.Duration,
+			Usage: monitor.Resources{
+				Cores: ph.Cores, MemoryMB: ph.MemoryMB, DiskMB: ph.DiskMB,
+			},
+		})
+	}
+	for _, c := range p.Children {
+		s.Children = append(s.Children, monitor.ChildSpec{
+			StartOffset: c.StartOffset, Spec: decodeProc(c.Proc),
+		})
+	}
+	return s
+}
+
+// TraceTask is one task definition: everything the master is handed at
+// submit time. Priority is the post-admission value (the serving frontend
+// stamps tenant priority on accept; re-stamping on replay is idempotent).
+type TraceTask struct {
+	ID          int       `json:"id"`
+	Category    string    `json:"cat"`
+	Priority    int       `json:"pri,omitempty"`
+	Spec        TraceProc `json:"spec"`
+	Inputs      []string  `json:"inputs,omitempty"`
+	OutputBytes int64     `json:"out,omitempty"`
+	Deps        []int     `json:"deps,omitempty"`
+}
+
+// TraceArrivals is one tenant's recorded stream: the raw inter-arrival gaps
+// its Arrival process returned (pre stampede compression — replay re-applies
+// the schedule's compression identically) and the task IDs it offered, in
+// offer order.
+type TraceArrivals struct {
+	Tenant int        `json:"tenant"`
+	Gaps   []sim.Time `json:"gaps"`
+	Offers []int      `json:"offers,omitempty"`
+}
+
+// TraceFooter closes the trace: expected counts plus the outcome digest the
+// recording run produced. Replay recomputes the digest and Verify compares.
+type TraceFooter struct {
+	Tasks    int    `json:"tasks"`
+	Arrivals int    `json:"arrivals"`
+	Digest   string `json:"digest"`
+}
+
+// traceLine is the per-line envelope: exactly one payload field per Kind.
+type traceLine struct {
+	Kind     string          `json:"kind"`
+	Header   *TraceHeader    `json:"header,omitempty"`
+	File     *TraceFileEntry `json:"file,omitempty"`
+	Task     *TraceTask      `json:"task,omitempty"`
+	Arrivals *TraceArrivals  `json:"arrivals,omitempty"`
+	Footer   *TraceFooter    `json:"footer,omitempty"`
+}
+
+// OutcomeDigest fingerprints a run: a SHA-256 over the deterministic
+// unified summary plus every task's terminal state and lifecycle
+// timestamps (full float64 precision). Two runs with equal digests made the
+// same placements at the same times and produced the same accounting.
+func OutcomeDigest(out *core.Outcome, tasks []*wq.Task) (string, error) {
+	h := sha256.New()
+	if err := out.WriteSummaryJSON(h); err != nil {
+		return "", err
+	}
+	byID := append([]*wq.Task(nil), tasks...)
+	sort.Slice(byID, func(i, j int) bool { return byID[i].ID < byID[j].ID })
+	for _, t := range byID {
+		fmt.Fprintf(h, "%d %d %d %.17g %.17g %.17g\n",
+			t.ID, t.State, t.Attempts,
+			float64(t.SubmittedAt), float64(t.StartedAt), float64(t.FinishedAt))
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// recArrival wraps a live arrival process and records the raw gaps it
+// returns. The wrapper draws nothing itself, so the inner process's RNG
+// stream is untouched.
+type recArrival struct {
+	inner workloads.Arrival
+	gaps  []sim.Time
+}
+
+func (a *recArrival) Name() string    { return a.inner.Name() }
+func (a *recArrival) Validate() error { return a.inner.Validate() }
+
+func (a *recArrival) Next(now sim.Time, rng *sim.RNG) sim.Time {
+	g := a.inner.Next(now, rng)
+	if g >= 0 {
+		a.gaps = append(a.gaps, g)
+	}
+	return g
+}
+
+// Record executes the scenario at the seed exactly as Run does, but
+// captures the run as a trace: tenant arrivals are wrapped to record their
+// raw gaps, and explicit shared-cursor feeds (behaviourally identical to
+// core's implicit wiring) record each tenant's offer order. It returns the
+// evaluated result and the encoded trace. The optional tr records the
+// scheduler event stream of the recording run (tests byte-compare it
+// against the replay's).
+func (s *Scenario) Record(seed int64, tr *wq.Trace) (*Result, []byte, error) {
+	spec, err := s.Instantiate(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []*recArrival
+	var offers [][]int
+	out, err := spec.Config.RunScenario(spec.Workload, func(cfg *core.RunConfig) {
+		cfg.Trace = tr
+		if spec.Serving == nil {
+			return
+		}
+		n := len(spec.Serving.Tenants)
+		offers = make([][]int, n)
+		feeds := make([]func() *wq.Task, n)
+		cursor := 0
+		for i := 0; i < n; i++ {
+			i := i
+			feeds[i] = func() *wq.Task {
+				if cursor >= len(spec.Workload.Tasks) {
+					return nil
+				}
+				t := spec.Workload.Tasks[cursor]
+				cursor++
+				offers[i] = append(offers[i], t.ID)
+				return t
+			}
+		}
+		sc := spec.Serving.config(feeds)
+		for i := range sc.Tenants {
+			ra := &recArrival{inner: sc.Tenants[i].Arrival}
+			recs = append(recs, ra)
+			sc.Tenants[i].Arrival = ra
+		}
+		cfg.Serving = sc
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	res := s.evaluate(spec, out)
+	data, err := encodeTrace(s.Name, spec, out, recs, offers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, data, nil
+}
+
+// encodeTrace serializes the finished recording run.
+func encodeTrace(name string, spec *Spec, out *core.Outcome, recs []*recArrival, offers [][]int) ([]byte, error) {
+	w := spec.Workload
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	emit := func(l traceLine) error { return enc.Encode(l) }
+
+	// Unique file table, in first-reference order.
+	var files []*TraceFileEntry
+	seen := map[string]bool{}
+	for _, t := range w.Tasks {
+		for _, f := range t.Inputs {
+			if seen[f.Name] {
+				continue
+			}
+			seen[f.Name] = true
+			files = append(files, &TraceFileEntry{
+				Name: f.Name, SizeBytes: f.SizeBytes,
+				Cacheable: f.Cacheable, UnpackTime: f.UnpackTime,
+			})
+		}
+	}
+
+	var shape *ServingShape
+	if spec.Serving != nil {
+		cp := *spec.Serving
+		cp.Tenants = append([]TenantShape(nil), spec.Serving.Tenants...)
+		shape = &cp
+	}
+	if err := emit(traceLine{Kind: "header", Header: &TraceHeader{
+		Format: TraceFormat, Version: TraceVersion,
+		Scenario: name, Workload: w.Name,
+		Config: spec.Config, Serving: shape,
+		Guess: w.Guess, OraclePeaks: w.OraclePeaks,
+		Tasks: len(w.Tasks), Files: len(files),
+	}}); err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		if err := emit(traceLine{Kind: "file", File: f}); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range w.Tasks {
+		tt := &TraceTask{
+			ID: t.ID, Category: t.Category, Priority: t.Priority,
+			Spec: encodeProc(t.Spec), OutputBytes: t.OutputBytes,
+		}
+		for _, f := range t.Inputs {
+			tt.Inputs = append(tt.Inputs, f.Name)
+		}
+		for _, d := range t.DependsOn {
+			tt.Deps = append(tt.Deps, d.ID)
+		}
+		if err := emit(traceLine{Kind: "task", Task: tt}); err != nil {
+			return nil, err
+		}
+	}
+	for i, ra := range recs {
+		if err := emit(traceLine{Kind: "arrivals", Arrivals: &TraceArrivals{
+			Tenant: i, Gaps: ra.gaps, Offers: offers[i],
+		}}); err != nil {
+			return nil, err
+		}
+	}
+	digest, err := OutcomeDigest(out, w.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	if err := emit(traceLine{Kind: "footer", Footer: &TraceFooter{
+		Tasks: len(w.Tasks), Arrivals: len(recs), Digest: digest,
+	}}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decoded is a parsed trace, ready to be materialized into replay specs.
+type decoded struct {
+	header   *TraceHeader
+	files    []*TraceFileEntry
+	tasks    []*TraceTask
+	arrivals []*TraceArrivals
+	footer   *TraceFooter
+}
+
+// decodeTrace parses and validates the container; every failure is a
+// *TraceError.
+func decodeTrace(data []byte) (*decoded, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, &TraceError{Reason: TraceBadFormat, Detail: "empty file"}
+	}
+	d := &decoded{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1024*1024), 64*1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		n++
+		if len(line) == 0 {
+			continue
+		}
+		var l traceLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			if d.header == nil {
+				return nil, &TraceError{Reason: TraceBadFormat, Line: n, Detail: "not JSONL: " + err.Error()}
+			}
+			return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: err.Error()}
+		}
+		if d.header == nil {
+			if l.Kind != "header" || l.Header == nil {
+				return nil, &TraceError{Reason: TraceBadFormat, Line: n, Detail: "first line is not a trace header"}
+			}
+			h := l.Header
+			if h.Format != TraceFormat {
+				return nil, &TraceError{Reason: TraceBadFormat, Line: n,
+					Detail: fmt.Sprintf("format %q, want %q", h.Format, TraceFormat)}
+			}
+			if h.Version > TraceVersion || h.Version < 1 {
+				return nil, &TraceError{Reason: TraceBadVersion, Line: n,
+					Detail: fmt.Sprintf("trace version %d, reader supports <= %d", h.Version, TraceVersion)}
+			}
+			d.header = h
+			continue
+		}
+		if d.footer != nil {
+			return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: "content after footer"}
+		}
+		switch l.Kind {
+		case "file":
+			if l.File == nil {
+				return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: "file line without file payload"}
+			}
+			d.files = append(d.files, l.File)
+		case "task":
+			if l.Task == nil {
+				return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: "task line without task payload"}
+			}
+			d.tasks = append(d.tasks, l.Task)
+		case "arrivals":
+			if l.Arrivals == nil {
+				return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: "arrivals line without payload"}
+			}
+			d.arrivals = append(d.arrivals, l.Arrivals)
+		case "footer":
+			if l.Footer == nil {
+				return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: "footer line without payload"}
+			}
+			d.footer = l.Footer
+		default:
+			// Unknown kinds from same-or-older versions are corruption; a
+			// newer writer would have bumped the version and been refused
+			// above.
+			return nil, &TraceError{Reason: TraceCorrupt, Line: n, Detail: "unknown line kind " + l.Kind}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &TraceError{Reason: TraceCorrupt, Detail: err.Error()}
+	}
+	if d.footer == nil {
+		return nil, &TraceError{Reason: TraceCorrupt, Detail: "missing footer (truncated trace)"}
+	}
+	if len(d.tasks) != d.header.Tasks || len(d.tasks) != d.footer.Tasks {
+		return nil, &TraceError{Reason: TraceCorrupt,
+			Detail: fmt.Sprintf("%d task lines, header says %d, footer says %d",
+				len(d.tasks), d.header.Tasks, d.footer.Tasks)}
+	}
+	if len(d.files) != d.header.Files {
+		return nil, &TraceError{Reason: TraceCorrupt,
+			Detail: fmt.Sprintf("%d file lines, header says %d", len(d.files), d.header.Files)}
+	}
+	if len(d.arrivals) != d.footer.Arrivals {
+		return nil, &TraceError{Reason: TraceCorrupt,
+			Detail: fmt.Sprintf("%d arrivals lines, footer says %d", len(d.arrivals), d.footer.Arrivals)}
+	}
+	if d.header.Serving != nil && len(d.arrivals) != len(d.header.Serving.Tenants) {
+		return nil, &TraceError{Reason: TraceCorrupt,
+			Detail: fmt.Sprintf("%d arrivals streams for %d tenants",
+				len(d.arrivals), len(d.header.Serving.Tenants))}
+	}
+	return d, nil
+}
+
+// ReplayOutcome is a finished replay: the reconstructed run plus both
+// digests.
+type ReplayOutcome struct {
+	// Header is the trace's header as recorded.
+	Header *TraceHeader
+	// Outcome and Workload are the replayed run's results; Workload.Tasks
+	// carry the replay's terminal states and timestamps.
+	Outcome  *core.Outcome
+	Workload *workloads.Workload
+	// RecordedDigest is the footer digest from the recording run; Digest is
+	// the replay's recomputed one. Equal digests mean the replay reproduced
+	// the recorded run exactly.
+	RecordedDigest string
+	Digest         string
+}
+
+// Verify returns a typed *TraceError when the replay diverged from the
+// recorded run.
+func (ro *ReplayOutcome) Verify() error {
+	if ro.Digest != ro.RecordedDigest {
+		return &TraceError{Reason: TraceDigestMismatch,
+			Detail: fmt.Sprintf("replay digest %s != recorded %s", ro.Digest, ro.RecordedDigest)}
+	}
+	return nil
+}
+
+// ReplayTrace decodes a trace and re-runs it: tasks are rebuilt from their
+// recorded definitions, each tenant replays its recorded gap stream
+// verbatim (workloads.TraceReplay) and offers its recorded task sequence,
+// and the chaos schedule from the header re-injects the same faults. The
+// optional tr records the replay's scheduler event stream. Load failures
+// return a typed *TraceError; divergence is reported by Verify, not here.
+func ReplayTrace(data []byte, tr *wq.Trace) (*ReplayOutcome, error) {
+	d, err := decodeTrace(data)
+	if err != nil {
+		return nil, err
+	}
+
+	files := map[string]*wq.File{}
+	for _, f := range d.files {
+		files[f.Name] = &wq.File{
+			Name: f.Name, SizeBytes: f.SizeBytes,
+			Cacheable: f.Cacheable, UnpackTime: f.UnpackTime,
+		}
+	}
+	w := &workloads.Workload{
+		Name:        d.header.Workload,
+		Guess:       d.header.Guess,
+		OraclePeaks: d.header.OraclePeaks,
+	}
+	byID := map[int]*wq.Task{}
+	for _, tt := range d.tasks {
+		t := &wq.Task{
+			ID: tt.ID, Category: tt.Category, Priority: tt.Priority,
+			Spec: decodeProc(tt.Spec), OutputBytes: tt.OutputBytes,
+		}
+		for _, name := range tt.Inputs {
+			f, ok := files[name]
+			if !ok {
+				return nil, &TraceError{Reason: TraceCorrupt,
+					Detail: fmt.Sprintf("task %d references unknown file %q", tt.ID, name)}
+			}
+			t.Inputs = append(t.Inputs, f)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return nil, &TraceError{Reason: TraceCorrupt,
+				Detail: fmt.Sprintf("duplicate task id %d", t.ID)}
+		}
+		byID[t.ID] = t
+		w.Tasks = append(w.Tasks, t)
+	}
+	// Second pass: wire dependencies (a dep may be defined after its user).
+	for _, tt := range d.tasks {
+		t := byID[tt.ID]
+		for _, dep := range tt.Deps {
+			dt, ok := byID[dep]
+			if !ok {
+				return nil, &TraceError{Reason: TraceCorrupt,
+					Detail: fmt.Sprintf("task %d depends on unknown task %d", tt.ID, dep)}
+			}
+			t.DependsOn = append(t.DependsOn, dt)
+		}
+	}
+
+	spec := &Spec{Workload: w, Config: d.header.Config, Serving: d.header.Serving}
+	var feeds []func() *wq.Task
+	if spec.Serving != nil {
+		shape := *d.header.Serving
+		shape.Tenants = append([]TenantShape(nil), d.header.Serving.Tenants...)
+		feeds = make([]func() *wq.Task, len(shape.Tenants))
+		for _, ar := range d.arrivals {
+			i := ar.Tenant
+			if i < 0 || i >= len(shape.Tenants) {
+				return nil, &TraceError{Reason: TraceCorrupt,
+					Detail: fmt.Sprintf("arrivals stream for unknown tenant %d", i)}
+			}
+			shape.Tenants[i].Arrival = &workloads.TraceReplay{Gaps: ar.Gaps}
+			queue := ar.Offers
+			for _, id := range queue {
+				if _, ok := byID[id]; !ok {
+					return nil, &TraceError{Reason: TraceCorrupt,
+						Detail: fmt.Sprintf("tenant %d offers unknown task %d", i, id)}
+				}
+			}
+			pos := 0
+			feeds[i] = func() *wq.Task {
+				if pos >= len(queue) {
+					return nil
+				}
+				t := byID[queue[pos]]
+				pos++
+				return t
+			}
+		}
+		for i := range shape.Tenants {
+			if shape.Tenants[i].Arrival == nil {
+				return nil, &TraceError{Reason: TraceCorrupt,
+					Detail: fmt.Sprintf("tenant %d has no recorded arrivals stream", i)}
+			}
+			if feeds[i] == nil {
+				empty := func() *wq.Task { return nil }
+				feeds[i] = empty
+			}
+		}
+		spec.Serving = &shape
+	}
+
+	out, err := spec.Config.RunScenario(w, func(cfg *core.RunConfig) {
+		cfg.Trace = tr
+		if spec.Serving != nil {
+			cfg.Serving = spec.Serving.config(feeds)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace replay: %w", err)
+	}
+	digest, err := OutcomeDigest(out, w.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayOutcome{
+		Header: d.header, Outcome: out, Workload: w,
+		RecordedDigest: d.footer.Digest, Digest: digest,
+	}, nil
+}

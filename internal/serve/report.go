@@ -12,7 +12,10 @@ type TenantReport struct {
 	Weight   float64 `json:"weight"`
 	Priority int     `json:"priority,omitempty"`
 	// ShedMark is the tenant's effective shed threshold (priority band).
-	ShedMark      int `json:"shed_mark"`
+	ShedMark int `json:"shed_mark"`
+	// Per-tenant pipeline counters: every offer resolves exactly once, so
+	// Offered == Accepted + Rejected + Shed + Throttled and
+	// Accepted == Completed + Failed, tenant by tenant.
 	Offered       int `json:"offered"`
 	Accepted      int `json:"accepted"`
 	Rejected      int `json:"rejected,omitempty"`
@@ -29,11 +32,16 @@ type TenantReport struct {
 // invariant holds exactly: Offered == Accepted+Rejected+Shed+Throttled and
 // Accepted == Completed+Failed (CheckInvariants enforces both).
 type Report struct {
+	// Window/MaxInflight/ShedWatermark echo the config; PeakInflight is
+	// the high-water mark of accepted-but-unfinished work (never above
+	// MaxInflight — inflight-bounded by construction).
 	Window        sim.Time `json:"window"`
 	MaxInflight   int      `json:"max_inflight"`
 	ShedWatermark int      `json:"shed_watermark"`
 	PeakInflight  int      `json:"peak_inflight"`
 
+	// Pipeline totals, summed over tenants (same reconciliation as
+	// TenantReport's counters).
 	Offered       int `json:"offered"`
 	Accepted      int `json:"accepted"`
 	Rejected      int `json:"rejected,omitempty"`

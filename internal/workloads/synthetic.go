@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lfm/internal/monitor"
+	"lfm/internal/sim"
+	"lfm/internal/wq"
+)
+
+// HeavyTail generates a scheduler-stress workload whose task durations
+// follow a bounded Pareto distribution: most tasks finish in seconds while a
+// small fraction runs one to two orders of magnitude longer. Memory rides
+// the same tail (long tasks are big tasks), so both the allocator's labels
+// and the scheduler's backfilling face the classic elephants-and-mice mix.
+// All tasks are independent single-core work in one category, sharing one
+// cacheable environment.
+func HeavyTail(rng *sim.RNG, tasks int) *Workload {
+	w := &Workload{
+		Name: fmt.Sprintf("heavy-tail-%d", tasks),
+		OraclePeaks: map[string]monitor.Resources{
+			"ht-work": r(1, 2048, 512),
+		},
+		Guess: r(1, 1024, 512),
+		EnvFile: &wq.File{
+			Name: "ht-env.tar.gz", SizeBytes: 120e6, Cacheable: true,
+			UnpackTime: 5 * sim.Second,
+		},
+	}
+	for id := 0; id < tasks; id++ {
+		// Durations: bounded Pareto, alpha 1.1 — median a few seconds,
+		// tail out to 100x. Memory scales sublinearly with duration so the
+		// tail also stresses labels without exceeding the oracle cap.
+		dur := sim.Time(rng.Pareto(1.1, 4, 400))
+		mem := rng.TruncNormal(220+2*float64(dur), 60, 80, 2048)
+		w.Tasks = append(w.Tasks, &wq.Task{
+			ID:       id,
+			Category: "ht-work",
+			Spec:     monitor.Proc(dur, r(1, mem, 128)),
+			Inputs: []*wq.File{
+				w.EnvFile,
+				{Name: fmt.Sprintf("ht-in-%d.dat", id), SizeBytes: 2e5},
+			},
+			OutputBytes: 5e5,
+		})
+	}
+	return w
+}
+
+// LeakUnder generates a mixed service-like workload where every leakEvery-th
+// task leaks memory: instead of the steady plateau its category promises, a
+// leaky task's usage ramps monotonically from its baseline to several times
+// that over its lifetime — the slow-creep failure mode the tseries memory
+// leak detector exists to catch. Healthy tasks are steady 30-second
+// single-core processes. A leakEvery of 0 or less disables leaks entirely
+// (the control workload).
+func LeakUnder(rng *sim.RNG, tasks, leakEvery int) *Workload {
+	w := &Workload{
+		Name: fmt.Sprintf("leak-under-%d", tasks),
+		OraclePeaks: map[string]monitor.Resources{
+			"svc-steady": r(1, 512, 256),
+			"svc-leaky":  r(1, 900, 256),
+		},
+		Guess: r(1, 1024, 512),
+		EnvFile: &wq.File{
+			Name: "svc-env.tar.gz", SizeBytes: 200e6, Cacheable: true,
+			UnpackTime: 8 * sim.Second,
+		},
+	}
+	for id := 0; id < tasks; id++ {
+		leaky := leakEvery > 0 && id%leakEvery == leakEvery-1
+		var spec monitor.ProcSpec
+		category := "svc-steady"
+		if leaky {
+			category = "svc-leaky"
+			// A monotone staircase: 12 phases of 5 s climbing ~55 MB each,
+			// ~11 MB/s sustained — far past the detector's 1 MB/s slope and
+			// 64 MB growth floors, with >8 non-decreasing 1 s poll samples.
+			base := rng.TruncNormal(150, 20, 100, 200)
+			for p := 0; p < 12; p++ {
+				spec.Phases = append(spec.Phases, monitor.Phase{
+					Duration: 5 * sim.Second,
+					Usage:    r(1, base+float64(p)*55, 128),
+				})
+			}
+		} else {
+			spec = monitor.Proc(
+				rng.UniformTime(25, 35),
+				r(1, rng.TruncNormal(320, 50, 180, 512), 128))
+		}
+		w.Tasks = append(w.Tasks, &wq.Task{
+			ID:       id,
+			Category: category,
+			Spec:     spec,
+			Inputs: []*wq.File{
+				w.EnvFile,
+				{Name: fmt.Sprintf("svc-in-%d.dat", id), SizeBytes: 1e5},
+			},
+			OutputBytes: 1e5,
+		})
+	}
+	return w
+}
+
+// CacheThrash generates a cache-antagonistic workload: many task categories,
+// each pinned to its own large cacheable environment, interleaved across a
+// worker pool far smaller than the category count. Every placement onto a
+// worker that has not yet staged the category's environment pays the full
+// transfer and unpack cost, so the run's cache hit fraction — not task
+// execution — is what the scheduler's affinity index fights for.
+func CacheThrash(rng *sim.RNG, tasks, categories int) *Workload {
+	if categories < 1 {
+		categories = 1
+	}
+	w := &Workload{
+		Name:        fmt.Sprintf("cache-thrash-%d", tasks),
+		OraclePeaks: map[string]monitor.Resources{},
+		Guess:       r(1, 512, 2048),
+	}
+	envs := make([]*wq.File, categories)
+	for c := 0; c < categories; c++ {
+		cat := fmt.Sprintf("thrash-%d", c)
+		w.OraclePeaks[cat] = r(1, 400, 1600)
+		envs[c] = &wq.File{
+			Name: fmt.Sprintf("thrash-env-%d.tar.gz", c), SizeBytes: 400e6,
+			Cacheable: true, UnpackTime: 10 * sim.Second,
+		}
+	}
+	for id := 0; id < tasks; id++ {
+		c := id % categories
+		w.Tasks = append(w.Tasks, &wq.Task{
+			ID:       id,
+			Category: fmt.Sprintf("thrash-%d", c),
+			Spec: monitor.Proc(
+				rng.UniformTime(8, 16),
+				r(1, rng.TruncNormal(250, 60, 100, 400), 1200)),
+			Inputs: []*wq.File{
+				envs[c],
+				{Name: fmt.Sprintf("thrash-in-%d.dat", id), SizeBytes: 1e5},
+			},
+			OutputBytes: 2e5,
+		})
+	}
+	return w
+}

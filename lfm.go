@@ -46,6 +46,7 @@ import (
 	"lfm/internal/procmon"
 	"lfm/internal/pyast"
 	"lfm/internal/pypkg"
+	"lfm/internal/scenario"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
 	"lfm/internal/tseries"
@@ -601,6 +602,104 @@ type BurstArrivals = workloads.Burst
 
 // TraceArrivals replays a recorded gap sequence exactly.
 type TraceArrivals = workloads.TraceReplay
+
+// ---- Scenario harness & trace replay ----
+
+// Scenario is one canned, seeded, self-describing regression scenario: a
+// workload generator composed with a chaos profile, resilience config, and
+// serving settings, plus its own invariants and headline metrics. The
+// cmd/lfmscenario CLI drives the registry; `make scenarios` runs the suite
+// as a regression gate.
+type Scenario = scenario.Scenario
+
+// ScenarioSpec is one materialized, runnable scenario instance.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioResult is one scenario run's deterministic record: summary,
+// headline metrics, and per-invariant verdicts.
+type ScenarioResult = scenario.Result
+
+// ScenarioMetric is one deterministic headline number of a scenario run.
+type ScenarioMetric = scenario.Metric
+
+// ScenarioInvariant is one scenario-specific assertion checked after a run.
+type ScenarioInvariant = scenario.Invariant
+
+// ScenarioInvariantResult is one invariant's verdict on one run.
+type ScenarioInvariantResult = scenario.InvariantResult
+
+// ScenarioConfig is the serializable slice of RunConfig a scenario (and a
+// trace header) carries: pool shape, strategy name, seeds, resilience,
+// fault schedule, telemetry — everything behavioural, nothing attached.
+type ScenarioConfig = core.ScenarioConfig
+
+// ScenarioServingShape is the serializable description of a scenario's
+// open-loop serving layer.
+type ScenarioServingShape = scenario.ServingShape
+
+// ScenarioTenantShape describes one serving tenant of a scenario.
+type ScenarioTenantShape = scenario.TenantShape
+
+// ScenarioTraceError is the typed error for every way a scenario trace can
+// fail to load or verify: bad-format, bad-version, corrupt, or
+// digest-mismatch.
+type ScenarioTraceError = scenario.TraceError
+
+// ScenarioTraceHeader is the first line of a scenario trace: format tag,
+// version, and the serializable run configuration.
+type ScenarioTraceHeader = scenario.TraceHeader
+
+// ScenarioReplay is a finished trace replay: the reconstructed run plus the
+// recorded and recomputed outcome digests.
+type ScenarioReplay = scenario.ReplayOutcome
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioByName returns the named canned scenario.
+func ScenarioByName(name string) (*Scenario, error) { return scenario.Get(name) }
+
+// AllScenarios returns every registered scenario, sorted by name.
+func AllScenarios() []*Scenario { return scenario.All() }
+
+// ReplayScenarioTrace decodes a recorded scenario trace and re-runs it
+// byte-identically; check ScenarioReplay.Verify for divergence. The
+// optional tr records the replay's scheduler event stream.
+func ReplayScenarioTrace(data []byte, tr *ExecutionTrace) (*ScenarioReplay, error) {
+	return scenario.ReplayTrace(data, tr)
+}
+
+// ScenarioOutcomeDigest fingerprints a run for replay verification: a
+// SHA-256 over the deterministic summary plus every task's terminal state
+// and timestamps.
+func ScenarioOutcomeDigest(out *Outcome, tasks []*wq.Task) (string, error) {
+	return scenario.OutcomeDigest(out, tasks)
+}
+
+// ScenarioCatalog renders the registry as the markdown catalog table
+// embedded in README.md.
+func ScenarioCatalog() string { return scenario.Catalog() }
+
+// ScenarioRegressionTable renders suite results as the markdown regression
+// table embedded in EXPERIMENTS.md.
+func ScenarioRegressionTable(results []*ScenarioResult) string {
+	return scenario.RegressionTable(results)
+}
+
+// RefreshScenarioSection splices generated content between begin/end
+// markers in a documentation file, reporting whether the file changed.
+func RefreshScenarioSection(path, begin, end, content string) (bool, error) {
+	return scenario.RefreshSection(path, begin, end, content)
+}
+
+// Marker comments bracketing the generated scenario sections in README.md
+// (catalog) and EXPERIMENTS.md (regression table).
+const (
+	ScenarioCatalogBegin    = scenario.CatalogBegin
+	ScenarioCatalogEnd      = scenario.CatalogEnd
+	ScenarioRegressionBegin = scenario.RegressionBegin
+	ScenarioRegressionEnd   = scenario.RegressionEnd
+)
 
 // ---- Experiment reproduction ----
 
