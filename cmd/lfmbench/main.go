@@ -57,6 +57,7 @@ func main() {
 	obsCadence := flag.Float64("obs-cadence", 1, "with -obs-out/-top/-summary-out: snapshot cadence in simulated seconds")
 	topFlag := flag.Bool("top", false, "render a live lfmtop dashboard on stderr while the observed benchmark runs")
 	summaryOut := flag.String("summary-out", "", "write the unified run summary JSON (stats, sched counters, latency quantiles, health) to this file (- for stdout)")
+	archiveOut := flag.String("archive-out", "", "write the run's lfmdiff archive (config, summary, snapshot stream, scheduler events) to this file; combines with -chaos-profile")
 	telemetryOut := flag.String("telemetry-out", "", "run with resource time-series telemetry and write the JSONL export to this file (- for stdout); render it with cmd/lfmprof")
 	telemetrySweep := flag.Bool("telemetry-sweep", false, "with -telemetry-out: record every paper workload under every strategy and print a utilization/waste table")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
@@ -108,7 +109,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	obsOpts := &obsOptions{out: *obsOut, cadence: *obsCadence, top: *topFlag, summary: *summaryOut}
+	obsOpts := &obsOptions{out: *obsOut, cadence: *obsCadence, top: *topFlag, summary: *summaryOut, archive: *archiveOut}
 	if *chaosProfile != "" {
 		if err := runChaos(*seed, *chaosSeed, *chaosProfile, *chaosTrace, obsOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "lfmbench: %v\n", err)
@@ -254,7 +255,7 @@ func runChaos(seed, chaosSeed int64, profile, tracePath string, opts *obsOptions
 		return err
 	}
 	var tr *lfm.ExecutionTrace
-	if tracePath != "" {
+	if tracePath != "" || opts.archive != "" {
 		tr = &lfm.ExecutionTrace{}
 	}
 	var ocfg *lfm.ObsConfig
@@ -265,19 +266,26 @@ func runChaos(seed, chaosSeed int64, profile, tracePath string, opts *obsOptions
 			return err
 		}
 	}
+	resilience := lfm.ResilienceConfig{
+		HeartbeatInterval:     10,
+		SpeculationMultiplier: 2,
+		QuarantineThreshold:   3,
+		StagingRetries:        3,
+	}
+	scfg := lfm.ScenarioConfig{
+		SiteName: "ndcrc", Workers: 20,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: "auto", Seed: seed, ChaosSeed: chaosSeed, NoBatchLatency: true,
+		Resilience: resilience, Faults: sched,
+	}
 	out, err := lfm.RunWorkload(w, lfm.RunConfig{
 		SiteName: "ndcrc", Workers: 20,
 		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
 		Strategy: strategy, Seed: seed, ChaosSeed: chaosSeed, NoBatchLatency: true,
-		Resilience: lfm.ResilienceConfig{
-			HeartbeatInterval:     10,
-			SpeculationMultiplier: 2,
-			QuarantineThreshold:   3,
-			StagingRetries:        3,
-		},
-		Faults: sched,
-		Trace:  tr,
-		Obs:    ocfg,
+		Resilience: resilience,
+		Faults:     sched,
+		Trace:      tr,
+		Obs:        ocfg,
 	})
 	if cerr := cleanup(); err == nil {
 		err = cerr
@@ -300,11 +308,14 @@ func runChaos(seed, chaosSeed int64, profile, tracePath string, opts *obsOptions
 	if out.ProvisionFailures > 0 {
 		fmt.Fprintf(msg, "  provisioning rejections: %d (last: %s)\n", out.ProvisionFailures, out.ProvisionError)
 	}
-	if tr != nil {
+	if tracePath != "" {
 		if err := writeTo(tracePath, func(f io.Writer) error { return tr.Store().WriteJSON(f) }); err != nil {
 			return err
 		}
 		fmt.Fprintf(msg, "  analyze with: lfmtrace %s\n", tracePath)
+	}
+	if err := opts.writeArchive(out, scfg, w, msg); err != nil {
+		return err
 	}
 	if opts.enabled() {
 		if err := opts.finish(out, top, msg); err != nil {

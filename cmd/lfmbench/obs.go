@@ -15,10 +15,11 @@ type obsOptions struct {
 	cadence float64 // -obs-cadence: snapshot period in simulated seconds
 	top     bool    // -top: live lfmtop dashboard on stderr
 	summary string  // -summary-out: unified run summary JSON destination
+	archive string  // -archive-out: lfmdiff run-archive destination
 }
 
 func (o *obsOptions) enabled() bool {
-	return o.out != "" || o.top || o.summary != ""
+	return o.out != "" || o.top || o.summary != "" || o.archive != ""
 }
 
 // attach builds the run's ObsConfig and returns a cleanup that flushes and
@@ -76,9 +77,33 @@ func (o *obsOptions) finish(out *lfm.Outcome, top *lfm.ObsTop, msg io.Writer) er
 	return nil
 }
 
+// writeArchive builds and writes the run's lfmdiff archive (satisfying
+// `lfmbench -archive-out`): header config echo, outcome digest, and the
+// scheduler event stream when a trace was attached.
+func (o *obsOptions) writeArchive(out *lfm.Outcome, cfg lfm.ScenarioConfig, w *lfm.Workload, msg io.Writer) error {
+	if o.archive == "" {
+		return nil
+	}
+	digest, err := lfm.ScenarioOutcomeDigest(out, w.Tasks)
+	if err != nil {
+		return err
+	}
+	arch := lfm.BuildRunArchive(out, cfg, lfm.RunArchiveOptions{Digest: digest, Events: true})
+	data, err := lfm.WriteRunArchive(arch)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.archive, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(msg, "  archive -> %s (%d bytes, %d events); compare with: lfmdiff compare\n",
+		o.archive, len(data), len(arch.Events))
+	return nil
+}
+
 // runObs executes the HEP benchmark point (no faults) with the streaming
 // observability plane attached — the quiet-run counterpart of runChaos for
-// -obs-out / -top / -summary-out without -chaos-profile.
+// -obs-out / -top / -summary-out / -archive-out without -chaos-profile.
 func runObs(seed int64, opts *obsOptions) error {
 	w := lfm.HEPWorkload(seed, 200)
 	strategy, err := lfm.StrategyFor("auto", w)
@@ -89,11 +114,20 @@ func runObs(seed int64, opts *obsOptions) error {
 	if err != nil {
 		return err
 	}
+	scfg := lfm.ScenarioConfig{
+		SiteName: "ndcrc", Workers: 20,
+		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
+		Strategy: "auto", Seed: seed, NoBatchLatency: true,
+	}
+	var tr *lfm.ExecutionTrace
+	if opts.archive != "" {
+		tr = &lfm.ExecutionTrace{}
+	}
 	out, err := lfm.RunWorkload(w, lfm.RunConfig{
 		SiteName: "ndcrc", Workers: 20,
 		WorkerCores: 4, WorkerMemoryMB: 4 * 1024, WorkerDiskMB: 8 * 1024,
 		Strategy: strategy, Seed: seed, NoBatchLatency: true,
-		Obs: ocfg,
+		Obs: ocfg, Trace: tr,
 	})
 	if cerr := cleanup(); err == nil {
 		err = cerr
@@ -109,5 +143,8 @@ func runObs(seed int64, opts *obsOptions) error {
 	fmt.Fprintf(msg, "observed %s run: %d tasks, makespan %.0fs, %d snapshot boundaries, sched p99 %.3gs, e2e p99 %.3gs\n",
 		out.Workload, out.TaskCount, float64(out.Makespan), out.Obs.Boundaries,
 		fin.SchedLatency.P99, fin.E2ELatency.P99)
+	if err := opts.writeArchive(out, scfg, w, msg); err != nil {
+		return err
+	}
 	return opts.finish(out, top, msg)
 }

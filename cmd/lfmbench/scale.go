@@ -90,7 +90,8 @@ type obsCost struct {
 
 // scaleReport is the BENCH_scheduler.json document.
 type scaleReport struct {
-	GeneratedBy string        `json:"generated_by"`
+	SchemaVersion int           `json:"schema_version"`
+	GeneratedBy   string        `json:"generated_by"`
 	Quick       bool          `json:"quick"`
 	Seed        int64         `json:"seed"`
 	Points      []scaleResult `json:"points"`
@@ -203,7 +204,7 @@ func runScale(seed int64, quick bool, outPath, pointSpec string) error {
 			return err
 		}
 	}
-	rep := scaleReport{GeneratedBy: "lfmbench -scale", Quick: quick, Seed: seed}
+	rep := scaleReport{SchemaVersion: 1, GeneratedBy: "lfmbench -scale", Quick: quick, Seed: seed}
 	for _, p := range points {
 		dual := p.Tasks <= dualMax
 		out, trIdx, wall, err := scaleRun(seed, p, lfm.MatcherIndexed, lfm.QueueCalendar, dual, nil)

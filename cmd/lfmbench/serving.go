@@ -42,6 +42,7 @@ type servePoint struct {
 
 // serveReport is the BENCH_serving.json document.
 type serveReport struct {
+	SchemaVersion  int     `json:"schema_version"`
 	Workers        int     `json:"workers"`
 	CoresPerWorker int     `json:"cores_per_worker"`
 	CapacityHz     float64 `json:"capacity_hz"`
@@ -107,7 +108,8 @@ func runServe(seed int64, quick bool, outPath, loadsSpec string) error {
 	// 20 workers × 4 cores over 1-core tasks of mean 20 s ≈ 4 tasks/s.
 	const capacity = 20 * 4 / 20.0
 	rep := &serveReport{
-		Workers: 20, CoresPerWorker: 4, CapacityHz: capacity,
+		SchemaVersion: 1,
+		Workers:       20, CoresPerWorker: 4, CapacityHz: capacity,
 		Window: window, MaxInflight: 256, ShedWatermark: 192, Seed: seed,
 	}
 

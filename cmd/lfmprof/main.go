@@ -7,10 +7,15 @@
 //
 // Usage:
 //
-//	lfmprof [-csv FILE] [-width N] TELEMETRY.jsonl
+//	lfmprof [-csv FILE] [-width N] [-allow-invalid] TELEMETRY.jsonl
 //
 // The file may be "-" for stdin. -csv additionally dumps every attempt's
 // usage series as flat CSV for spreadsheet or notebook analysis.
+//
+// Exit status: 0 ok, 1 operational error (unreadable or corrupt export),
+// 2 usage, 3 telemetry invariant breach (series over cap, non-monotone
+// deltas, lost peaks). -allow-invalid still renders a breached export but
+// suppresses the nonzero exit.
 package main
 
 import (
@@ -28,8 +33,9 @@ import (
 func main() {
 	csvOut := flag.String("csv", "", "also write every attempt series as CSV to this file (- for stdout)")
 	width := flag.Int("width", 60, "character width of the node utilization bars")
+	allowInvalid := flag.Bool("allow-invalid", false, "exit 0 even when a run breaches the telemetry invariants")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lfmprof [-csv FILE] [-width N] TELEMETRY.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: lfmprof [-csv FILE] [-width N] [-allow-invalid] TELEMETRY.jsonl")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +88,25 @@ func main() {
 			}
 		}
 	}
+
+	if err := checkRuns(runs); err != nil {
+		fmt.Fprintf(os.Stderr, "lfmprof: %v; pass -allow-invalid to suppress\n", err)
+		if !*allowInvalid {
+			os.Exit(3)
+		}
+	}
+}
+
+// checkRuns verifies every run's telemetry invariants (bounded monotone
+// series, exact peaks), reporting the first breach.
+func checkRuns(runs []*lfm.RunTelemetry) error {
+	for i, rt := range runs {
+		if err := rt.CheckInvariants(); err != nil {
+			return fmt.Errorf("run %d (%s/%s) breaches telemetry invariants: %w",
+				i, orDash(rt.Meta.Workload), orDash(rt.Meta.Strategy), err)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"flag"
 	"os"
+	"strings"
 	"testing"
 
 	"lfm"
@@ -43,5 +44,35 @@ func TestRenderGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("render output drifted from %s (run with -update after intentional changes)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestCheckRunsFixture verifies the committed fixture satisfies the
+// telemetry invariants (so lfmprof exits 0 on it), and that a tampered
+// export — a raw-measurement count the series no longer accounts for —
+// trips checkRuns, which is what drives the exit-3 path.
+func TestCheckRunsFixture(t *testing.T) {
+	f, err := os.Open("testdata/telemetry.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runs, err := lfm.ReadTelemetry(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkRuns(runs); err != nil {
+		t.Fatalf("fixture breaches invariants: %v", err)
+	}
+	if len(runs) == 0 || len(runs[0].Attempts) == 0 {
+		t.Fatal("fixture has no attempts to tamper with")
+	}
+	runs[0].Attempts[0].RawMeasurements++
+	err = checkRuns(runs)
+	if err == nil {
+		t.Fatal("tampered export passed checkRuns")
+	}
+	if !strings.Contains(err.Error(), "invariants") {
+		t.Errorf("breach error %q does not name the invariants", err)
 	}
 }

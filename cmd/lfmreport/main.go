@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	lfmreport [-json FILE] [-width N] OBS.jsonl
+//	lfmreport [-json FILE] [-width N] [-allow-unhealthy] OBS.jsonl
 //
 // The file may be "-" for stdin. When the stream carries no trailing
 // health line (a truncated or live capture), the health rules are re-run
 // over the streamed snapshots. -json additionally re-exports the health
 // report as JSON for machine consumption.
+//
+// Exit status: 0 healthy, 1 operational error (unreadable or corrupt
+// stream), 2 usage, 3 unhealthy verdict. -allow-unhealthy renders an
+// unhealthy run without the nonzero exit, for exploratory use on runs that
+// are expected to be degraded.
 package main
 
 import (
@@ -28,8 +33,9 @@ import (
 func main() {
 	jsonOut := flag.String("json", "", "also write the health report as JSON to this file (- for stdout)")
 	width := flag.Int("width", 60, "character width of the timeline sparklines")
+	allowUnhealthy := flag.Bool("allow-unhealthy", false, "exit 0 even when the verdict is unhealthy")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lfmreport [-json FILE] [-width N] OBS.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: lfmreport [-json FILE] [-width N] [-allow-unhealthy] OBS.jsonl")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,6 +79,20 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if code := verdictExit(health, *allowUnhealthy); code != 0 {
+		fmt.Fprintf(os.Stderr, "lfmreport: run is unhealthy (worst: %s); pass -allow-unhealthy to suppress\n", health.Worst())
+		os.Exit(code)
+	}
+}
+
+// verdictExit maps the health verdict to the process exit code: 3 for an
+// unhealthy run unless -allow-unhealthy downgrades it, 0 otherwise.
+func verdictExit(health *lfm.RunHealth, allowUnhealthy bool) int {
+	if health != nil && !health.Healthy && !allowUnhealthy {
+		return 3
+	}
+	return 0
 }
 
 func fatal(err error) {

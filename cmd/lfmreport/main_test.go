@@ -68,3 +68,49 @@ func TestRenderWithoutHealthLine(t *testing.T) {
 		t.Fatalf("re-derived report missing verdict:\n%s", out)
 	}
 }
+
+// TestVerdictExit locks the exit-code contract: unhealthy verdicts exit 3
+// so CI catches degraded runs, -allow-unhealthy downgrades that to 0, and
+// healthy runs always exit 0.
+func TestVerdictExit(t *testing.T) {
+	unhealthy := &lfm.RunHealth{Healthy: false}
+	healthy := &lfm.RunHealth{Healthy: true}
+	cases := []struct {
+		name   string
+		health *lfm.RunHealth
+		allow  bool
+		want   int
+	}{
+		{"unhealthy", unhealthy, false, 3},
+		{"unhealthy allowed", unhealthy, true, 0},
+		{"healthy", healthy, false, 0},
+		{"healthy allowed", healthy, true, 0},
+		{"nil health", nil, false, 0},
+	}
+	for _, c := range cases {
+		if got := verdictExit(c.health, c.allow); got != c.want {
+			t.Errorf("%s: verdictExit = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFixtureVerdictExit ties the exit code to the real fixture: the canned
+// churn-chaos stream carries its health verdict, and verdictExit must agree
+// with it rather than with some stale assumption about the fixture.
+func TestFixtureVerdictExit(t *testing.T) {
+	st := readFixture(t)
+	health := st.Health
+	if health == nil {
+		health = lfm.AnalyzeObs(st.RunObs(), nil)
+	}
+	want := 0
+	if !health.Healthy {
+		want = 3
+	}
+	if got := verdictExit(health, false); got != want {
+		t.Errorf("fixture verdict healthy=%v but verdictExit = %d, want %d", health.Healthy, got, want)
+	}
+	if got := verdictExit(health, true); got != 0 {
+		t.Errorf("-allow-unhealthy must exit 0, got %d", got)
+	}
+}

@@ -5,16 +5,17 @@
 //
 //	lfmscenario list
 //	lfmscenario describe NAME
-//	lfmscenario run NAME [-seed N] [-json FILE]
+//	lfmscenario run NAME [-seed N] [-json FILE] [-archive FILE]
 //	lfmscenario run -all [-json FILE]
 //	lfmscenario record NAME [-seed N] -o TRACE [-summary FILE]
-//	lfmscenario replay TRACE [-verify] [-summary FILE]
+//	lfmscenario replay TRACE [-summary FILE]
 //	lfmscenario export [-refresh] [-readme FILE] [-experiments FILE] [-json FILE]
 //
 // `run` executes scenarios and prints each invariant's verdict, exiting
-// nonzero if any fails. `record` captures a scenario run as a versioned
-// JSONL trace; `replay` re-runs a trace byte-identically (`-verify` fails
-// on outcome-digest divergence). `export` runs the whole suite and renders
+// nonzero if any fails (`-archive` also writes the run's lfmdiff archive,
+// scheduler event stream included). `record` captures a scenario run as a
+// versioned JSONL trace; `replay` re-runs a trace byte-identically and
+// fails on outcome-digest divergence. `export` runs the whole suite and renders
 // the scenario catalog and regression tables; with `-refresh` it splices
 // them between the marker comments in README.md and EXPERIMENTS.md, which
 // is how those sections are generated (CI regenerates and fails on drift).
@@ -22,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,8 +61,26 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lfmscenario: %v\n", err)
+		var verdict *verdictError
+		if errors.As(err, &verdict) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
+}
+
+// verdictError marks a run that completed but failed its verdict — broken
+// invariants or a diverged replay digest. main exits 3 for these (versus 1
+// for operational errors), so CI can tell "the run regressed" apart from
+// "the tool fell over".
+type verdictError struct {
+	msg string
+}
+
+func (e *verdictError) Error() string { return e.msg }
+
+func verdictf(format string, args ...any) error {
+	return &verdictError{msg: fmt.Sprintf(format, args...)}
 }
 
 // parseArgs lets subcommands accept their positional name before or after
@@ -81,10 +101,10 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   lfmscenario list
   lfmscenario describe NAME
-  lfmscenario run NAME [-seed N] [-json FILE]
+  lfmscenario run NAME [-seed N] [-json FILE] [-archive FILE]
   lfmscenario run -all [-json FILE]
   lfmscenario record NAME [-seed N] -o TRACE [-summary FILE]
-  lfmscenario replay TRACE [-verify] [-summary FILE]
+  lfmscenario replay TRACE [-summary FILE]
   lfmscenario export [-refresh] [-readme FILE] [-experiments FILE] [-json FILE]
 `)
 }
@@ -125,6 +145,32 @@ func runOne(s *lfm.Scenario, seed int64) (*lfm.ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	printResult(r)
+	return r, nil
+}
+
+// runArchived executes a scenario with the observability plane and a
+// scheduler trace attached and writes its run archive (event stream
+// included, so `lfmdiff explain` can bisect it).
+func runArchived(s *lfm.Scenario, seed int64, path string) (*lfm.ScenarioResult, error) {
+	r, arch, err := lfm.RunScenarioArchived(s, lfm.ScenarioArchiveOptions{Seed: seed, Events: true})
+	if err != nil {
+		return nil, err
+	}
+	data, err := lfm.WriteRunArchive(arch)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	printResult(r)
+	fmt.Printf("  archive -> %s (%d bytes, %d events)\n", path, len(data), len(arch.Events))
+	return r, nil
+}
+
+// printResult prints one scenario result's verdict block.
+func printResult(r *lfm.ScenarioResult) {
 	verdict := "PASS"
 	if !r.Passed {
 		verdict = "FAIL"
@@ -147,7 +193,6 @@ func runOne(s *lfm.Scenario, seed int64) (*lfm.ScenarioResult, error) {
 			fmt.Printf("       -> %s\n", iv.Error)
 		}
 	}
-	return r, nil
 }
 
 // writeResults writes the results array as indented JSON.
@@ -170,6 +215,7 @@ func cmdRun(args []string) error {
 	all := fs.Bool("all", false, "run every canned scenario")
 	seed := fs.Int64("seed", 0, "override the scenario's default seed (single-scenario runs only)")
 	jsonOut := fs.String("json", "", "write the results array as JSON to this file")
+	archive := fs.String("archive", "", "write the run's archive (with the scheduler event stream, for lfmdiff) to this file; single-scenario runs only")
 	pos := parseArgs(fs, args)
 
 	var results []*lfm.ScenarioResult
@@ -177,6 +223,9 @@ func cmdRun(args []string) error {
 	case *all:
 		if len(pos) != 0 {
 			return fmt.Errorf("run -all takes no scenario names")
+		}
+		if *archive != "" {
+			return fmt.Errorf("run -archive needs a single scenario name")
 		}
 		for _, s := range lfm.AllScenarios() {
 			r, err := runOne(s, 0)
@@ -190,7 +239,12 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
-		r, err := runOne(s, *seed)
+		var r *lfm.ScenarioResult
+		if *archive != "" {
+			r, err = runArchived(s, *seed, *archive)
+		} else {
+			r, err = runOne(s, *seed)
+		}
 		if err != nil {
 			return err
 		}
@@ -208,7 +262,7 @@ func cmdRun(args []string) error {
 		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d of %d scenarios failed their invariants", failed, len(results))
+		return verdictf("%d of %d scenarios failed their invariants", failed, len(results))
 	}
 	fmt.Printf("%d scenario(s) passed\n", len(results))
 	return nil
@@ -257,14 +311,16 @@ func cmdRecord(args []string) error {
 	fmt.Printf("recorded %s (seed %d, %s) -> %s (%d bytes)\n",
 		r.Scenario, r.Seed, verdict, *out, len(data))
 	if !r.Passed {
-		return fmt.Errorf("scenario %s failed its invariants during recording", r.Scenario)
+		return verdictf("scenario %s failed its invariants during recording", r.Scenario)
 	}
 	return nil
 }
 
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	verify := fs.Bool("verify", false, "fail unless the replay reproduces the recorded outcome digest")
+	// -verify is the historical spelling; divergence now always fails
+	// (printing DIVERGED and exiting 0 buried determinism breaks).
+	fs.Bool("verify", false, "deprecated no-op: replay always verifies the recorded outcome digest")
 	summary := fs.String("summary", "", "write the replayed run's summary JSON here")
 	pos := parseArgs(fs, args)
 	if len(pos) != 1 {
@@ -288,8 +344,8 @@ func cmdReplay(args []string) error {
 	fmt.Printf("replayed %s (%s, %d tasks): digest %s\n",
 		ro.Header.Scenario, ro.Header.Workload, len(ro.Workload.Tasks), match)
 	fmt.Printf("  recorded %s\n  replayed %s\n", ro.RecordedDigest, ro.Digest)
-	if *verify {
-		return ro.Verify()
+	if err := ro.Verify(); err != nil {
+		return &verdictError{msg: err.Error()}
 	}
 	return nil
 }
@@ -347,7 +403,7 @@ func cmdExport(args []string) error {
 		}
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("scenarios failed while exporting: %s", strings.Join(failed, ", "))
+		return verdictf("scenarios failed while exporting: %s", strings.Join(failed, ", "))
 	}
 	return nil
 }

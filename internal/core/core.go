@@ -170,6 +170,11 @@ type Outcome struct {
 	// retained snapshots when RunConfig.Obs was set, nil otherwise.
 	// Excluded from JSON like Obs; WriteSummaryJSON includes it.
 	Health *obs.Health `json:"-"`
+	// Trace echoes RunConfig.Trace so downstream consumers (the run-archive
+	// builder's bottleneck attribution and event-stream capture) can reach
+	// the recorded spans from the outcome alone. Excluded from JSON like
+	// Sched; nil on untraced runs.
+	Trace *wq.Trace `json:"-"`
 }
 
 // Run executes the workload on the configured site and strategy.
@@ -462,6 +467,7 @@ func Run(w *workloads.Workload, cfg RunConfig) (*Outcome, error) {
 		Sampler:              sampler,
 		ProvisionFailures:    provisionFailures,
 		Sched:                master.SchedStats(),
+		Trace:                cfg.Trace,
 	}
 	if lastProvisionErr != nil {
 		out.ProvisionError = lastProvisionErr.Error()

@@ -12,13 +12,22 @@ import (
 	"lfm/internal/wq"
 )
 
+// SummaryVersion is the unified summary document's schema version. Note
+// that bumping it shifts every scenario outcome digest (the digest covers
+// the serialized summary), so recorded traces and committed baselines must
+// be regenerated alongside.
+const SummaryVersion = 1
+
 // RunSummary is the unified single-document view of one run: the outcome's
 // headline numbers plus the pieces the Outcome deliberately excludes from
 // its own JSON (scheduler work counters, telemetry waste totals, latency
 // quantiles, health findings), each present only when its subsystem was
 // enabled. WriteSummaryJSON renders it; lfmbench -summary-out exports it.
 type RunSummary struct {
-	Strategy  string   `json:"strategy"`
+	// SchemaVersion is SummaryVersion at write time; consumers reject
+	// newer documents instead of misparsing them.
+	SchemaVersion int      `json:"schema_version"`
+	Strategy      string   `json:"strategy"`
 	Workload  string   `json:"workload"`
 	Workers   int      `json:"workers"`
 	Makespan  sim.Time `json:"makespan"`
@@ -66,7 +75,8 @@ type ObsSummary struct {
 // Summary assembles the run's unified summary document.
 func (o *Outcome) Summary() *RunSummary {
 	s := &RunSummary{
-		Strategy: o.Strategy, Workload: o.Workload, Workers: o.Workers,
+		SchemaVersion: SummaryVersion,
+		Strategy:      o.Strategy, Workload: o.Workload, Workers: o.Workers,
 		Makespan: o.Makespan, TaskCount: o.TaskCount, Stats: o.Stats,
 		Utilization:          o.Utilization,
 		EffectiveUtilization: o.EffectiveUtilization,

@@ -1,0 +1,113 @@
+package diffobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"lfm/internal/wq"
+)
+
+// Divergence is the first point where two scheduler event streams differ.
+type Divergence struct {
+	// Index is the position of the first divergent event (0-based; both
+	// streams agree on every event before it).
+	Index int `json:"index"`
+	// Base and Cand are each side's event at Index; one is nil when that
+	// stream ended early (the shorter run is a strict prefix up to here).
+	Base *wq.Event `json:"base,omitempty"`
+	Cand *wq.Event `json:"cand,omitempty"`
+}
+
+// String renders the one-line culprit.
+func (d *Divergence) String() string {
+	switch {
+	case d.Base == nil:
+		return fmt.Sprintf("event %d: base stream ended; cand continues with %s", d.Index, eventLine(d.Cand))
+	case d.Cand == nil:
+		return fmt.Sprintf("event %d: cand stream ended; base continues with %s", d.Index, eventLine(d.Base))
+	default:
+		return fmt.Sprintf("event %d: base %s | cand %s", d.Index, eventLine(d.Base), eventLine(d.Cand))
+	}
+}
+
+func eventLine(e *wq.Event) string {
+	s := fmt.Sprintf("t=%s %s task=%d worker=%d", e.At.Duration(), e.Kind, e.Task, e.Worker)
+	if e.Category != "" {
+		s += " cat=" + e.Category
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Bisect binary-searches two scheduler event streams to their first
+// divergent event, or returns nil when one is a prefix of the other and
+// both have equal length (i.e. the streams are identical).
+//
+// Determinism gives the streams the prefix property: two same-config runs
+// proceed identically until the first divergent scheduling decision, after
+// which everything downstream shifts. That makes "first index where the
+// prefix hashes differ" monotone in the index, so after one O(n) pass
+// building incremental SHA-256 prefix digests per stream, sort.Search
+// finds the divergence in O(log n) digest comparisons. (A direct linear
+// event-by-event scan would also work; the prefix-hash form is what a
+// future archive format with chunked digests can bisect *without* both
+// full streams in memory.)
+func Bisect(a, b []wq.Event) *Divergence {
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
+	}
+	// prefix[i] is the digest of the first i events; prefix[0] is the
+	// digest of the empty stream and always matches.
+	pa := prefixDigests(a, min)
+	pb := prefixDigests(b, min)
+	i := sort.Search(min, func(i int) bool { return pa[i+1] != pb[i+1] })
+	if i == min {
+		// Every shared event matches: identical streams, or one is a
+		// strict prefix of the other.
+		if len(a) == len(b) {
+			return nil
+		}
+		d := &Divergence{Index: min}
+		if min < len(a) {
+			d.Base = &a[min]
+		}
+		if min < len(b) {
+			d.Cand = &b[min]
+		}
+		return d
+	}
+	return &Divergence{Index: i, Base: &a[i], Cand: &b[i]}
+}
+
+// prefixDigests returns n+1 digests; entry i covers the first i events.
+func prefixDigests(events []wq.Event, n int) [][sha256.Size]byte {
+	out := make([][sha256.Size]byte, n+1)
+	h := sha256.New()
+	for i := 0; i < n; i++ {
+		hashEvent(h, &events[i])
+		// Sum appends to a fresh slice without disturbing the running
+		// state, so each prefix digest is O(1) on top of the stream walk.
+		copy(out[i+1][:], h.Sum(nil))
+	}
+	return out
+}
+
+func hashEvent(h interface{ Write([]byte) (int, error) }, e *wq.Event) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(e.At)))
+	h.Write(buf[:])
+	h.Write([]byte(e.Kind))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(e.Task)))
+	h.Write(buf[:])
+	h.Write([]byte(e.Category))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(e.Worker)))
+	h.Write(buf[:])
+	h.Write([]byte(e.Detail))
+	h.Write([]byte{0})
+}

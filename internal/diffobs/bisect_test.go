@@ -1,0 +1,89 @@
+package diffobs_test
+
+import (
+	"strings"
+	"testing"
+
+	"lfm/internal/diffobs"
+	"lfm/internal/wq"
+)
+
+func TestBisectIdenticalStreams(t *testing.T) {
+	a := buildArchive(t, 13, 0, 0, nil)
+	b := buildArchive(t, 13, 0, 0, nil)
+	if len(a.Events) == 0 {
+		t.Fatal("no events captured")
+	}
+	if d := diffobs.Bisect(a.Events, b.Events); d != nil {
+		t.Fatalf("identical streams diverge: %s", d)
+	}
+}
+
+func TestBisectFindsTamperedEvent(t *testing.T) {
+	a := buildArchive(t, 13, 0, 0, nil)
+	events := make([]wq.Event, len(a.Events))
+	copy(events, a.Events)
+	// Tamper with one mid-stream event — the seeded stand-in for a
+	// determinism break.
+	idx := len(events) / 2
+	events[idx].Worker++
+	d := diffobs.Bisect(a.Events, events)
+	if d == nil {
+		t.Fatal("tampered stream reported identical")
+	}
+	if d.Index != idx {
+		t.Fatalf("divergence at %d, want %d", d.Index, idx)
+	}
+	if d.Base == nil || d.Cand == nil {
+		t.Fatalf("mid-stream divergence with a nil side: %+v", d)
+	}
+	if d.Base.Worker == d.Cand.Worker {
+		t.Errorf("reported events do not differ: %s", d)
+	}
+	if s := d.String(); !strings.Contains(s, "task=") || !strings.Contains(s, "worker=") {
+		t.Errorf("culprit line missing task/worker: %q", s)
+	}
+}
+
+func TestBisectPrefixStreams(t *testing.T) {
+	a := buildArchive(t, 13, 0, 0, nil)
+	short := a.Events[:len(a.Events)-3]
+	d := diffobs.Bisect(a.Events, short)
+	if d == nil {
+		t.Fatal("prefix stream reported identical")
+	}
+	if d.Index != len(short) {
+		t.Fatalf("divergence at %d, want %d", d.Index, len(short))
+	}
+	if d.Cand != nil || d.Base == nil {
+		t.Fatalf("want cand side nil (ended early), base set: %+v", d)
+	}
+	if !strings.Contains(d.String(), "ended") {
+		t.Errorf("culprit line should say a stream ended: %q", d.String())
+	}
+	// Symmetric case.
+	d = diffobs.Bisect(short, a.Events)
+	if d == nil || d.Base != nil || d.Cand == nil {
+		t.Fatalf("symmetric prefix case wrong: %+v", d)
+	}
+}
+
+func TestBisectEmptyStreams(t *testing.T) {
+	if d := diffobs.Bisect(nil, nil); d != nil {
+		t.Fatalf("two empty streams diverge: %+v", d)
+	}
+	one := []wq.Event{{Kind: "submit", Task: 1, Worker: -1}}
+	d := diffobs.Bisect(nil, one)
+	if d == nil || d.Index != 0 || d.Base != nil || d.Cand == nil {
+		t.Fatalf("empty-vs-one wrong: %+v", d)
+	}
+}
+
+func TestBisectFirstEventDiffers(t *testing.T) {
+	a := []wq.Event{{Kind: "submit", Task: 1, Worker: -1}, {Kind: "start", Task: 1, Worker: 0}}
+	b := []wq.Event{{Kind: "submit", Task: 2, Worker: -1}, {Kind: "start", Task: 1, Worker: 0}}
+	d := diffobs.Bisect(a, b)
+	if d == nil || d.Index != 0 {
+		t.Fatalf("want divergence at 0, got %+v", d)
+	}
+}

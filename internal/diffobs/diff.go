@@ -1,0 +1,583 @@
+// Package diffobs compares two run archives: it aligns their snapshot
+// streams on the sim clock, extracts a flat metric vector from each side,
+// classifies every delta as improved/regressed/neutral against configurable
+// absolute+relative noise thresholds, and attributes regressions by diffing
+// critical-path bottleneck buckets and health findings. Because every run
+// is byte-deterministic for a seed, a non-neutral delta between same-seed
+// runs is a real behaviour change, never sampling noise — the thresholds
+// exist to absorb *intended* small shifts (a tuning constant, an extra
+// bookkeeping pass), not statistical variance.
+package diffobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lfm/internal/obs"
+	"lfm/internal/runarchive"
+	"lfm/internal/sim"
+	"lfm/internal/trace"
+)
+
+// ReportVersion is the DiffReport schema version.
+const ReportVersion = 1
+
+// Direction says which way a metric should move.
+const (
+	// LowerBetter marks metrics where a negative delta is an improvement
+	// (latencies, queue depth, waste, failures).
+	LowerBetter = "lower"
+	// HigherBetter marks metrics where a positive delta is an improvement
+	// (utilization, packing efficiency, accepted fraction).
+	HigherBetter = "higher"
+)
+
+// Classification values for MetricDelta.Class.
+const (
+	ClassImproved  = "improved"
+	ClassRegressed = "regressed"
+	ClassNeutral   = "neutral"
+)
+
+// Thresholds is the noise model: a delta is neutral when its absolute
+// magnitude is within the metric's absolute threshold OR its relative
+// magnitude (|delta| / |base|) is within Rel. Either gate suffices — the
+// absolute gate absorbs jitter on tiny bases (a 0.2s makespan shift on a
+// 3s run is 7% but meaningless), the relative gate absorbs proportional
+// drift on huge counters.
+type Thresholds struct {
+	// Rel is the relative noise band (fraction of the base value).
+	Rel float64 `json:"rel"`
+	// Abs maps metric names to absolute noise bands. Per-category metrics
+	// ("sched_p99[hep-reco]") fall back to their base name ("sched_p99"),
+	// then to DefaultAbs.
+	Abs map[string]float64 `json:"abs,omitempty"`
+	// DefaultAbs applies when a metric has no Abs entry.
+	DefaultAbs float64 `json:"default_abs"`
+}
+
+// DefaultThresholds returns the gate's stock noise model: 5% relative,
+// with absolute bands sized per metric family (seconds for latencies,
+// fractions for ratios, a ±1 band for small counters).
+func DefaultThresholds() *Thresholds {
+	return &Thresholds{
+		Rel:        0.05,
+		DefaultAbs: 1.5,
+		Abs: map[string]float64{
+			"makespan_s":            1.0,
+			"sched_p50":             0.25,
+			"sched_p99":             0.5,
+			"e2e_p50":               1.0,
+			"e2e_p99":               2.0,
+			"utilization":           0.02,
+			"effective_utilization": 0.02,
+			"retry_fraction":        0.02,
+			"waste_frac":            0.02,
+			"mem_waste_frac":        0.02,
+			"packing_efficiency":    0.02,
+			"accept_fraction":       0.02,
+			"utilization_mean":      0.02,
+			"queue_depth_mean":      2,
+			"queue_depth_peak":      4,
+			"failed":                0.5,
+			"lost_tasks":            0.5,
+			// Scheduler work counters are deterministic but large; give
+			// them room so incidental bookkeeping changes stay neutral.
+			"sched_rounds":     10,
+			"sched_tasks":      50,
+			"sched_candidates": 200,
+			"sched_wakes":      50,
+			// Wall time is hardware noise (archives zero it unless
+			// KeepWall); when kept, only gross slowdowns should flag.
+			"sched_wall_ms": 100,
+		},
+	}
+}
+
+// absFor resolves the absolute band for a metric name, stripping a
+// "[category]" suffix before falling back to DefaultAbs.
+func (t *Thresholds) absFor(name string) float64 {
+	if v, ok := t.Abs[name]; ok {
+		return v
+	}
+	if i := strings.IndexByte(name, '['); i > 0 {
+		if v, ok := t.Abs[name[:i]]; ok {
+			return v
+		}
+	}
+	return t.DefaultAbs
+}
+
+// Classify labels a delta for the named metric. direction is LowerBetter
+// or HigherBetter.
+func (t *Thresholds) Classify(name, direction string, base, cand float64) string {
+	delta := cand - base
+	if delta == 0 {
+		return ClassNeutral
+	}
+	if math.Abs(delta) <= t.absFor(name) {
+		return ClassNeutral
+	}
+	if base != 0 && math.Abs(delta)/math.Abs(base) <= t.Rel {
+		return ClassNeutral
+	}
+	worse := delta > 0
+	if direction == HigherBetter {
+		worse = !worse
+	}
+	if worse {
+		return ClassRegressed
+	}
+	return ClassImproved
+}
+
+// MetricDelta is one compared metric.
+type MetricDelta struct {
+	Name      string  `json:"name"`
+	Unit      string  `json:"unit,omitempty"`
+	Direction string  `json:"direction"`
+	Base      float64 `json:"base"`
+	Cand      float64 `json:"cand"`
+	Delta     float64 `json:"delta"`
+	// Rel is Delta/|Base| (0 when the base is 0).
+	Rel   float64 `json:"rel,omitempty"`
+	Class string  `json:"class"`
+}
+
+// RunRef identifies one side of a diff.
+type RunRef struct {
+	Scenario string   `json:"scenario,omitempty"`
+	Workload string   `json:"workload"`
+	Strategy string   `json:"strategy,omitempty"`
+	Seed     int64    `json:"seed"`
+	Digest   string   `json:"digest,omitempty"`
+	Tool     string   `json:"tool,omitempty"`
+	Makespan sim.Time `json:"makespan"`
+}
+
+// BucketDelta is the per-group critical-path time shift (candidate minus
+// base, seconds) across the trace subsystem's bottleneck buckets.
+type BucketDelta struct {
+	Group   string  `json:"group"`
+	DepWait float64 `json:"dep_wait,omitempty"`
+	Queue   float64 `json:"queue,omitempty"`
+	Stage   float64 `json:"stage,omitempty"`
+	Exec    float64 `json:"exec,omitempty"`
+	Output  float64 `json:"output,omitempty"`
+	Waste   float64 `json:"waste,omitempty"`
+	// Total is the sum of the above — the group's net contribution to the
+	// regression, used for ordering.
+	Total float64 `json:"total"`
+}
+
+// PhaseDelta is the shift in one critical-path phase.
+type PhaseDelta struct {
+	Kind  string  `json:"kind"`
+	Base  float64 `json:"base"`
+	Cand  float64 `json:"cand"`
+	Delta float64 `json:"delta"`
+}
+
+// Attribution explains where a regression lives: which bottleneck buckets
+// grew, how the makespan's critical-path phases shifted, and which health
+// findings appeared or disappeared.
+type Attribution struct {
+	Buckets         []BucketDelta `json:"buckets,omitempty"`
+	Phases          []PhaseDelta  `json:"phases,omitempty"`
+	FindingsAdded   []string      `json:"findings_added,omitempty"`
+	FindingsRemoved []string      `json:"findings_removed,omitempty"`
+}
+
+// DiffReport is the structured comparison of two archives.
+type DiffReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Base          RunRef `json:"base"`
+	Cand          RunRef `json:"cand"`
+	// SameConfig reports byte-equal serialized ScenarioConfigs; when true
+	// and DigestMatch is false, the runs *should* have been identical and
+	// Bisect can find the first divergent event.
+	SameConfig  bool          `json:"same_config"`
+	DigestMatch bool          `json:"digest_match"`
+	Metrics     []MetricDelta `json:"metrics"`
+	Improved    int           `json:"improved"`
+	Regressed   int           `json:"regressed"`
+	Neutral     int           `json:"neutral"`
+	Attribution *Attribution  `json:"attribution,omitempty"`
+	// Notes records metrics present on only one side (subsystem enabled
+	// there only) — dropped from the comparison, never silently.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Regressions returns the regressed deltas, report order.
+func (r *DiffReport) Regressions() []MetricDelta {
+	var out []MetricDelta
+	for _, m := range r.Metrics {
+		if m.Class == ClassRegressed {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AlignedPoint is one instant on the common resampled grid with each
+// side's latest snapshot at or before it (step-function semantics).
+type AlignedPoint struct {
+	At   sim.Time
+	Base *obs.Snapshot
+	Cand *obs.Snapshot
+}
+
+// effectivePeriod is the spacing of a run's retained snapshots: cadence ×
+// final stride (stride doubling drops every other snapshot, so survivors
+// sit on multiples of the doubled stride).
+func effectivePeriod(ro *obs.RunObs) sim.Time {
+	stride := ro.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	return ro.Cadence * sim.Time(stride)
+}
+
+// Align resamples two snapshot streams onto their common grid: the coarser
+// of the two effective periods, from 0 through the earlier of the two
+// final timestamps. Each point carries the latest retained snapshot at or
+// before the grid instant from each side. Snapshot 0 (seq 0, t=0) is
+// always retained — 0 is a multiple of every stride — so neither side is
+// ever missing. Returns nil when either stream kept no snapshots.
+func Align(a, b *obs.RunObs) []AlignedPoint {
+	if a == nil || b == nil || len(a.Snapshots) == 0 || len(b.Snapshots) == 0 {
+		return nil
+	}
+	period := effectivePeriod(a)
+	if p := effectivePeriod(b); p > period {
+		period = p
+	}
+	if period <= 0 {
+		return nil
+	}
+	end := a.Final.At
+	if b.Final.At < end {
+		end = b.Final.At
+	}
+	var out []AlignedPoint
+	ia, ib := 0, 0
+	for t := sim.Time(0); t <= end; t += period {
+		for ia+1 < len(a.Snapshots) && a.Snapshots[ia+1].At <= t {
+			ia++
+		}
+		for ib+1 < len(b.Snapshots) && b.Snapshots[ib+1].At <= t {
+			ib++
+		}
+		out = append(out, AlignedPoint{At: t, Base: a.Snapshots[ia], Cand: b.Snapshots[ib]})
+	}
+	return out
+}
+
+// metric is one extracted (name, value) sample with its display unit and
+// preferred direction.
+type metric struct {
+	name, unit, direction string
+	value                 float64
+}
+
+// metricsOf flattens one archive into the ordered metric vector. Optional
+// subsystems contribute only when present; Diff drops (and notes)
+// one-sided metrics.
+func metricsOf(a *runarchive.Archive) []metric {
+	s := a.Summary
+	m := []metric{
+		{"makespan_s", "s", LowerBetter, float64(a.Header.Makespan)},
+		{"utilization", "frac", HigherBetter, s.Utilization},
+		{"effective_utilization", "frac", HigherBetter, s.EffectiveUtilization},
+		{"retry_fraction", "frac", LowerBetter, s.RetryFraction},
+		{"failed", "count", LowerBetter, float64(s.Stats.Failed)},
+		{"retries", "count", LowerBetter, float64(s.Stats.Retries)},
+		{"lost_tasks", "count", LowerBetter, float64(s.Stats.LostTasks)},
+	}
+	if s.Waste != nil {
+		m = append(m,
+			metric{"waste_frac", "frac", LowerBetter, s.Waste.WasteFraction},
+			metric{"mem_waste_frac", "frac", LowerBetter, s.Waste.MemWasteFraction},
+			metric{"packing_efficiency", "frac", HigherBetter, s.Waste.PackingEfficiency},
+		)
+	}
+	if s.Serving != nil {
+		sv := s.Serving
+		accept := 0.0
+		if sv.Offered > 0 {
+			accept = float64(sv.Accepted) / float64(sv.Offered)
+		}
+		m = append(m,
+			metric{"shed", "count", LowerBetter, float64(sv.Shed)},
+			metric{"rejected", "count", LowerBetter, float64(sv.Rejected)},
+			metric{"throttled", "count", LowerBetter, float64(sv.Throttled)},
+			metric{"backpressured", "count", LowerBetter, float64(sv.Backpressured)},
+			metric{"accept_fraction", "frac", HigherBetter, accept},
+			metric{"serving_e2e_p99", "s", LowerBetter, sv.E2E.P99},
+		)
+	}
+	if a.Obs != nil && a.Obs.Final != nil {
+		fin := a.Obs.Final
+		m = append(m,
+			metric{"sched_p50", "s", LowerBetter, fin.SchedLatency.P50},
+			metric{"sched_p99", "s", LowerBetter, fin.SchedLatency.P99},
+			metric{"e2e_p50", "s", LowerBetter, fin.E2ELatency.P50},
+			metric{"e2e_p99", "s", LowerBetter, fin.E2ELatency.P99},
+		)
+		for _, c := range fin.Categories {
+			m = append(m,
+				metric{"sched_p99[" + c.Category + "]", "s", LowerBetter, c.Sched.P99},
+				metric{"e2e_p99[" + c.Category + "]", "s", LowerBetter, c.E2E.P99},
+			)
+		}
+	}
+	if a.Sched != nil {
+		m = append(m,
+			metric{"sched_rounds", "count", LowerBetter, float64(a.Sched.Passes)},
+			metric{"sched_tasks", "count", LowerBetter, float64(a.Sched.TasksExamined)},
+			metric{"sched_candidates", "count", LowerBetter, float64(a.Sched.CandidatesExamined)},
+			metric{"sched_wakes", "count", LowerBetter, float64(a.Sched.BlockedWakes)},
+			metric{"sched_wall_ms", "ms", LowerBetter, float64(a.Sched.ElapsedNanos) / 1e6},
+		)
+	}
+	return m
+}
+
+// streamMetrics computes the aligned-stream metrics for one side of an
+// Align result. sel picks the snapshot (base or cand) from each point.
+func streamMetrics(points []AlignedPoint, sel func(AlignedPoint) *obs.Snapshot) []metric {
+	if len(points) == 0 {
+		return nil
+	}
+	var qSum, uSum float64
+	qPeak := 0
+	for _, p := range points {
+		s := sel(p)
+		qSum += float64(s.QueueDepth)
+		uSum += float64(s.Utilization)
+		if s.QueueDepth > qPeak {
+			qPeak = s.QueueDepth
+		}
+	}
+	n := float64(len(points))
+	return []metric{
+		{"queue_depth_mean", "count", LowerBetter, qSum / n},
+		{"queue_depth_peak", "count", LowerBetter, float64(qPeak)},
+		{"utilization_mean", "frac", HigherBetter, uSum / n},
+	}
+}
+
+// runRef builds the report's identity block for one archive.
+func runRef(a *runarchive.Archive) RunRef {
+	return RunRef{
+		Scenario: a.Header.Scenario,
+		Workload: a.Header.Workload,
+		Strategy: a.Summary.Strategy,
+		Seed:     a.Header.Seed,
+		Digest:   a.Header.Digest,
+		Tool:     a.Header.Tool,
+		Makespan: a.Header.Makespan,
+	}
+}
+
+// sameConfig reports whether the two headers carry byte-identical
+// serialized scenario configs.
+func sameConfig(a, b *runarchive.Archive) bool {
+	ja, ea := json.Marshal(a.Header.Config)
+	jb, eb := json.Marshal(b.Header.Config)
+	return ea == nil && eb == nil && string(ja) == string(jb)
+}
+
+// Diff compares base against cand and classifies every shared metric.
+// A nil thresholds uses DefaultThresholds. Attribution is attached
+// whenever anything regressed and either side carries trace data.
+func Diff(base, cand *runarchive.Archive, th *Thresholds) *DiffReport {
+	if th == nil {
+		th = DefaultThresholds()
+	}
+	r := &DiffReport{
+		SchemaVersion: ReportVersion,
+		Base:          runRef(base),
+		Cand:          runRef(cand),
+		SameConfig:    sameConfig(base, cand),
+		DigestMatch: base.Header.Digest != "" &&
+			base.Header.Digest == cand.Header.Digest,
+	}
+	mb := metricsOf(base)
+	mc := metricsOf(cand)
+	points := Align(base.Obs, cand.Obs)
+	mb = append(mb, streamMetrics(points, func(p AlignedPoint) *obs.Snapshot { return p.Base })...)
+	mc = append(mc, streamMetrics(points, func(p AlignedPoint) *obs.Snapshot { return p.Cand })...)
+	candByName := make(map[string]metric, len(mc))
+	for _, m := range mc {
+		candByName[m.name] = m
+	}
+	seen := make(map[string]bool, len(mb))
+	for _, b := range mb {
+		seen[b.name] = true
+		c, ok := candByName[b.name]
+		if !ok {
+			r.Notes = append(r.Notes, fmt.Sprintf("metric %s: base only (subsystem off in candidate)", b.name))
+			continue
+		}
+		d := MetricDelta{
+			Name: b.name, Unit: b.unit, Direction: b.direction,
+			Base: b.value, Cand: c.value, Delta: c.value - b.value,
+			Class: th.Classify(b.name, b.direction, b.value, c.value),
+		}
+		if b.value != 0 {
+			d.Rel = d.Delta / math.Abs(b.value)
+		}
+		r.Metrics = append(r.Metrics, d)
+		switch d.Class {
+		case ClassImproved:
+			r.Improved++
+		case ClassRegressed:
+			r.Regressed++
+		default:
+			r.Neutral++
+		}
+	}
+	for _, c := range mc {
+		if !seen[c.name] {
+			r.Notes = append(r.Notes, fmt.Sprintf("metric %s: candidate only (subsystem off in base)", c.name))
+		}
+	}
+	if r.Regressed > 0 {
+		r.Attribution = attribute(base, cand)
+	}
+	return r
+}
+
+// attribute diffs the two sides' bottleneck buckets, critical-path phase
+// shares, and health findings.
+func attribute(base, cand *runarchive.Archive) *Attribution {
+	at := &Attribution{}
+	bb := bucketsByGroup(base.Bottlenecks)
+	cb := bucketsByGroup(cand.Bottlenecks)
+	for _, g := range unionKeys(bb, cb) {
+		b, c := bb[g], cb[g]
+		d := BucketDelta{
+			Group:   g,
+			DepWait: float64(c.DepWait - b.DepWait),
+			Queue:   float64(c.Queue - b.Queue),
+			Stage:   float64(c.Stage - b.Stage),
+			Exec:    float64(c.Exec - b.Exec),
+			Output:  float64(c.Output - b.Output),
+			Waste:   float64(c.Waste - b.Waste),
+		}
+		d.Total = d.DepWait + d.Queue + d.Stage + d.Exec + d.Output + d.Waste
+		if d.Total != 0 || d.Waste != 0 {
+			at.Buckets = append(at.Buckets, d)
+		}
+	}
+	sort.Slice(at.Buckets, func(i, j int) bool {
+		ai, aj := math.Abs(at.Buckets[i].Total), math.Abs(at.Buckets[j].Total)
+		if ai != aj {
+			return ai > aj
+		}
+		return at.Buckets[i].Group < at.Buckets[j].Group
+	})
+	bp := phasesByKind(base.Phases)
+	cp := phasesByKind(cand.Phases)
+	for _, k := range unionKeysF(bp, cp) {
+		b, c := bp[k], cp[k]
+		if b == c {
+			continue
+		}
+		at.Phases = append(at.Phases, PhaseDelta{Kind: k, Base: b, Cand: c, Delta: c - b})
+	}
+	sort.Slice(at.Phases, func(i, j int) bool {
+		ai, aj := math.Abs(at.Phases[i].Delta), math.Abs(at.Phases[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		return at.Phases[i].Kind < at.Phases[j].Kind
+	})
+	at.FindingsAdded, at.FindingsRemoved = diffFindings(base, cand)
+	if len(at.Buckets) == 0 && len(at.Phases) == 0 &&
+		len(at.FindingsAdded) == 0 && len(at.FindingsRemoved) == 0 {
+		return nil
+	}
+	return at
+}
+
+func bucketsByGroup(bs []trace.Bucket) map[string]trace.Bucket {
+	m := make(map[string]trace.Bucket, len(bs))
+	for _, b := range bs {
+		m[b.Group] = b
+	}
+	return m
+}
+
+func phasesByKind(ps []trace.PhaseShare) map[string]float64 {
+	m := make(map[string]float64, len(ps))
+	for _, p := range ps {
+		m[string(p.Kind)] = float64(p.Duration)
+	}
+	return m
+}
+
+func unionKeys(a, b map[string]trace.Bucket) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unionKeysF(a, b map[string]float64) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// diffFindings compares health findings by "rule (severity)" identity —
+// detail strings embed run-specific numbers and would never match.
+func diffFindings(base, cand *runarchive.Archive) (added, removed []string) {
+	keysOf := func(a *runarchive.Archive) map[string]bool {
+		m := map[string]bool{}
+		if a.Summary.Health == nil {
+			return m
+		}
+		for _, f := range a.Summary.Health.Findings {
+			m[fmt.Sprintf("%s (%s)", f.Rule, f.Severity)] = true
+		}
+		return m
+	}
+	bk, ck := keysOf(base), keysOf(cand)
+	for k := range ck {
+		if !bk[k] {
+			added = append(added, k)
+		}
+	}
+	for k := range bk {
+		if !ck[k] {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}

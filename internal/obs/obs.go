@@ -207,7 +207,8 @@ func NewBus(eng *sim.Engine, cfg *Config) (*Bus, error) {
 		b.bw = bufio.NewWriter(c.Stream)
 		b.enc = json.NewEncoder(b.bw)
 		b.put(streamLine{Type: "meta", Meta: &metaLine{
-			StreamMeta: c.Meta, Cadence: c.Cadence, RingCap: c.RingCap,
+			SchemaVersion: StreamVersion,
+			StreamMeta:    c.Meta, Cadence: c.Cadence, RingCap: c.RingCap,
 		}})
 	}
 	return b, nil

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -344,5 +345,164 @@ func TestTopThrottleAndRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("frame missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestBusRingCapHitAtBoundary pins the decimation trigger point the diff
+// engine's resampling leans on: the ring halves (and the stride doubles)
+// on the append that reaches the cap exactly, never before, and seq 0 —
+// the run's first boundary — survives every halving because 0 is a
+// multiple of every stride.
+func TestBusRingCapHitAtBoundary(t *testing.T) {
+	run := func(boundaries int) *RunObs {
+		eng := sim.NewEngine(1)
+		b, err := NewBus(eng, &Config{Cadence: 1 * sim.Second, RingCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Schedule past the last boundary so `boundaries` seals happen:
+		// boundary k seals on the first push strictly after k.
+		eng.At(sim.Time(boundaries)-0.5, func() { b.TaskSubmitted() })
+		end := eng.Run()
+		ro, err := b.Finalize(end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ro
+	}
+
+	// Seven sealed boundaries (seq 0..6): one short of the cap, no halving.
+	if ro := run(7); ro.Stride != 1 || len(ro.Snapshots) != 7 {
+		t.Fatalf("7 boundaries: stride=%d retained=%d, want 1/7", ro.Stride, len(ro.Snapshots))
+	}
+	// The eighth retained snapshot hits the cap exactly: the ring halves to
+	// the even seqs and the stride doubles, on that append and not before.
+	if ro := run(8); ro.Stride != 2 || len(ro.Snapshots) != 4 {
+		t.Fatalf("8 boundaries: stride=%d retained=%d, want 2/4", ro.Stride, len(ro.Snapshots))
+	} else {
+		for i, s := range ro.Snapshots {
+			if s.Seq != 2*i {
+				t.Fatalf("after first halving snapshot %d has seq %d, want %d", i, s.Seq, 2*i)
+			}
+		}
+	}
+	// Seq 0 survives arbitrarily many halvings.
+	ro := run(200)
+	if len(ro.Snapshots) == 0 || ro.Snapshots[0].Seq != 0 {
+		t.Fatalf("seq 0 lost after repeated halving: %+v", ro.Snapshots)
+	}
+}
+
+// TestBusRingEffectiveCadence checks the property Align() resamples by:
+// after stride-doubling, retained snapshots sit on a uniform grid of
+// Cadence × Stride sim-seconds — the ring is a coarser capture of the same
+// run, not an arbitrary subset. Uses a non-integer cadence to catch any
+// float accumulation in the boundary walk.
+func TestBusRingEffectiveCadence(t *testing.T) {
+	const cadence = 2.5 * sim.Second
+	eng := sim.NewEngine(1)
+	b, err := NewBus(eng, &Config{Cadence: cadence, RingCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(150*sim.Second, func() { b.TaskSubmitted() })
+	end := eng.Run()
+	ro, err := b.Finalize(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Stride < 2 {
+		t.Fatalf("stride = %d, want doubling to have happened", ro.Stride)
+	}
+	period := cadence * sim.Time(ro.Stride)
+	for i, s := range ro.Snapshots {
+		if want := sim.Time(i) * period; math.Abs(float64(s.At-want)) > 1e-9 {
+			t.Fatalf("snapshot %d at %v, want %v (effective cadence %v)", i, s.At, want, period)
+		}
+		if s.Seq != i*ro.Stride {
+			t.Fatalf("snapshot %d has seq %d, want %d", i, s.Seq, i*ro.Stride)
+		}
+	}
+}
+
+// TestBusConsistencyAfterDoubling drives enough boundaries through a small
+// ring for several halvings and checks decimation only discards retained
+// snapshots: the live counters still reconcile exactly against ground
+// truth, and a skewed truth is still caught.
+func TestBusConsistencyAfterDoubling(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b, err := NewBus(eng, &Config{Cadence: 1 * sim.Second, RingCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 100
+	truth := Truth{}
+	b.SetTruth(func() Truth { return truth })
+	for i := 0; i < tasks; i++ {
+		at := sim.Time(i) + 0.25
+		eng.At(at, func() {
+			b.TaskSubmitted()
+			b.TaskReady()
+			b.TaskPlaced("cat", false, 1, 0)
+			b.AttemptEnded(false)
+			b.TaskFinished("cat", false, 0.1)
+			truth.Submitted++
+			truth.Completed++
+		})
+	}
+	end := eng.Run()
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatalf("consistency after doublings: %v", err)
+	}
+	ro, err := b.Finalize(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Stride < 16 {
+		t.Fatalf("stride = %d, want >= 16 after %d boundaries", ro.Stride, tasks)
+	}
+	if ro.Final.Submitted != tasks || ro.Final.Completed != tasks {
+		t.Fatalf("final counters %d/%d, want %d/%d", ro.Final.Submitted, ro.Final.Completed, tasks, tasks)
+	}
+	truth.Completed--
+	if err := b.CheckConsistency(); err == nil {
+		t.Fatal("skewed truth not caught after doubling")
+	}
+}
+
+// TestReadStreamVersion checks the schema_version contract: current
+// streams carry StreamVersion and round-trip, version-0 (pre-versioning)
+// streams still parse, and a stream from a newer writer is refused with a
+// typed *StreamVersionError instead of being misparsed.
+func TestReadStreamVersion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var buf bytes.Buffer
+	b, err := NewBus(eng, &Config{Cadence: 1 * sim.Second, Stream: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(0.5, func() { b.TaskSubmitted() })
+	end := eng.Run()
+	if _, err := b.Finalize(end); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SchemaVersion != StreamVersion {
+		t.Fatalf("stream carries schema version %d, want %d", st.SchemaVersion, StreamVersion)
+	}
+
+	legacy := `{"type":"meta","meta":{"cadence":1,"ring_cap":8}}` + "\n"
+	if st, err := ReadStream(strings.NewReader(legacy)); err != nil || st.SchemaVersion != 0 {
+		t.Fatalf("version-0 stream: %+v, %v", st, err)
+	}
+
+	future := `{"type":"meta","meta":{"schema_version":99,"cadence":1,"ring_cap":8}}` + "\n"
+	_, err = ReadStream(strings.NewReader(future))
+	var ve *StreamVersionError
+	if !errors.As(err, &ve) || ve.Version != 99 {
+		t.Fatalf("future stream error = %v, want *StreamVersionError{99}", err)
 	}
 }

@@ -134,7 +134,24 @@ type streamLine struct {
 	Health   *Health   `json:"health,omitempty"`
 }
 
+// StreamVersion is the obs JSONL stream schema version, stamped on the
+// meta line. Readers accept any version up to it (absent means 0, the
+// pre-versioning format) and refuse newer streams with a typed
+// *StreamVersionError.
+const StreamVersion = 1
+
+// StreamVersionError reports a stream written by a newer schema than this
+// reader understands.
+type StreamVersionError struct {
+	Version int
+}
+
+func (e *StreamVersionError) Error() string {
+	return fmt.Sprintf("obs: stream schema version %d, reader supports <= %d", e.Version, StreamVersion)
+}
+
 type metaLine struct {
+	SchemaVersion int `json:"schema_version"`
 	StreamMeta
 	Cadence sim.Time `json:"cadence"`
 	RingCap int      `json:"ring_cap"`
@@ -142,12 +159,15 @@ type metaLine struct {
 
 // Stream is a parsed obs JSONL stream.
 type Stream struct {
-	Meta      StreamMeta
-	Cadence   sim.Time
-	RingCap   int
-	Snapshots []*Snapshot
-	Final     *Snapshot
-	Health    *Health
+	// SchemaVersion is the meta line's schema_version (0 for streams
+	// predating versioning).
+	SchemaVersion int
+	Meta          StreamMeta
+	Cadence       sim.Time
+	RingCap       int
+	Snapshots     []*Snapshot
+	Final         *Snapshot
+	Health        *Health
 }
 
 // RunObs reassembles the stream into the in-memory form Analyze consumes.
@@ -185,6 +205,10 @@ func ReadStream(r io.Reader) (*Stream, error) {
 		switch l.Type {
 		case "meta":
 			if l.Meta != nil {
+				if l.Meta.SchemaVersion > StreamVersion {
+					return nil, &StreamVersionError{Version: l.Meta.SchemaVersion}
+				}
+				out.SchemaVersion = l.Meta.SchemaVersion
 				out.Meta = l.Meta.StreamMeta
 				out.Cadence = l.Meta.Cadence
 				out.RingCap = l.Meta.RingCap

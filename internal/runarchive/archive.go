@@ -1,0 +1,427 @@
+// Package runarchive owns the versioned run-archive container: a
+// self-contained JSONL artifact capturing everything the differential
+// observability layer (internal/diffobs, cmd/lfmdiff) needs to compare two
+// runs without re-running either — the serializable scenario configuration
+// and seed, the unified run summary (which carries the scheduler counters,
+// waste roll-up, serving accounting, and health findings), the decimated
+// obs snapshot stream, the telemetry category profiles, the critical-path
+// bottleneck buckets, and optionally the flat scheduler event stream for
+// first-divergence bisection. Archives are written by `lfmscenario run
+// -archive` and `lfmbench -archive-out`, committed as baselines under
+// baselines/, and read back standalone by `lfmdiff`.
+//
+// The container follows the scenario-trace conventions (see
+// internal/scenario/trace.go and DESIGN.md §15): every line is one envelope
+// object {"kind": "...", "<kind>": {...}}, the first line is the header and
+// the last the footer, readers accept any version up to SchemaVersion and
+// refuse newer versions with a typed *ArchiveError. Output is
+// byte-deterministic for a seed: the writer zeroes the scheduler wall-clock
+// nanos (the only hardware-noise field) unless explicitly told to keep
+// them, so two same-seed archives are byte-identical.
+package runarchive
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"lfm/internal/core"
+	"lfm/internal/obs"
+	"lfm/internal/sim"
+	"lfm/internal/trace"
+	"lfm/internal/tseries"
+	"lfm/internal/wq"
+)
+
+// Format, SchemaVersion, and ToolVersion identify the archive container.
+// Bump SchemaVersion when the schema changes shape; never reuse a version.
+// ToolVersion is stamped into headers so a reader can name the writer when
+// rejecting or explaining an artifact.
+const (
+	Format        = "lfm-run-archive"
+	SchemaVersion = 1
+	ToolVersion   = "lfm-0.10"
+)
+
+// ArchiveError reasons.
+const (
+	// BadFormat: the file is not an lfm run archive at all.
+	BadFormat = "bad-format"
+	// BadVersion: the archive was written by a newer schema version.
+	BadVersion = "bad-version"
+	// Corrupt: the container parses as the right format but its contents
+	// are inconsistent (bad JSON, missing footer, count mismatches).
+	Corrupt = "corrupt"
+)
+
+// ArchiveError is the typed error for every way an archive can fail to
+// load, so callers can distinguish "not an archive" from "newer schema"
+// from "damaged file" without string matching.
+type ArchiveError struct {
+	// Reason is one of the reason constants above.
+	Reason string
+	// Line is the 1-based offending line, 0 when not line-specific.
+	Line int
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// Error implements error.
+func (e *ArchiveError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("archive: %s at line %d: %s", e.Reason, e.Line, e.Detail)
+	}
+	return fmt.Sprintf("archive: %s: %s", e.Reason, e.Detail)
+}
+
+// Header is the first line: the format tag, the writing tool, the run's
+// identity, and the full serializable configuration that produced it.
+type Header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	// Scenario is the registry name of an archived scenario run, empty for
+	// ad-hoc benchmark archives.
+	Scenario string `json:"scenario,omitempty"`
+	// Workload is the generated workload's display name.
+	Workload string `json:"workload"`
+	// Seed echoes Config.Seed for greppability.
+	Seed int64 `json:"seed"`
+	// Config is the behavioural run configuration; two archives with equal
+	// Configs and Seeds should be byte-identical (the determinism
+	// contract), which is what first-divergence bisection exploits.
+	Config core.ScenarioConfig `json:"config"`
+	// Digest is the scenario outcome digest of the archived run, empty
+	// when the writer had no task list to fingerprint.
+	Digest string `json:"digest,omitempty"`
+	// Makespan is the run's simulated duration.
+	Makespan sim.Time `json:"makespan"`
+}
+
+// Footer closes the archive: expected line counts plus the digest echoed
+// from the header, so truncation is always detectable.
+type Footer struct {
+	Snapshots int    `json:"snapshots"`
+	Events    int    `json:"events"`
+	Digest    string `json:"digest,omitempty"`
+}
+
+// obsInfo is the snapshot stream's envelope: RunObs minus the snapshots,
+// which follow as their own lines.
+type obsInfo struct {
+	Meta       obs.StreamMeta `json:"meta"`
+	Cadence    sim.Time       `json:"cadence"`
+	Boundaries int            `json:"boundaries"`
+	Stride     int            `json:"stride"`
+}
+
+// Archive is one parsed (or buildable) run archive.
+type Archive struct {
+	Header Header
+	// Summary is the unified run summary: headline numbers, scheduler
+	// counters (wall nanos zeroed), waste roll-up, serving accounting, and
+	// health findings.
+	Summary *core.RunSummary
+	// Sched is the matching loop's work counters. ElapsedNanos is zero
+	// unless the archive was written with KeepWall (which trades byte-
+	// determinism for wall-clock visibility).
+	Sched *wq.SchedStats
+	// Obs is the retained snapshot ring plus the exact final snapshot;
+	// nil when the archived run had no observability plane attached.
+	Obs *obs.RunObs
+	// Profiles are the telemetry layer's per-category usage profiles.
+	Profiles []*tseries.ProfileSummary
+	// Bottlenecks are the trace subsystem's per-category time buckets and
+	// Phases the critical path's per-phase shares — the attribution inputs
+	// the diff engine consults when a metric regresses.
+	Bottlenecks []trace.Bucket
+	Phases      []trace.PhaseShare
+	// Events is the flat, time-ordered scheduler event stream, present
+	// only when the archive was written with Events — the substrate of
+	// first-divergence bisection.
+	Events []wq.Event
+}
+
+// archiveLine is the per-line envelope: exactly one payload field per Kind.
+type archiveLine struct {
+	Kind       string                  `json:"kind"`
+	Header     *Header                 `json:"header,omitempty"`
+	Summary    *core.RunSummary        `json:"summary,omitempty"`
+	Sched      *wq.SchedStats          `json:"sched,omitempty"`
+	Obs        *obsInfo                `json:"obs,omitempty"`
+	Snapshot   *obs.Snapshot           `json:"snapshot,omitempty"`
+	Profile    *tseries.ProfileSummary `json:"profile,omitempty"`
+	Bottleneck *trace.Bucket           `json:"bottleneck,omitempty"`
+	Phase      *trace.PhaseShare       `json:"phase,omitempty"`
+	Event      *wq.Event               `json:"event,omitempty"`
+	Footer     *Footer                 `json:"footer,omitempty"`
+}
+
+// BuildOptions parameterize Build.
+type BuildOptions struct {
+	// Scenario names the archived scenario run (empty for ad-hoc runs).
+	Scenario string
+	// Digest is the run's outcome digest (scenario.OutcomeDigest).
+	Digest string
+	// Events includes the flat scheduler event stream, enabling
+	// first-divergence bisection at the cost of archive size.
+	Events bool
+	// KeepWall preserves SchedStats.ElapsedNanos. Off by default: wall
+	// nanos are hardware noise and would break the byte-determinism of
+	// same-seed archives.
+	KeepWall bool
+}
+
+// Build assembles an archive from a finished run. The outcome's trace
+// (Outcome.Trace, attached via RunConfig.Trace) supplies the bottleneck
+// buckets, critical-path phases, and — with opt.Events — the event stream;
+// all three sections are simply absent on untraced runs.
+func Build(out *core.Outcome, cfg core.ScenarioConfig, opt BuildOptions) *Archive {
+	a := &Archive{
+		Header: Header{
+			Format: Format, Version: SchemaVersion, Tool: ToolVersion,
+			Scenario: opt.Scenario, Workload: out.Workload,
+			Seed: cfg.Seed, Config: cfg,
+			Digest: opt.Digest, Makespan: out.Makespan,
+		},
+		Summary: out.Summary(),
+		Obs:     out.Obs,
+	}
+	if out.Sched != nil {
+		sched := *out.Sched
+		if !opt.KeepWall {
+			sched.ElapsedNanos = 0
+		}
+		a.Sched = &sched
+	}
+	if out.Telemetry != nil {
+		a.Profiles = out.Telemetry.Profiles
+	}
+	if out.Trace != nil {
+		st := out.Trace.Store()
+		a.Bottlenecks = st.Bottlenecks(false)
+		if cp := st.CriticalPath(); cp != nil {
+			a.Phases = cp.Phases
+		}
+		if opt.Events {
+			a.Events = out.Trace.Events()
+		}
+	}
+	return a
+}
+
+// Write serializes the archive as JSONL. Output is byte-deterministic for
+// identical archives.
+func Write(a *Archive) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	emit := func(l archiveLine) error { return enc.Encode(l) }
+
+	hdr := a.Header
+	if hdr.Format == "" {
+		hdr.Format = Format
+	}
+	if hdr.Version == 0 {
+		hdr.Version = SchemaVersion
+	}
+	if err := emit(archiveLine{Kind: "header", Header: &hdr}); err != nil {
+		return nil, err
+	}
+	if a.Summary != nil {
+		if err := emit(archiveLine{Kind: "summary", Summary: a.Summary}); err != nil {
+			return nil, err
+		}
+	}
+	if a.Sched != nil {
+		if err := emit(archiveLine{Kind: "sched", Sched: a.Sched}); err != nil {
+			return nil, err
+		}
+	}
+	snapshots := 0
+	if a.Obs != nil {
+		if err := emit(archiveLine{Kind: "obs", Obs: &obsInfo{
+			Meta: a.Obs.Meta, Cadence: a.Obs.Cadence,
+			Boundaries: a.Obs.Boundaries, Stride: a.Obs.Stride,
+		}}); err != nil {
+			return nil, err
+		}
+		for _, s := range a.Obs.Snapshots {
+			if err := emit(archiveLine{Kind: "snapshot", Snapshot: s}); err != nil {
+				return nil, err
+			}
+			snapshots++
+		}
+		if a.Obs.Final != nil {
+			if err := emit(archiveLine{Kind: "final", Snapshot: a.Obs.Final}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, p := range a.Profiles {
+		if err := emit(archiveLine{Kind: "profile", Profile: p}); err != nil {
+			return nil, err
+		}
+	}
+	for i := range a.Bottlenecks {
+		if err := emit(archiveLine{Kind: "bottleneck", Bottleneck: &a.Bottlenecks[i]}); err != nil {
+			return nil, err
+		}
+	}
+	for i := range a.Phases {
+		if err := emit(archiveLine{Kind: "phase", Phase: &a.Phases[i]}); err != nil {
+			return nil, err
+		}
+	}
+	for i := range a.Events {
+		if err := emit(archiveLine{Kind: "event", Event: &a.Events[i]}); err != nil {
+			return nil, err
+		}
+	}
+	if err := emit(archiveLine{Kind: "footer", Footer: &Footer{
+		Snapshots: snapshots, Events: len(a.Events), Digest: hdr.Digest,
+	}}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Read parses and validates an archive; every failure is a typed
+// *ArchiveError.
+func Read(data []byte) (*Archive, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, &ArchiveError{Reason: BadFormat, Detail: "empty file"}
+	}
+	a := &Archive{}
+	var oi *obsInfo
+	var snaps []*obs.Snapshot
+	var final *obs.Snapshot
+	var footer *Footer
+	sawHeader := false
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		n++
+		if len(line) == 0 {
+			continue
+		}
+		var l archiveLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			if !sawHeader {
+				return nil, &ArchiveError{Reason: BadFormat, Line: n, Detail: "not JSONL: " + err.Error()}
+			}
+			return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: err.Error()}
+		}
+		if !sawHeader {
+			if l.Kind != "header" || l.Header == nil {
+				return nil, &ArchiveError{Reason: BadFormat, Line: n, Detail: "first line is not an archive header"}
+			}
+			h := l.Header
+			if h.Format != Format {
+				return nil, &ArchiveError{Reason: BadFormat, Line: n,
+					Detail: fmt.Sprintf("format %q, want %q", h.Format, Format)}
+			}
+			if h.Version > SchemaVersion || h.Version < 1 {
+				return nil, &ArchiveError{Reason: BadVersion, Line: n,
+					Detail: fmt.Sprintf("archive version %d, reader supports <= %d", h.Version, SchemaVersion)}
+			}
+			a.Header = *h
+			sawHeader = true
+			continue
+		}
+		if footer != nil {
+			return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "content after footer"}
+		}
+		switch l.Kind {
+		case "summary":
+			if l.Summary == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "summary line without payload"}
+			}
+			a.Summary = l.Summary
+		case "sched":
+			if l.Sched == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "sched line without payload"}
+			}
+			a.Sched = l.Sched
+		case "obs":
+			if l.Obs == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "obs line without payload"}
+			}
+			oi = l.Obs
+		case "snapshot":
+			if l.Snapshot == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "snapshot line without payload"}
+			}
+			snaps = append(snaps, l.Snapshot)
+		case "final":
+			if l.Snapshot == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "final line without snapshot payload"}
+			}
+			final = l.Snapshot
+		case "profile":
+			if l.Profile == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "profile line without payload"}
+			}
+			a.Profiles = append(a.Profiles, l.Profile)
+		case "bottleneck":
+			if l.Bottleneck == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "bottleneck line without payload"}
+			}
+			a.Bottlenecks = append(a.Bottlenecks, *l.Bottleneck)
+		case "phase":
+			if l.Phase == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "phase line without payload"}
+			}
+			a.Phases = append(a.Phases, *l.Phase)
+		case "event":
+			if l.Event == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "event line without payload"}
+			}
+			a.Events = append(a.Events, *l.Event)
+		case "footer":
+			if l.Footer == nil {
+				return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "footer line without payload"}
+			}
+			footer = l.Footer
+		default:
+			// Unknown kinds from same-or-older versions are corruption; a
+			// newer writer would have bumped the version and been refused
+			// above.
+			return nil, &ArchiveError{Reason: Corrupt, Line: n, Detail: "unknown line kind " + l.Kind}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &ArchiveError{Reason: Corrupt, Detail: err.Error()}
+	}
+	if footer == nil {
+		return nil, &ArchiveError{Reason: Corrupt, Detail: "missing footer (truncated archive)"}
+	}
+	if len(snaps) != footer.Snapshots {
+		return nil, &ArchiveError{Reason: Corrupt,
+			Detail: fmt.Sprintf("%d snapshot lines, footer says %d", len(snaps), footer.Snapshots)}
+	}
+	if len(a.Events) != footer.Events {
+		return nil, &ArchiveError{Reason: Corrupt,
+			Detail: fmt.Sprintf("%d event lines, footer says %d", len(a.Events), footer.Events)}
+	}
+	if footer.Digest != a.Header.Digest {
+		return nil, &ArchiveError{Reason: Corrupt,
+			Detail: fmt.Sprintf("footer digest %q != header digest %q", footer.Digest, a.Header.Digest)}
+	}
+	if a.Summary == nil {
+		return nil, &ArchiveError{Reason: Corrupt, Detail: "archive has no summary line"}
+	}
+	if oi != nil {
+		a.Obs = &obs.RunObs{
+			Meta: oi.Meta, Cadence: oi.Cadence,
+			Boundaries: oi.Boundaries, Stride: oi.Stride,
+			Snapshots: snaps, Final: final,
+		}
+	} else if len(snaps) > 0 || final != nil {
+		return nil, &ArchiveError{Reason: Corrupt, Detail: "snapshot lines without an obs line"}
+	}
+	return a, nil
+}

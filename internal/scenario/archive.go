@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+
+	"lfm/internal/core"
+	"lfm/internal/obs"
+	"lfm/internal/runarchive"
+	"lfm/internal/sim"
+	"lfm/internal/wq"
+)
+
+// Default archive capture shape: a coarse cadence and a small ring keep
+// committed baseline archives compact while still spanning the whole run
+// (the diff engine resamples to the coarser of the two grids anyway).
+const (
+	// DefaultArchiveCadence is the snapshot period of archived runs.
+	DefaultArchiveCadence = 5 * sim.Second
+	// DefaultArchiveRingCap bounds the snapshots an archive retains.
+	DefaultArchiveRingCap = 64
+)
+
+// ArchiveOptions parameterize RunArchived.
+type ArchiveOptions struct {
+	// Seed overrides the scenario's default seed when positive.
+	Seed int64
+	// Cadence and RingCap shape the attached snapshot bus; zero means the
+	// Default* constants above.
+	Cadence sim.Time
+	RingCap int
+	// Events captures the flat scheduler event stream into the archive,
+	// enabling first-divergence bisection (lfmdiff explain) at the cost of
+	// archive size. Baselines leave it off.
+	Events bool
+	// Customize, when non-nil, runs on the materialized RunConfig before
+	// execution — the gate's perturbation self-test hook. The perturbed
+	// run is archived as-is (its header still carries the unperturbed
+	// serializable config, which is exactly what a behaviour-changing code
+	// edit looks like to the diff engine).
+	Customize func(*core.RunConfig)
+}
+
+// RunArchived executes the scenario exactly as Run does, with the
+// observability plane and a scheduler trace attached (both strictly
+// passive: the outcome digest of an archived run differs from a plain run
+// only through the summary's obs section), and builds the run's archive.
+// The returned archive is byte-deterministic for a seed once serialized
+// with runarchive.Write.
+func (s *Scenario) RunArchived(opt ArchiveOptions) (*Result, *runarchive.Archive, error) {
+	spec, err := s.Instantiate(opt.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cadence := opt.Cadence
+	if cadence == 0 {
+		cadence = DefaultArchiveCadence
+	}
+	ringCap := opt.RingCap
+	if ringCap == 0 {
+		ringCap = DefaultArchiveRingCap
+	}
+	tr := &wq.Trace{}
+	out, err := spec.Config.RunScenario(spec.Workload, func(cfg *core.RunConfig) {
+		cfg.Trace = tr
+		cfg.Obs = &obs.Config{Cadence: cadence, RingCap: ringCap}
+		if spec.Serving != nil {
+			cfg.Serving = spec.Serving.config(nil)
+		}
+		if opt.Customize != nil {
+			opt.Customize(cfg)
+		}
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	res := s.evaluate(spec, out)
+	digest, err := OutcomeDigest(out, spec.Workload.Tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	arch := runarchive.Build(out, spec.Config, runarchive.BuildOptions{
+		Scenario: s.Name, Digest: digest, Events: opt.Events,
+	})
+	return res, arch, nil
+}

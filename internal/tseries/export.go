@@ -123,7 +123,24 @@ type jsonlLine struct {
 	Util      *UtilizationSummary `json:"util,omitempty"`
 }
 
+// ExportVersion is the telemetry JSONL schema version, stamped on every
+// run's meta line. Readers accept any version up to it (absent means 0,
+// the pre-versioning format) and refuse newer exports with a typed
+// *ExportVersionError.
+const ExportVersion = 1
+
+// ExportVersionError reports an export written by a newer schema than this
+// reader understands.
+type ExportVersionError struct {
+	Version int
+}
+
+func (e *ExportVersionError) Error() string {
+	return fmt.Sprintf("tseries: export schema version %d, reader supports <= %d", e.Version, ExportVersion)
+}
+
 type metaLine struct {
+	SchemaVersion int `json:"schema_version"`
 	RunMeta
 	SeriesCap int `json:"series_cap"`
 }
@@ -135,7 +152,7 @@ func (rt *RunTelemetry) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	put := func(l jsonlLine) error { return enc.Encode(l) }
-	if err := put(jsonlLine{Type: "meta", Meta: &metaLine{RunMeta: rt.Meta, SeriesCap: rt.SeriesCap}}); err != nil {
+	if err := put(jsonlLine{Type: "meta", Meta: &metaLine{SchemaVersion: ExportVersion, RunMeta: rt.Meta, SeriesCap: rt.SeriesCap}}); err != nil {
 		return err
 	}
 	for _, p := range rt.Profiles {
@@ -183,6 +200,9 @@ func ReadJSONL(r io.Reader) ([]*RunTelemetry, error) {
 			return nil, fmt.Errorf("tseries: line %d: %w", lineNo, err)
 		}
 		if l.Type == "meta" {
+			if l.Meta != nil && l.Meta.SchemaVersion > ExportVersion {
+				return nil, &ExportVersionError{Version: l.Meta.SchemaVersion}
+			}
 			cur = &RunTelemetry{}
 			if l.Meta != nil {
 				cur.Meta = l.Meta.RunMeta

@@ -2,8 +2,10 @@ package tseries
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"lfm/internal/monitor"
@@ -366,5 +368,32 @@ func TestCollectorAnomalies(t *testing.T) {
 	}
 	if rt.Anomalies[1].Kind != AnomalyFlatline || rt.Anomalies[1].Task != 2 {
 		t.Fatalf("second anomaly %+v", rt.Anomalies[1])
+	}
+}
+
+// TestExportSchemaVersion checks the telemetry export version contract:
+// current exports stamp ExportVersion on the meta line, version-0
+// (pre-versioning) exports still parse, and an export from a newer writer
+// is refused with a typed *ExportVersionError.
+func TestExportSchemaVersion(t *testing.T) {
+	rt := buildRun(t, 7)
+	var buf bytes.Buffer
+	if err := rt.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf(`"schema_version":%d`, ExportVersion); !strings.Contains(buf.String(), want) {
+		t.Fatalf("export meta line lacks %s", want)
+	}
+
+	legacy := `{"type":"meta","meta":{"makespan":1,"series_cap":64}}` + "\n"
+	if runs, err := ReadJSONL(strings.NewReader(legacy)); err != nil || len(runs) != 1 {
+		t.Fatalf("version-0 export: %v, %d runs", err, len(runs))
+	}
+
+	future := `{"type":"meta","meta":{"schema_version":99,"makespan":1,"series_cap":64}}` + "\n"
+	_, err := ReadJSONL(strings.NewReader(future))
+	var ve *ExportVersionError
+	if !errors.As(err, &ve) || ve.Version != 99 {
+		t.Fatalf("future export error = %v, want *ExportVersionError{99}", err)
 	}
 }

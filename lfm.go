@@ -36,6 +36,7 @@ import (
 	"lfm/internal/cluster"
 	"lfm/internal/core"
 	"lfm/internal/deps"
+	"lfm/internal/diffobs"
 	"lfm/internal/envpack"
 	"lfm/internal/experiments"
 	"lfm/internal/metrics"
@@ -46,6 +47,7 @@ import (
 	"lfm/internal/procmon"
 	"lfm/internal/pyast"
 	"lfm/internal/pypkg"
+	"lfm/internal/runarchive"
 	"lfm/internal/scenario"
 	"lfm/internal/sim"
 	"lfm/internal/trace"
@@ -498,6 +500,14 @@ func DefaultTelemetryConfig() *TelemetryConfig { return tseries.DefaultConfig() 
 // RunTelemetry.WriteJSONL, possibly several runs concatenated).
 func ReadTelemetry(r io.Reader) ([]*RunTelemetry, error) { return tseries.ReadJSONL(r) }
 
+// TelemetryExportVersion is the telemetry JSONL schema version;
+// ReadTelemetry refuses newer exports with *TelemetryExportVersionError.
+const TelemetryExportVersion = tseries.ExportVersion
+
+// TelemetryExportVersionError reports a telemetry export written by a
+// newer schema than this reader understands.
+type TelemetryExportVersionError = tseries.ExportVersionError
+
 // ---- Streaming run observability ----
 
 // ObsConfig attaches the streaming observability plane to a run: set it on
@@ -548,6 +558,18 @@ type RunSummary = core.RunSummary
 
 // ReadObsStream parses an obs JSONL stream written via ObsConfig.Stream.
 func ReadObsStream(r io.Reader) (*ObsStream, error) { return obs.ReadStream(r) }
+
+// ObsStreamVersion is the obs JSONL stream schema version; ReadObsStream
+// refuses newer streams with *ObsStreamVersionError.
+const ObsStreamVersion = obs.StreamVersion
+
+// ObsStreamVersionError reports an obs stream written by a newer schema
+// than this reader understands.
+type ObsStreamVersionError = obs.StreamVersionError
+
+// SummaryVersion is the unified summary document's schema version
+// (RunSummary.SchemaVersion).
+const SummaryVersion = core.SummaryVersion
 
 // AnalyzeObs runs the health rules over a run's retained snapshots. A nil
 // cfg uses the default thresholds.
@@ -737,3 +759,99 @@ type UnknownExperimentError struct{ ID string }
 func (e *UnknownExperimentError) Error() string {
 	return "lfm: unknown experiment " + e.ID + " (see ExperimentIDs)"
 }
+
+// ---- Differential observability (run archives + lfmdiff) ----
+
+// RunArchive is the versioned, self-contained run artifact the diff layer
+// compares: header (config, seed, digest), unified summary, obs snapshot
+// stream, scheduler counters, telemetry profiles, bottleneck buckets, and
+// optionally the flat scheduler event stream.
+type RunArchive = runarchive.Archive
+
+// RunArchiveError is the typed error for every way an archive can fail to
+// load; its Reason is one of ArchiveBadFormat/ArchiveBadVersion/
+// ArchiveCorrupt.
+type RunArchiveError = runarchive.ArchiveError
+
+// RunArchiveOptions parameterize BuildRunArchive.
+type RunArchiveOptions = runarchive.BuildOptions
+
+// Archive error reasons and container identity.
+const (
+	ArchiveBadFormat     = runarchive.BadFormat
+	ArchiveBadVersion    = runarchive.BadVersion
+	ArchiveCorrupt       = runarchive.Corrupt
+	ArchiveFormat        = runarchive.Format
+	ArchiveSchemaVersion = runarchive.SchemaVersion
+)
+
+// BuildRunArchive assembles an archive from a finished run (attach a trace
+// via RunConfig.Trace first for bottleneck attribution and bisection).
+func BuildRunArchive(out *Outcome, cfg ScenarioConfig, opt RunArchiveOptions) *RunArchive {
+	return runarchive.Build(out, cfg, opt)
+}
+
+// WriteRunArchive serializes an archive as JSONL, byte-deterministic for
+// identical archives.
+func WriteRunArchive(a *RunArchive) ([]byte, error) { return runarchive.Write(a) }
+
+// ReadRunArchive parses and validates an archive; failures are typed
+// *RunArchiveError values.
+func ReadRunArchive(data []byte) (*RunArchive, error) { return runarchive.Read(data) }
+
+// ScenarioArchiveOptions parameterize RunScenarioArchived.
+type ScenarioArchiveOptions = scenario.ArchiveOptions
+
+// RunScenarioArchived executes a canned scenario with the observability
+// plane and a scheduler trace attached, returning its result and archive.
+func RunScenarioArchived(s *Scenario, opt ScenarioArchiveOptions) (*ScenarioResult, *RunArchive, error) {
+	return s.RunArchived(opt)
+}
+
+// DiffReport is the structured comparison of two run archives: every
+// shared metric classified improved/regressed/neutral plus bottleneck and
+// health-finding attribution when anything regressed.
+type DiffReport = diffobs.DiffReport
+
+// DiffMetricDelta is one compared metric in a DiffReport.
+type DiffMetricDelta = diffobs.MetricDelta
+
+// DiffRunRef identifies one side of a DiffReport.
+type DiffRunRef = diffobs.RunRef
+
+// DiffThresholds is the noise model: a delta is neutral when within the
+// metric's absolute band OR within Rel of the base value.
+type DiffThresholds = diffobs.Thresholds
+
+// DiffDivergence is the first divergent event between two scheduler event
+// streams.
+type DiffDivergence = diffobs.Divergence
+
+// Diff classification labels.
+const (
+	DiffImproved  = diffobs.ClassImproved
+	DiffRegressed = diffobs.ClassRegressed
+	DiffNeutral   = diffobs.ClassNeutral
+)
+
+// DefaultDiffThresholds returns the regression gate's stock noise model.
+func DefaultDiffThresholds() *DiffThresholds { return diffobs.DefaultThresholds() }
+
+// DiffArchives compares base against cand (nil thresholds = defaults).
+func DiffArchives(base, cand *RunArchive, th *DiffThresholds) *DiffReport {
+	return diffobs.Diff(base, cand, th)
+}
+
+// TraceEvent is one flat scheduler trace event (ExecutionTrace.Events).
+type TraceEvent = wq.Event
+
+// BisectEventStreams binary-searches two scheduler event streams to their
+// first divergent event (nil when identical).
+func BisectEventStreams(a, b []TraceEvent) *DiffDivergence { return diffobs.Bisect(a, b) }
+
+// DiffPerturbation resolves a named gate self-test mutation; the gate runs
+// scenarios with it applied and must fail against committed baselines.
+func DiffPerturbation(name string) (func(*RunConfig), error) { return diffobs.Perturbation(name) }
+
+// DiffPerturbationNames lists the registered gate perturbations.
+func DiffPerturbationNames() []string { return diffobs.PerturbationNames() }
